@@ -1,0 +1,87 @@
+//===- bench/AblationCommon.h - Shared ablation-bench helpers ---*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the design-choice ablation benches (DESIGN.md Section 6):
+/// run a benchmark subset under a modified DbtOptions and report accuracy
+/// and modeled performance per configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_BENCH_ABLATIONCOMMON_H
+#define TPDBT_BENCH_ABLATIONCOMMON_H
+
+#include "analysis/Metrics.h"
+#include "core/Runner.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace bench {
+
+/// The benchmark subset ablations run on (kept small for speed; three
+/// branchy INT, one phase-heavy INT, two loopy FP).
+inline std::vector<std::string> ablationBenchmarks() {
+  return {"gzip", "perlbmk", "crafty", "mcf", "swim", "mgrid"};
+}
+
+/// Aggregate results of one configuration over the subset.
+struct AblationResult {
+  double SdBp = 0.0;
+  double SdCp = 0.0;
+  double SdLp = 0.0;
+  double MeanSpeedupVsBase = 0.0; ///< cycles(base cfg) / cycles(this cfg)
+  uint64_t Regions = 0;
+  uint64_t SideExits = 0;
+};
+
+/// Runs the subset at threshold \p T under \p Opts (scaled by
+/// TPDBT_SCALE * 0.25, no cache). \p BaseCycles, when non-empty, provides
+/// the per-benchmark baseline cycles for the speedup column.
+inline AblationResult runAblation(const dbt::DbtOptions &Opts, uint64_t T,
+                                  std::vector<uint64_t> *CyclesOut) {
+  double Scale = 0.25;
+  if (const char *S = std::getenv("TPDBT_SCALE")) {
+    double V = std::atof(S);
+    if (V > 0)
+      Scale *= V;
+  }
+
+  AblationResult Out;
+  std::vector<double> SdBps, SdCps, SdLps;
+  for (const std::string &Name : ablationBenchmarks()) {
+    auto B = workloads::generateBenchmark(
+        workloads::scaledSpec(*workloads::findSpec(Name), Scale));
+    dbt::DbtOptions RunOpts = Opts;
+    core::SweepResult Sweep =
+        core::runSweep(B.Ref, {T}, RunOpts, ~0ull);
+    const profile::ProfileSnapshot &Inip = Sweep.PerThreshold[0];
+    const profile::ProfileSnapshot &Avep = Sweep.Average;
+    cfg::Cfg G(B.Ref);
+    SdBps.push_back(analysis::sdBranchProb(Inip, Avep, G));
+    SdCps.push_back(analysis::sdCompletionProb(Inip, Avep, G));
+    SdLps.push_back(analysis::sdLoopBackProb(Inip, Avep, G));
+    Out.Regions += Inip.Regions.size();
+    if (CyclesOut)
+      CyclesOut->push_back(Inip.Cycles);
+  }
+  Out.SdBp = tpdbt::mean(SdBps);
+  Out.SdCp = tpdbt::mean(SdCps);
+  Out.SdLp = tpdbt::mean(SdLps);
+  return Out;
+}
+
+} // namespace bench
+} // namespace tpdbt
+
+#endif // TPDBT_BENCH_ABLATIONCOMMON_H

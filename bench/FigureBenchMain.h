@@ -1,0 +1,64 @@
+//===- bench/FigureBenchMain.h - Shared figure-bench driver -----*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared main() body for the per-figure bench binaries: builds the
+/// experiment context from the environment (TPDBT_SCALE, TPDBT_CACHE_DIR),
+/// prints the figure's series as a table, and drops a CSV under
+/// tpdbt_results/ for EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_BENCH_FIGUREBENCHMAIN_H
+#define TPDBT_BENCH_FIGUREBENCHMAIN_H
+
+#include "core/Experiment.h"
+#include "workloads/BenchSpec.h"
+#include "core/Figures.h"
+#include "support/Table.h"
+#include "support/TextFile.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace tpdbt {
+namespace bench {
+
+/// Runs one figure bench: \p Build receives a ready context and returns
+/// the figure's table.
+inline int
+runFigureBench(const std::string &CsvName,
+               const std::function<Table(core::ExperimentContext &)> &Build) {
+  core::ExperimentConfig Config = core::ExperimentConfig::fromEnv();
+  std::printf("tpdbt figure bench: scale=%.3f cache=%s\n", Config.Scale,
+              Config.CacheDir.empty() ? "off" : Config.CacheDir.c_str());
+  core::ExperimentContext Ctx(std::move(Config));
+
+  // Pay the one-time suite interpretation across all cores.
+  std::vector<std::string> All = workloads::intBenchmarkNames();
+  for (const std::string &N : workloads::fpBenchmarkNames())
+    All.push_back(N);
+  Ctx.warmUp(All);
+
+  auto Start = std::chrono::steady_clock::now();
+  Table T = Build(Ctx);
+  auto End = std::chrono::steady_clock::now();
+  double Secs = std::chrono::duration<double>(End - Start).count();
+
+  std::printf("%s", T.toText().c_str());
+  std::printf("(computed in %.1fs)\n", Secs);
+
+  if (ensureDirectory("tpdbt_results"))
+    writeTextFile("tpdbt_results/" + CsvName + ".csv", T.toCsv());
+  return 0;
+}
+
+} // namespace bench
+} // namespace tpdbt
+
+#endif // TPDBT_BENCH_FIGUREBENCHMAIN_H

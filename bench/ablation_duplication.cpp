@@ -1,0 +1,83 @@
+//===- bench/ablation_duplication.cpp - Tail-duplication ablation ----------===//
+//
+// DESIGN.md Section 6: turning block duplication and diamond absorption
+// off. Duplication is what makes NAVEP normalization necessary
+// (Section 3.1); diamonds are what give balanced branches side-exit-free
+// regions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AblationCommon.h"
+
+#include "support/Statistics.h"
+
+#include "analysis/Navep.h"
+
+using namespace tpdbt;
+using namespace tpdbt::bench;
+
+namespace {
+
+/// Counts duplicated blocks across the subset at T = 2000.
+uint64_t countDuplicated(const dbt::DbtOptions &Opts) {
+  double Scale = 0.25;
+  if (const char *S = std::getenv("TPDBT_SCALE")) {
+    double V = std::atof(S);
+    if (V > 0)
+      Scale *= V;
+  }
+  uint64_t Total = 0;
+  for (const std::string &Name : ablationBenchmarks()) {
+    auto B = workloads::generateBenchmark(
+        workloads::scaledSpec(*workloads::findSpec(Name), Scale));
+    core::SweepResult Sweep =
+        core::runSweep(B.Ref, {2000}, Opts, ~0ull);
+    cfg::Cfg G(B.Ref);
+    analysis::Navep N =
+        analysis::buildNavep(Sweep.PerThreshold[0], Sweep.Average, G);
+    Total += N.NumDuplicated;
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  Table T("Ablation: tail duplication / diamond absorption (threshold 2k)");
+  T.setHeader({"config", "Sd.BP", "Sd.CP", "Sd.LP", "regions",
+               "duplicated_blocks", "speedup_vs_full"});
+
+  dbt::DbtOptions Full;
+  std::vector<uint64_t> BaseCycles;
+  runAblation(Full, 2000, &BaseCycles);
+
+  struct Config {
+    const char *Name;
+    bool Duplication;
+    bool Diamonds;
+  };
+  for (const Config &C : {Config{"full", true, true},
+                          Config{"no_diamonds", true, false},
+                          Config{"no_duplication", false, true},
+                          Config{"neither", false, false}}) {
+    dbt::DbtOptions Opts;
+    Opts.Formation.AllowDuplication = C.Duplication;
+    Opts.Formation.EnableDiamonds = C.Diamonds;
+    std::vector<uint64_t> Cycles;
+    AblationResult R = runAblation(Opts, 2000, &Cycles);
+    std::vector<double> Speedups;
+    for (size_t I = 0; I < Cycles.size(); ++I)
+      Speedups.push_back(static_cast<double>(BaseCycles[I]) /
+                         static_cast<double>(Cycles[I]));
+    T.addRow();
+    T.addCell(std::string(C.Name));
+    T.addCell(R.SdBp, 3);
+    T.addCell(R.SdCp, 3);
+    T.addCell(R.SdLp, 3);
+    T.addCell(R.Regions);
+    T.addCell(countDuplicated(Opts));
+    T.addCell(tpdbt::geomean(Speedups), 3);
+  }
+  std::printf("%s", T.toText().c_str());
+  return 0;
+}

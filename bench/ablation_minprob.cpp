@@ -1,0 +1,47 @@
+//===- bench/ablation_minprob.cpp - Min-branch-probability ablation -------===//
+//
+// DESIGN.md Section 6: the "minimum branch probability" for trace growth
+// ([5] uses 70%). Lower values grow longer but leakier regions (worse
+// completion probability); higher values fragment regions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AblationCommon.h"
+
+#include "support/Format.h"
+#include "support/Statistics.h"
+
+using namespace tpdbt;
+using namespace tpdbt::bench;
+
+int main() {
+  Table T("Ablation: minimum branch probability (threshold 2k, subset "
+          "average)");
+  T.setHeader({"min_prob", "Sd.BP", "Sd.CP", "regions",
+               "speedup_vs_0.7"});
+
+  std::vector<uint64_t> BaseCycles;
+  {
+    dbt::DbtOptions Opts;
+    Opts.Formation.MinBranchProb = 0.7;
+    runAblation(Opts, 2000, &BaseCycles);
+  }
+  for (double MinProb : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    dbt::DbtOptions Opts;
+    Opts.Formation.MinBranchProb = MinProb;
+    std::vector<uint64_t> Cycles;
+    AblationResult R = runAblation(Opts, 2000, &Cycles);
+    std::vector<double> Speedups;
+    for (size_t I = 0; I < Cycles.size(); ++I)
+      Speedups.push_back(static_cast<double>(BaseCycles[I]) /
+                         static_cast<double>(Cycles[I]));
+    T.addRow();
+    T.addCell(tpdbt::formatDouble(MinProb, 1));
+    T.addCell(R.SdBp, 3);
+    T.addCell(R.SdCp, 3);
+    T.addCell(R.Regions);
+    T.addCell(tpdbt::geomean(Speedups), 3);
+  }
+  std::printf("%s", T.toText().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- bench/ablation_pool.cpp - Candidate-pool size ablation ---*- C++ -*-===//
+//
+// DESIGN.md Section 6: how the candidate-pool trigger size changes region
+// quality and modeled performance at T = 2000. Small pools optimize
+// eagerly from fewer candidates (shorter regions); huge pools mostly wait
+// for the registered-twice trigger.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AblationCommon.h"
+
+#include "support/Statistics.h"
+
+using namespace tpdbt;
+using namespace tpdbt::bench;
+
+int main() {
+  Table T("Ablation: candidate-pool limit (threshold 2k, subset average)");
+  T.setHeader({"pool_limit", "Sd.BP", "Sd.CP", "Sd.LP", "regions",
+               "speedup_vs_pool20"});
+
+  std::vector<uint64_t> BaseCycles;
+  {
+    dbt::DbtOptions Opts;
+    Opts.PoolLimit = 20;
+    runAblation(Opts, 2000, &BaseCycles);
+  }
+  for (size_t Limit : {4ul, 10ul, 20ul, 40ul, 160ul}) {
+    dbt::DbtOptions Opts;
+    Opts.PoolLimit = Limit;
+    std::vector<uint64_t> Cycles;
+    AblationResult R = runAblation(Opts, 2000, &Cycles);
+    std::vector<double> Speedups;
+    for (size_t I = 0; I < Cycles.size(); ++I)
+      Speedups.push_back(static_cast<double>(BaseCycles[I]) /
+                         static_cast<double>(Cycles[I]));
+    T.addRow();
+    T.addCell(static_cast<uint64_t>(Limit));
+    T.addCell(R.SdBp, 3);
+    T.addCell(R.SdCp, 3);
+    T.addCell(R.SdLp, 3);
+    T.addCell(R.Regions);
+    T.addCell(tpdbt::geomean(Speedups), 3);
+  }
+  std::printf("%s", T.toText().c_str());
+  return 0;
+}

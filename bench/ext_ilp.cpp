@@ -1,0 +1,78 @@
+//===- bench/ext_ilp.cpp - Region ILP under the machine model --------------===//
+//
+// Paper Section 4.4: "the prediction accuracy alone may not be sufficient
+// to determine the performance ... other factors, such as the ILP
+// available in the code". This bench makes that factor concrete: it
+// schedules every region formed at T=2k as an if-converted hyperblock on
+// the Itanium2-flavoured machine model (sched/RegionIlp.h) and reports
+// per-benchmark ILP statistics, plus how much of it survives on narrower
+// machines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runner.h"
+#include "sched/RegionIlp.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tpdbt;
+using namespace tpdbt::sched;
+
+int main() {
+  double Scale = 0.25;
+  if (const char *S = std::getenv("TPDBT_SCALE")) {
+    double V = std::atof(S);
+    if (V > 0)
+      Scale *= V;
+  }
+
+  Table T("Extension: region ILP on the Itanium2-like model (T=2k, scale " +
+          formatDouble(Scale, 2) + ")");
+  T.setHeader({"benchmark", "regions", "mean_insts", "mean_ilp", "max_ilp",
+               "speedup_vs_scalar", "width2_ilp"});
+
+  MachineModel Wide = MachineModel::itanium2Like();
+  MachineModel Narrow;
+  Narrow.IssueWidth = 2;
+  Narrow.Units = {2, 1, 1, 1};
+
+  for (const char *Name : {"gzip", "gcc", "mcf", "perlbmk", "vortex",
+                           "swim", "mgrid", "equake"}) {
+    auto B = workloads::generateBenchmark(
+        workloads::scaledSpec(*workloads::findSpec(Name), Scale));
+    core::SweepResult Sweep =
+        core::runSweep(B.Ref, {2000}, dbt::DbtOptions(), ~0ull);
+
+    RunningStats Insts, Ilp, Speedup, NarrowIlp;
+    for (const auto &R : Sweep.PerThreshold[0].Regions) {
+      RegionIlpReport Rep = analyzeRegionIlp(R, B.Ref, Wide);
+      if (Rep.Insts == 0)
+        continue;
+      Insts.add(static_cast<double>(Rep.Insts));
+      Ilp.add(Rep.Ilp);
+      Speedup.add(Rep.SpeedupVsScalar);
+      RegionIlpReport NarrowRep = analyzeRegionIlp(R, B.Ref, Narrow);
+      NarrowIlp.add(NarrowRep.Ilp);
+    }
+
+    T.addRow();
+    T.addCell(std::string(Name));
+    T.addCell(static_cast<uint64_t>(Ilp.count()));
+    T.addCell(Insts.mean(), 1);
+    T.addCell(Ilp.mean(), 2);
+    T.addCell(Ilp.max(), 2);
+    T.addCell(Speedup.mean(), 2);
+    T.addCell(NarrowIlp.mean(), 2);
+  }
+  std::printf("%s", T.toText().c_str());
+  std::printf("\nTwo regions with identical profile accuracy can differ "
+              "substantially in schedulable ILP — the Section 4.4 factor "
+              "the accuracy metrics do not see.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/ext_mispredict.cpp - Mispredicted-branch characterization -----===//
+//
+// The paper's first future-work item (Section 5), evaluated on the suite:
+// classify every mispredicted branch of INIP(2k) by *why* it missed
+// (phase change / unstable / near a classification boundary / profile too
+// short), and measure how much of the misprediction mass the proposed
+// continuous-profiling selection heuristic would cover with a small
+// budget of monitored branches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Mispredict.h"
+#include "core/Runner.h"
+#include "core/WindowedProfile.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+
+int main() {
+  double Scale = 0.5;
+  if (const char *S = std::getenv("TPDBT_SCALE")) {
+    double V = std::atof(S);
+    if (V > 0)
+      Scale *= V;
+  }
+
+  Table T("Extension: why initial predictions miss (INIP(2k) vs AVEP, "
+          "weighted shares; scale " + formatDouble(Scale, 2) + ")");
+  T.setHeader({"benchmark", "accurate", "phase", "unstable", "boundary",
+               "short", "top8_coverage"});
+
+  for (const char *Name : {"gzip", "mcf", "crafty", "parser", "perlbmk",
+                           "eon", "wupwise", "swim", "lucas"}) {
+    auto B = workloads::generateBenchmark(
+        workloads::scaledSpec(*workloads::findSpec(Name), Scale));
+    core::SweepResult Sweep =
+        core::runSweep(B.Ref, {2000}, dbt::DbtOptions(), ~0ull);
+    core::WindowedProfile WP = core::collectWindowedProfile(B.Ref, 16);
+    cfg::Cfg G(B.Ref);
+
+    auto Ds = characterizeBranches(Sweep.PerThreshold[0], Sweep.Average,
+                                   WP.Windows, G);
+    double Share[5] = {0, 0, 0, 0, 0};
+    double Total = 0;
+    for (const auto &D : Ds) {
+      Share[static_cast<int>(D.Kind)] += D.Weight;
+      Total += D.Weight;
+    }
+    auto Selected = selectForContinuousProfiling(Ds, 8);
+    double Coverage = mispredictionCoverage(Ds, Selected);
+
+    T.addRow();
+    T.addCell(std::string(Name));
+    for (int K = 0; K < 5; ++K)
+      T.addCell(Total > 0 ? Share[K] / Total : 0.0, 3);
+    T.addCell(Coverage, 3);
+  }
+  std::printf("%s", T.toText().c_str());
+  std::printf("\nColumns are AVEP-weighted shares of branches per kind; "
+              "top8_coverage is the misprediction mass the 8 selected "
+              "branches would put under continuous profiling.\n");
+  return 0;
+}

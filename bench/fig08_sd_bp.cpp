@@ -1,0 +1,20 @@
+//===- bench/fig08_sd_bp.cpp - Figure 8 reproduction ------------*- C++ -*-===//
+//
+// Figure 8: standard deviations of branch probabilities (Sd.BP) averaged
+// over the SPEC2000 INT and FP benchmarks for every retranslation
+// threshold, with the training-input reference Sd.BP(train) as the final
+// row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench("fig08_sd_bp", [](core::ExperimentContext &C) {
+    return core::figureAverages(
+        C, core::MetricKind::SdBp,
+        "Figure 8: Sd.BP(T) suite averages (vs. Sd.BP(train))");
+  });
+}

@@ -1,0 +1,20 @@
+//===- bench/fig09_sd_bp_int.cpp - Figure 9 reproduction --------*- C++ -*-===//
+//
+// Figure 9: Sd.BP(T) per SPEC2000 INT benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+#include "workloads/BenchSpec.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig09_sd_bp_int", [](core::ExperimentContext &C) {
+        return core::figurePerBench(
+            C, core::MetricKind::SdBp, workloads::intBenchmarkNames(),
+            "Figure 9: Sd.BP(T) per INT benchmark");
+      });
+}

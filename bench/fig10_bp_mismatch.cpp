@@ -1,0 +1,19 @@
+//===- bench/fig10_bp_mismatch.cpp - Figure 10 reproduction -----*- C++ -*-===//
+//
+// Figure 10: range-based branch probability mismatch rates, INT and FP
+// suite averages, with the training-input reference as the final row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig10_bp_mismatch", [](core::ExperimentContext &C) {
+        return core::figureAverages(
+            C, core::MetricKind::BpMismatch,
+            "Figure 10: branch probability mismatch rates (suite averages)");
+      });
+}

@@ -1,0 +1,20 @@
+//===- bench/fig11_bp_mismatch_int.cpp - Figure 11 reproduction -*- C++ -*-===//
+//
+// Figure 11: branch probability mismatch rates per INT benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+#include "workloads/BenchSpec.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig11_bp_mismatch_int", [](core::ExperimentContext &C) {
+        return core::figurePerBench(
+            C, core::MetricKind::BpMismatch, workloads::intBenchmarkNames(),
+            "Figure 11: branch probability mismatch rates (INT)");
+      });
+}

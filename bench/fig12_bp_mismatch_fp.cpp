@@ -1,0 +1,20 @@
+//===- bench/fig12_bp_mismatch_fp.cpp - Figure 12 reproduction --*- C++ -*-===//
+//
+// Figure 12: branch probability mismatch rates per FP benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+#include "workloads/BenchSpec.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig12_bp_mismatch_fp", [](core::ExperimentContext &C) {
+        return core::figurePerBench(
+            C, core::MetricKind::BpMismatch, workloads::fpBenchmarkNames(),
+            "Figure 12: branch probability mismatch rates (FP)");
+      });
+}

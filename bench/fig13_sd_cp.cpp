@@ -1,0 +1,19 @@
+//===- bench/fig13_sd_cp.cpp - Figure 13 reproduction -----------*- C++ -*-===//
+//
+// Figure 13: standard deviation of completion probabilities (Sd.CP),
+// suite averages. The training profile has no regions, so there is no
+// train reference (paper Section 2.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench("fig13_sd_cp", [](core::ExperimentContext &C) {
+    return core::figureAverages(
+        C, core::MetricKind::SdCp,
+        "Figure 13: Sd.CP(T) suite averages");
+  });
+}

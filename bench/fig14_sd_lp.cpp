@@ -1,0 +1,18 @@
+//===- bench/fig14_sd_lp.cpp - Figure 14 reproduction -----------*- C++ -*-===//
+//
+// Figure 14: standard deviation of loop-back probabilities (Sd.LP),
+// suite averages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench("fig14_sd_lp", [](core::ExperimentContext &C) {
+    return core::figureAverages(
+        C, core::MetricKind::SdLp,
+        "Figure 14: Sd.LP(T) suite averages");
+  });
+}

@@ -1,0 +1,19 @@
+//===- bench/fig15_lp_mismatch.cpp - Figure 15 reproduction -----*- C++ -*-===//
+//
+// Figure 15: loop-back probability (trip-count class) mismatch rates,
+// suite averages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig15_lp_mismatch", [](core::ExperimentContext &C) {
+        return core::figureAverages(
+            C, core::MetricKind::LpMismatch,
+            "Figure 15: loop-back probability mismatch rates (averages)");
+      });
+}

@@ -1,0 +1,21 @@
+//===- bench/fig16_lp_mismatch_int.cpp - Figure 16 reproduction -*- C++ -*-===//
+//
+// Figure 16: loop-back probability (trip-count class) mismatch rates per
+// INT benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+#include "workloads/BenchSpec.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig16_lp_mismatch_int", [](core::ExperimentContext &C) {
+        return core::figurePerBench(
+            C, core::MetricKind::LpMismatch, workloads::intBenchmarkNames(),
+            "Figure 16: loop-back probability mismatch rates (INT)");
+      });
+}

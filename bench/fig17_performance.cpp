@@ -1,0 +1,19 @@
+//===- bench/fig17_performance.cpp - Figure 17 reproduction -----*- C++ -*-===//
+//
+// Figure 17: relative performance of the suite for every retranslation
+// threshold under the cycle cost model, normalized to the T=1 base (the
+// "optimize everything immediately" configuration), for int, int without
+// perlbmk, and fp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig17_performance", [](core::ExperimentContext &C) {
+        return core::figurePerformance(C);
+      });
+}

@@ -1,0 +1,17 @@
+//===- bench/fig18_profiling_ops.cpp - Figure 18 reproduction ---*- C++ -*-===//
+//
+// Figure 18: total profiling operations (sum of all use and taken counts)
+// of INIP(T) normalized to the training run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBenchMain.h"
+
+using namespace tpdbt;
+
+int main() {
+  return bench::runFigureBench(
+      "fig18_profiling_ops", [](core::ExperimentContext &C) {
+        return core::figureProfilingOps(C);
+      });
+}

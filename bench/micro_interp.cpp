@@ -1,0 +1,101 @@
+//===- bench/micro_interp.cpp - Interpreter microbenchmarks -----*- C++ -*-===//
+//
+// google-benchmark timings of the execution substrate: block dispatch,
+// full benchmark interpretation, and the multi-policy sweep overhead.
+// These are the pieces whose speed determines how long the figure
+// reproductions take.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runner.h"
+#include "guest/ProgramBuilder.h"
+#include "vm/Interpreter.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tpdbt;
+
+namespace {
+
+/// Tight counted loop: the block-dispatch fast path.
+guest::Program makeHotLoop() {
+  guest::ProgramBuilder PB("hot");
+  auto Entry = PB.createBlock();
+  auto Head = PB.createBlock();
+  auto Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.addI(1, 1, 1);
+  PB.xorI(2, 1, 0x5a5a);
+  PB.branchImm(guest::CondKind::LtI, 1, 1 << 20, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  return PB.build();
+}
+
+void BM_InterpreterHotLoop(benchmark::State &State) {
+  guest::Program P = makeHotLoop();
+  vm::Interpreter I(P);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    vm::Machine M;
+    M.reset(P);
+    vm::RunOutcome Out = I.run(M, ~0ull);
+    Insts += Out.InstsExecuted;
+    benchmark::DoNotOptimize(Out.BlocksExecuted);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_InterpreterHotLoop)->Unit(benchmark::kMillisecond);
+
+void BM_InterpretBenchmark(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("swim"), 0.02));
+  vm::Interpreter I(B.Ref);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    vm::Machine M;
+    M.reset(B.Ref);
+    Insts += I.run(M, ~0ull).InstsExecuted;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_InterpretBenchmark)->Unit(benchmark::kMillisecond);
+
+/// Cost of simulating N thresholds from one execution (items = block
+/// events, so the per-event policy overhead is directly visible).
+void BM_SweepPolicies(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("gzip"), 0.02));
+  std::vector<uint64_t> Thresholds;
+  for (int I = 0; I < State.range(0); ++I)
+    Thresholds.push_back(100ull << I);
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    core::SweepResult R =
+        core::runSweep(B.Ref, Thresholds, dbt::DbtOptions(), ~0ull);
+    Events += R.Average.BlockEvents;
+    benchmark::DoNotOptimize(R.Average.ProfilingOps);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_SweepPolicies)->Arg(1)->Arg(4)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateBenchmark(benchmark::State &State) {
+  const auto &Spec = *workloads::findSpec("gcc");
+  for (auto _ : State) {
+    auto B = workloads::generateBenchmark(Spec);
+    benchmark::DoNotOptimize(B.Ref.numBlocks());
+  }
+}
+BENCHMARK(BM_GenerateBenchmark);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+//===- bench/micro_regions.cpp - Region formation microbenchmarks -*- C++ -*-===//
+//
+// google-benchmark timings of the optimization-phase building blocks:
+// region formation from a candidate pool and the CP/LP propagation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegionProb.h"
+#include "cfg/Cfg.h"
+#include "region/RegionFormer.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace tpdbt;
+
+namespace {
+
+struct FormationSetup {
+  workloads::GeneratedBenchmark B;
+  std::unique_ptr<cfg::Cfg> G;
+  std::vector<guest::BlockId> Seeds;
+  std::vector<double> TakenProb;
+  std::vector<bool> Eligible;
+
+  FormationSetup() {
+    B = workloads::generateBenchmark(
+        workloads::scaledSpec(*workloads::findSpec("gcc"), 0.02));
+    G = std::make_unique<cfg::Cfg>(B.Ref);
+    size_t N = G->numBlocks();
+    TakenProb.assign(N, 0.0);
+    Eligible.assign(N, true);
+    for (guest::BlockId Blk = 0; Blk < N; ++Blk) {
+      TakenProb[Blk] = 0.1 + 0.8 * ((Blk * 37) % 100) / 100.0;
+      if (Blk % 3 == 0)
+        Seeds.push_back(Blk);
+    }
+  }
+};
+
+void BM_RegionFormation(benchmark::State &State) {
+  FormationSetup Setup;
+  region::FormationOptions Opts;
+  for (auto _ : State) {
+    region::RegionFormer Former(*Setup.G, Opts);
+    auto Regions = Former.form(Setup.Seeds, Setup.TakenProb, Setup.Eligible);
+    benchmark::DoNotOptimize(Regions.data());
+  }
+}
+BENCHMARK(BM_RegionFormation)->Unit(benchmark::kMicrosecond);
+
+void BM_RegionFormerConstruction(benchmark::State &State) {
+  // Dominated by the natural-loop analysis (dominator tree).
+  FormationSetup Setup;
+  for (auto _ : State) {
+    region::RegionFormer Former(*Setup.G, region::FormationOptions());
+    benchmark::DoNotOptimize(&Former);
+  }
+}
+BENCHMARK(BM_RegionFormerConstruction)->Unit(benchmark::kMicrosecond);
+
+void BM_RegionFlowPropagation(benchmark::State &State) {
+  FormationSetup Setup;
+  region::RegionFormer Former(*Setup.G, region::FormationOptions());
+  auto Regions =
+      Former.form(Setup.Seeds, Setup.TakenProb, Setup.Eligible);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (const auto &R : Regions) {
+      analysis::RegionFlow F =
+          analysis::propagateRegionFlow(R, Setup.TakenProb);
+      Sum += F.BackFlow + F.NodeFreq.back();
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_RegionFlowPropagation)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+//===- bench/micro_solver.cpp - Linear solver microbenchmarks ---*- C++ -*-===//
+//
+// google-benchmark timings of the MKL stand-in used by the NAVEP
+// normalization (DESIGN.md Section 6 ablation: exact dense LU vs. the
+// Gauss-Seidel iteration), plus the end-to-end buildNavep cost on real
+// snapshots.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Navep.h"
+#include "core/Runner.h"
+#include "numeric/Matrix.h"
+#include "support/Rng.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tpdbt;
+using namespace tpdbt::numeric;
+
+namespace {
+
+/// Diagonally dominant random system of size N.
+void makeSystem(size_t N, uint64_t Seed, DenseMatrix &A, SparseMatrix &S,
+                std::vector<double> &B) {
+  Rng R(Seed);
+  A = DenseMatrix(N, N);
+  std::vector<SparseMatrix::Triplet> Trips;
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J) {
+      double V = (R.nextDouble() - 0.5) * 0.2;
+      if (I == J)
+        V += 2.0;
+      A.at(I, J) = V;
+      Trips.push_back({I, J, V});
+    }
+  }
+  S = SparseMatrix::fromTriplets(N, Trips);
+  B.assign(N, 0.0);
+  for (auto &V : B)
+    V = R.nextDouble();
+}
+
+void BM_DenseLuSolve(benchmark::State &State) {
+  DenseMatrix A;
+  SparseMatrix S;
+  std::vector<double> B;
+  makeSystem(static_cast<size_t>(State.range(0)), 42, A, S, B);
+  for (auto _ : State) {
+    std::vector<double> X;
+    bool Ok = solveLu(A, B, X);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GaussSeidelSolve(benchmark::State &State) {
+  DenseMatrix A;
+  SparseMatrix S;
+  std::vector<double> B;
+  makeSystem(static_cast<size_t>(State.range(0)), 42, A, S, B);
+  for (auto _ : State) {
+    std::vector<double> X;
+    bool Ok = gaussSeidel(S, B, X, 2000, 1e-10);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+BENCHMARK(BM_GaussSeidelSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BuildNavep(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("gcc"), 0.05));
+  core::SweepResult Sweep =
+      core::runSweep(B.Ref, {500}, dbt::DbtOptions(), ~0ull);
+  cfg::Cfg G(B.Ref);
+  for (auto _ : State) {
+    analysis::Navep N =
+        analysis::buildNavep(Sweep.PerThreshold[0], Sweep.Average, G);
+    benchmark::DoNotOptimize(N.Copies.data());
+  }
+}
+BENCHMARK(BM_BuildNavep)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

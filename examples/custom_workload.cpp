@@ -1,0 +1,127 @@
+//===- examples/custom_workload.cpp - Bring-your-own guest program ---------===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+// Shows the "bring your own workload" path: write a guest program in the
+// text assembly dialect (guest/Assembler.h), run the full retranslation-
+// threshold sweep over it in one pass, and print the paper's accuracy
+// metrics per threshold.
+//
+// Usage: custom_workload [file.s]     (uses a built-in demo when absent)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Metrics.h"
+#include "core/Runner.h"
+#include "guest/Assembler.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "support/TextFile.h"
+
+#include <cstdio>
+
+using namespace tpdbt;
+
+namespace {
+
+// A small program with a data-dependent branch (xorshift-driven), a
+// phase change at iteration 30000 and a variable-trip inner loop.
+const char *DemoSource = R"(
+.program demo-workload
+.memwords 64
+
+entry:
+    movi  r1, 0            ; outer counter
+    movi  r5, 88172645463325252   ; xorshift state
+main:
+    ; advance xorshift
+    shli  r4, r5, 13
+    xor   r5, r5, r4
+    shri  r4, r5, 7
+    xor   r5, r5, r4
+    shli  r4, r5, 17
+    xor   r5, r5, r4
+    ; data-dependent branch: low byte < 180 (p ~ 0.70) before the phase
+    ; change, < 60 (p ~ 0.23) afterwards
+    andi  r2, r5, 255
+    movi  r3, 180
+    blti  r1, 30000, test, late
+late:
+    movi  r3, 60
+test:
+    blt   r2, r3, hot, cold
+hot:
+    nop
+    jmp   inner_pre
+cold:
+    nop
+    nop
+    jmp   inner_pre
+
+inner_pre:
+    ; inner loop: 4 trips early, 24 trips late
+    movi  r6, 0
+    movi  r7, 4
+    blti  r1, 30000, inner, widen
+widen:
+    movi  r7, 24
+inner:
+    addi  r6, r6, 1
+    blt   r6, r7, inner, tail
+
+tail:
+    addi  r1, r1, 1
+    blti  r1, 60000, main, done
+done:
+    halt
+)";
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Source = DemoSource;
+  if (argc > 1) {
+    auto FileText = readTextFile(argv[1]);
+    if (!FileText) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    Source = *FileText;
+  }
+
+  guest::Program P;
+  std::string Error;
+  if (!guest::assembleProgram(Source, P, &Error)) {
+    std::fprintf(stderr, "assembly error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%s", guest::disassemble(P).c_str());
+
+  const std::vector<uint64_t> Thresholds = {100,  500,   2000,
+                                            10000, 40000, 160000};
+  core::SweepResult Sweep =
+      core::runSweep(P, Thresholds, dbt::DbtOptions(), 1000000000ull);
+  cfg::Cfg G(P);
+
+  Table T("\nInitial-prediction accuracy per retranslation threshold");
+  T.setHeader({"T", "Sd.BP", "BPmis", "Sd.CP", "Sd.LP", "LPmis",
+               "regions", "prof_ops"});
+  for (size_t I = 0; I < Thresholds.size(); ++I) {
+    const auto &Inip = Sweep.PerThreshold[I];
+    T.addRow();
+    T.addCell(thresholdLabel(Thresholds[I]));
+    T.addCell(analysis::sdBranchProb(Inip, Sweep.Average, G), 3);
+    T.addCell(analysis::bpMismatchRate(Inip, Sweep.Average, G), 3);
+    T.addCell(analysis::sdCompletionProb(Inip, Sweep.Average, G), 3);
+    T.addCell(analysis::sdLoopBackProb(Inip, Sweep.Average, G), 3);
+    T.addCell(analysis::lpMismatchRate(Inip, Sweep.Average, G), 3);
+    T.addCell(static_cast<uint64_t>(Inip.Regions.size()));
+    T.addCell(Inip.ProfilingOps);
+  }
+  std::printf("%s", T.toText().c_str());
+  std::printf("\nThe demo program changes behaviour at iteration 30000 "
+              "(branch bias and inner trip count), so small thresholds "
+              "freeze phase-0 probabilities and mispredict the average "
+              "run — the paper's mcf effect in ~60 lines of assembly.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+//===- analysis/Metrics.cpp - The paper's accuracy metrics -----------------===//
+
+#include "analysis/Metrics.h"
+
+#include "analysis/RegionProb.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+using namespace tpdbt::profile;
+using namespace tpdbt::region;
+
+BpRange tpdbt::analysis::classifyBp(double P) {
+  if (P < 0.3)
+    return BpRange::Low;
+  if (P <= 0.7)
+    return BpRange::Mid;
+  return BpRange::High;
+}
+
+TripClass tpdbt::analysis::classifyTrip(double Lp) {
+  if (Lp < 0.9)
+    return TripClass::Low;
+  if (Lp <= 0.98)
+    return TripClass::Median;
+  return TripClass::High;
+}
+
+/// Visits every block that ends in a two-target conditional branch and
+/// executed in both snapshots, passing (Block, PredProb, AvepProb,
+/// AvepWeight).
+template <typename FnT>
+static void forEachComparableBranch(const ProfileSnapshot &Pred,
+                                    const ProfileSnapshot &Avep,
+                                    const cfg::Cfg &G, FnT &&Fn) {
+  assert(Pred.Blocks.size() == Avep.Blocks.size() &&
+         "snapshots from different programs");
+  for (size_t B = 0; B < Pred.Blocks.size(); ++B) {
+    if (!G.hasCondBranch(static_cast<BlockId>(B)))
+      continue;
+    uint64_t PredUse = Pred.Blocks[B].Use;
+    uint64_t AvepUse = Avep.Blocks[B].Use;
+    if (PredUse == 0 || AvepUse == 0)
+      continue; // the paper compares the blocks present in both profiles
+    Fn(static_cast<BlockId>(B), Pred.Blocks[B].takenProb(),
+       Avep.Blocks[B].takenProb(), static_cast<double>(AvepUse));
+  }
+}
+
+double tpdbt::analysis::sdBranchProb(const ProfileSnapshot &Pred,
+                                     const ProfileSnapshot &Avep,
+                                     const cfg::Cfg &G) {
+  WeightedDeviation Dev;
+  forEachComparableBranch(Pred, Avep, G,
+                          [&](BlockId, double BT, double BM, double W) {
+                            Dev.add(BT, BM, W);
+                          });
+  return Dev.deviation();
+}
+
+double tpdbt::analysis::sdBranchProbNavep(const ProfileSnapshot &Inip,
+                                          const ProfileSnapshot &Avep,
+                                          const cfg::Cfg &G, const Navep &N) {
+  WeightedDeviation Dev;
+  for (const NavepCopy &C : N.Copies) {
+    if (!G.hasCondBranch(C.Orig))
+      continue;
+    if (Inip.Blocks[C.Orig].Use == 0 || Avep.Blocks[C.Orig].Use == 0)
+      continue;
+    Dev.add(Inip.takenProb(C.Orig), Avep.takenProb(C.Orig), C.Freq);
+  }
+  return Dev.deviation();
+}
+
+double tpdbt::analysis::bpMismatchRate(const ProfileSnapshot &Pred,
+                                       const ProfileSnapshot &Avep,
+                                       const cfg::Cfg &G) {
+  WeightedMismatch Mis;
+  forEachComparableBranch(
+      Pred, Avep, G, [&](BlockId, double BT, double BM, double W) {
+        Mis.add(classifyBp(BT) != classifyBp(BM), W);
+      });
+  return Mis.rate();
+}
+
+/// Builds the per-block taken-probability vector of a snapshot.
+static std::vector<double> takenProbs(const ProfileSnapshot &S) {
+  std::vector<double> P(S.Blocks.size(), 0.0);
+  for (size_t B = 0; B < S.Blocks.size(); ++B)
+    P[B] = S.Blocks[B].takenProb();
+  return P;
+}
+
+/// Visits every region of kind \p Kind with (PredProb of the region under
+/// INIP probabilities, under AVEP probabilities, AVEP entry weight).
+template <typename FnT>
+static void forEachRegionProb(const ProfileSnapshot &Inip,
+                              const ProfileSnapshot &Avep, RegionKind Kind,
+                              FnT &&Fn) {
+  std::vector<double> PT = takenProbs(Inip);
+  std::vector<double> PM = takenProbs(Avep);
+  for (const Region &R : Inip.Regions) {
+    if (R.Kind != Kind)
+      continue;
+    double W = static_cast<double>(Avep.Blocks[R.entryBlock()].Use);
+    double T, M;
+    if (Kind == RegionKind::NonLoop) {
+      T = completionProb(R, PT);
+      M = completionProb(R, PM);
+    } else {
+      T = loopBackProb(R, PT);
+      M = loopBackProb(R, PM);
+    }
+    Fn(T, M, W);
+  }
+}
+
+double tpdbt::analysis::sdCompletionProb(const ProfileSnapshot &Inip,
+                                         const ProfileSnapshot &Avep,
+                                         const cfg::Cfg &G) {
+  (void)G;
+  WeightedDeviation Dev;
+  forEachRegionProb(Inip, Avep, RegionKind::NonLoop,
+                    [&](double CT, double CM, double W) {
+                      Dev.add(CT, CM, W);
+                    });
+  return Dev.deviation();
+}
+
+double tpdbt::analysis::sdLoopBackProb(const ProfileSnapshot &Inip,
+                                       const ProfileSnapshot &Avep,
+                                       const cfg::Cfg &G) {
+  (void)G;
+  WeightedDeviation Dev;
+  forEachRegionProb(Inip, Avep, RegionKind::Loop,
+                    [&](double LT, double LM, double W) {
+                      Dev.add(LT, LM, W);
+                    });
+  return Dev.deviation();
+}
+
+double tpdbt::analysis::lpMismatchRate(const ProfileSnapshot &Inip,
+                                       const ProfileSnapshot &Avep,
+                                       const cfg::Cfg &G) {
+  (void)G;
+  WeightedMismatch Mis;
+  forEachRegionProb(Inip, Avep, RegionKind::Loop,
+                    [&](double LT, double LM, double W) {
+                      Mis.add(classifyTrip(LT) != classifyTrip(LM), W);
+                    });
+  return Mis.rate();
+}
+
+size_t tpdbt::analysis::countRegions(const ProfileSnapshot &S,
+                                     RegionKind Kind) {
+  size_t N = 0;
+  for (const Region &R : S.Regions)
+    if (R.Kind == Kind)
+      ++N;
+  return N;
+}

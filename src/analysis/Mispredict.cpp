@@ -1,0 +1,150 @@
+//===- analysis/Mispredict.cpp - Mispredicted-branch characterization ------===//
+
+#include "analysis/Mispredict.h"
+
+#include "analysis/Metrics.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+
+const char *tpdbt::analysis::mispredictKindName(MispredictKind K) {
+  switch (K) {
+  case MispredictKind::Accurate:
+    return "accurate";
+  case MispredictKind::PhaseChange:
+    return "phase-change";
+  case MispredictKind::Unstable:
+    return "unstable";
+  case MispredictKind::NearBoundary:
+    return "near-boundary";
+  case MispredictKind::ShortProfile:
+    return "short-profile";
+  }
+  assert(false && "unknown mispredict kind");
+  return "?";
+}
+
+namespace {
+
+double boundaryDistance(double P) {
+  return std::min(std::fabs(P - 0.3), std::fabs(P - 0.7));
+}
+
+} // namespace
+
+std::vector<BranchDiagnosis> tpdbt::analysis::characterizeBranches(
+    const profile::ProfileSnapshot &Inip,
+    const profile::ProfileSnapshot &Avep,
+    const std::vector<std::vector<profile::BlockCounters>> &Windows,
+    const cfg::Cfg &G, const MispredictOptions &Opts) {
+  assert(Inip.Blocks.size() == G.numBlocks() &&
+         Avep.Blocks.size() == G.numBlocks() &&
+         "snapshots do not match the program");
+
+  std::vector<BranchDiagnosis> Out;
+  const size_t NumWindows = Windows.size();
+
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    BlockId Blk = static_cast<BlockId>(B);
+    if (!G.hasCondBranch(Blk))
+      continue;
+    if (Inip.Blocks[B].Use == 0 || Avep.Blocks[B].Use == 0)
+      continue;
+
+    BranchDiagnosis D;
+    D.Block = Blk;
+    D.PredictedProb = Inip.takenProb(Blk);
+    D.AverageProb = Avep.takenProb(Blk);
+    D.Error = std::fabs(D.PredictedProb - D.AverageProb);
+    D.RangeFlip =
+        classifyBp(D.PredictedProb) != classifyBp(D.AverageProb);
+    D.Weight = static_cast<double>(Avep.Blocks[B].Use);
+
+    // Window statistics over windows where the block actually ran.
+    RunningStats WindowProbs;
+    std::vector<double> Probs;
+    for (size_t W = 0; W < NumWindows; ++W) {
+      if (Windows[W][B].Use < Opts.MinWindowUse)
+        continue;
+      double P = Windows[W][B].takenProb();
+      WindowProbs.add(P);
+      Probs.push_back(P);
+    }
+    if (Probs.size() >= 2) {
+      // Early = first quarter of active windows, late = last quarter.
+      size_t Quarter = std::max<size_t>(1, Probs.size() / 4);
+      double Early = 0, Late = 0;
+      for (size_t I = 0; I < Quarter; ++I) {
+        Early += Probs[I];
+        Late += Probs[Probs.size() - 1 - I];
+      }
+      D.EarlyLateShift = std::fabs(Early - Late) /
+                         static_cast<double>(Quarter);
+      D.WindowStdDev = WindowProbs.stddev();
+    }
+
+    // Classification, most-specific first.
+    if (D.Error <= Opts.AccurateError && !D.RangeFlip) {
+      D.Kind = MispredictKind::Accurate;
+    } else if (D.EarlyLateShift >= Opts.PhaseShift) {
+      D.Kind = MispredictKind::PhaseChange;
+    } else if (D.WindowStdDev >= Opts.UnstableStdDev) {
+      D.Kind = MispredictKind::Unstable;
+    } else if (D.RangeFlip &&
+               (boundaryDistance(D.PredictedProb) <=
+                    Opts.BoundaryDistance ||
+                boundaryDistance(D.AverageProb) <= Opts.BoundaryDistance)) {
+      D.Kind = MispredictKind::NearBoundary;
+    } else {
+      D.Kind = MispredictKind::ShortProfile;
+    }
+    Out.push_back(D);
+  }
+
+  std::sort(Out.begin(), Out.end(),
+            [](const BranchDiagnosis &A, const BranchDiagnosis &B) {
+              double Wa = A.Weight * A.Error;
+              double Wb = B.Weight * B.Error;
+              return Wa != Wb ? Wa > Wb : A.Block < B.Block;
+            });
+  return Out;
+}
+
+std::vector<BlockId> tpdbt::analysis::selectForContinuousProfiling(
+    const std::vector<BranchDiagnosis> &Diagnoses, size_t MaxCount) {
+  std::vector<BlockId> Out;
+  for (const BranchDiagnosis &D : Diagnoses) {
+    if (Out.size() >= MaxCount)
+      break;
+    // Behavioural mispredictions only: a longer initial profile fixes
+    // ShortProfile by itself, and Accurate needs nothing.
+    if (D.Kind == MispredictKind::PhaseChange ||
+        D.Kind == MispredictKind::Unstable ||
+        D.Kind == MispredictKind::NearBoundary)
+      Out.push_back(D.Block);
+  }
+  return Out;
+}
+
+double tpdbt::analysis::mispredictionCoverage(
+    const std::vector<BranchDiagnosis> &Diagnoses,
+    const std::vector<BlockId> &Selected) {
+  std::set<BlockId> Sel(Selected.begin(), Selected.end());
+  double Total = 0, Covered = 0;
+  for (const BranchDiagnosis &D : Diagnoses) {
+    if (D.Kind == MispredictKind::Accurate)
+      continue;
+    double Mass = D.Weight * D.Error;
+    Total += Mass;
+    if (Sel.count(D.Block))
+      Covered += Mass;
+  }
+  return Total > 0 ? Covered / Total : 1.0;
+}

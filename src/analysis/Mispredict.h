@@ -1,0 +1,105 @@
+//===- analysis/Mispredict.h - Mispredicted-branch characterization -*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's first future-work item (Section 5): "Characterize the
+/// mis-predicted branches and regions. It is an interesting subject to
+/// develop heuristics so that the branches and regions that cannot be
+/// predicted accurately by the initial profile may be selected for
+/// continuous profiling."
+///
+/// Given INIP(T), AVEP and a windowed profile of the same execution, this
+/// module classifies every comparable branch:
+///
+///  - Accurate: the initial prediction is close and classifies the same;
+///  - PhaseChange: the branch behaves differently early vs late (the mcf
+///    / gzip mechanism) — the prime continuous-profiling candidate;
+///  - Unstable: the probability swings between windows throughout the
+///    run (data-dependent behaviour);
+///  - NearBoundary: the error is small but straddles a 0.3/0.7 range
+///    boundary (the crafty mechanism);
+///  - ShortProfile: none of the above — plain sampling error from the
+///    short profiling window, fixed by a larger threshold.
+///
+/// selectForContinuousProfiling() then implements the proposed heuristic:
+/// pick the branches whose misprediction carries the most weight and is
+/// *not* fixable by a longer initial profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_ANALYSIS_MISPREDICT_H
+#define TPDBT_ANALYSIS_MISPREDICT_H
+
+#include "cfg/Cfg.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace analysis {
+
+/// Why (or whether) a branch's initial prediction misses.
+enum class MispredictKind : uint8_t {
+  Accurate,
+  PhaseChange,
+  Unstable,
+  NearBoundary,
+  ShortProfile,
+};
+
+const char *mispredictKindName(MispredictKind K);
+
+/// Diagnosis of one conditional branch.
+struct BranchDiagnosis {
+  guest::BlockId Block = guest::InvalidBlock;
+  double PredictedProb = 0.0; ///< BT from INIP(T)
+  double AverageProb = 0.0;   ///< BM from AVEP
+  double Error = 0.0;         ///< |BT - BM|
+  bool RangeFlip = false;     ///< Section 4.1 classification differs
+  double EarlyLateShift = 0.0; ///< |early-windows prob - late-windows prob|
+  double WindowStdDev = 0.0;   ///< per-window probability spread
+  double Weight = 0.0;         ///< AVEP use count
+  MispredictKind Kind = MispredictKind::Accurate;
+};
+
+/// Classification thresholds.
+struct MispredictOptions {
+  double AccurateError = 0.1;   ///< max |BT-BM| to call accurate
+  double PhaseShift = 0.15;     ///< early-late shift for PhaseChange
+  double UnstableStdDev = 0.08; ///< window spread for Unstable
+  double BoundaryDistance = 0.08; ///< distance to 0.3/0.7 for NearBoundary
+  uint64_t MinWindowUse = 16;   ///< windows with fewer uses are ignored
+};
+
+/// Diagnoses every branch comparable between \p Inip and \p Avep.
+/// \p Windows are the per-window counters of the same (reference-input)
+/// execution (core::collectWindowedProfile). Results are sorted by
+/// descending Weight * Error.
+std::vector<BranchDiagnosis> characterizeBranches(
+    const profile::ProfileSnapshot &Inip,
+    const profile::ProfileSnapshot &Avep,
+    const std::vector<std::vector<profile::BlockCounters>> &Windows,
+    const cfg::Cfg &G, const MispredictOptions &Opts = MispredictOptions());
+
+/// The continuous-profiling selection heuristic: up to \p MaxCount blocks
+/// whose misprediction is behavioural (PhaseChange, Unstable,
+/// NearBoundary — not fixable by longer initial profiling), ordered by
+/// misprediction weight.
+std::vector<guest::BlockId>
+selectForContinuousProfiling(const std::vector<BranchDiagnosis> &Diagnoses,
+                             size_t MaxCount);
+
+/// Weighted fraction of total misprediction mass (Weight * Error over
+/// non-accurate branches) covered by \p Selected.
+double mispredictionCoverage(const std::vector<BranchDiagnosis> &Diagnoses,
+                             const std::vector<guest::BlockId> &Selected);
+
+} // namespace analysis
+} // namespace tpdbt
+
+#endif // TPDBT_ANALYSIS_MISPREDICT_H

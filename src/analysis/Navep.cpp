@@ -1,0 +1,268 @@
+//===- analysis/Navep.cpp - Normalizing AVEP to the INIP CFG ---------------===//
+
+#include "analysis/Navep.h"
+
+#include "numeric/Matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+using namespace tpdbt::region;
+
+double Navep::totalFreq(BlockId B) const {
+  double Sum = 0.0;
+  for (int32_t C : CopiesOf[B])
+    Sum += Copies[C].Freq;
+  return Sum;
+}
+
+namespace {
+
+/// Builder state shared by the construction steps.
+struct NavepBuilder {
+  const profile::ProfileSnapshot &Inip;
+  const profile::ProfileSnapshot &Avep;
+  const cfg::Cfg &G;
+
+  Navep Result;
+  /// Region index whose entry is block B, or -1.
+  std::vector<int32_t> RegionEntryOf;
+  /// Copy index of (region, node).
+  std::vector<std::vector<int32_t>> RegionNodeCopy;
+  /// Copy index of block B's residual copy, or -1.
+  std::vector<int32_t> ResidualCopy;
+  /// Unknown index of each copy, or -1 for known-frequency copies.
+  std::vector<int32_t> UnknownOf;
+  std::vector<int32_t> Unknowns; ///< copy index per unknown
+
+  explicit NavepBuilder(const profile::ProfileSnapshot &Inip,
+                        const profile::ProfileSnapshot &Avep,
+                        const cfg::Cfg &G)
+      : Inip(Inip), Avep(Avep), G(G) {}
+
+  void createCopies();
+  /// Copy index control lands on when transferring to original block B
+  /// from outside a region (or via a region exit).
+  int32_t repOf(BlockId B) const;
+  void solve();
+};
+
+void NavepBuilder::createCopies() {
+  const size_t N = G.numBlocks();
+  RegionEntryOf.assign(N, -1);
+  ResidualCopy.assign(N, -1);
+  Result.CopiesOf.assign(N, {});
+  RegionNodeCopy.resize(Inip.Regions.size());
+
+  for (size_t R = 0; R < Inip.Regions.size(); ++R) {
+    BlockId Entry = Inip.Regions[R].entryBlock();
+    assert(RegionEntryOf[Entry] < 0 && "duplicate region entry");
+    RegionEntryOf[Entry] = static_cast<int32_t>(R);
+  }
+
+  auto AddCopy = [this](BlockId B, int32_t Region, int32_t Node) {
+    NavepCopy C;
+    C.Orig = B;
+    C.Region = Region;
+    C.Node = Node;
+    int32_t Idx = static_cast<int32_t>(Result.Copies.size());
+    Result.Copies.push_back(C);
+    Result.CopiesOf[B].push_back(Idx);
+    return Idx;
+  };
+
+  // One copy per region node.
+  for (size_t R = 0; R < Inip.Regions.size(); ++R) {
+    const Region &Reg = Inip.Regions[R];
+    RegionNodeCopy[R].resize(Reg.Nodes.size());
+    for (size_t Node = 0; Node < Reg.Nodes.size(); ++Node)
+      RegionNodeCopy[R][Node] =
+          AddCopy(Reg.Nodes[Node].Orig, static_cast<int32_t>(R),
+                  static_cast<int32_t>(Node));
+  }
+
+  // Residual copies: every block except region entries (control entering
+  // a region entry always enters the region).
+  for (size_t B = 0; B < N; ++B)
+    if (RegionEntryOf[B] < 0)
+      ResidualCopy[B] = AddCopy(static_cast<BlockId>(B), -1, -1);
+
+  for (size_t B = 0; B < N; ++B)
+    if (Result.CopiesOf[B].size() > 1)
+      ++Result.NumDuplicated;
+}
+
+int32_t NavepBuilder::repOf(BlockId B) const {
+  int32_t R = RegionEntryOf[B];
+  if (R >= 0)
+    return RegionNodeCopy[R][0];
+  return ResidualCopy[B];
+}
+
+void NavepBuilder::solve() {
+  const size_t NumCopies = Result.Copies.size();
+
+  // Classify copies: single-copy blocks have known frequency (their AVEP
+  // use count); all copies of duplicated blocks are unknowns.
+  UnknownOf.assign(NumCopies, -1);
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    const auto &Cs = Result.CopiesOf[B];
+    if (Cs.size() == 1) {
+      Result.Copies[Cs[0]].Freq =
+          static_cast<double>(Avep.Blocks[B].Use);
+      continue;
+    }
+    for (int32_t C : Cs) {
+      UnknownOf[C] = static_cast<int32_t>(Unknowns.size());
+      Unknowns.push_back(C);
+    }
+  }
+  if (Unknowns.empty()) {
+    Result.SolveKind = NavepSolveKind::NoneNeeded;
+    return;
+  }
+
+  // Flow equations: freq(c) = sum over NAVEP edges u->c of freq(u) * p.
+  // Accumulate, per unknown target, the coefficient row (I - A) x = b.
+  const size_t M = Unknowns.size();
+  std::vector<numeric::SparseMatrix::Triplet> Triplets;
+  std::vector<double> B(M, 0.0);
+  for (size_t I = 0; I < M; ++I)
+    Triplets.push_back({I, I, 1.0});
+
+  auto AddFlow = [&](int32_t FromCopy, int32_t ToCopy, double P) {
+    if (ToCopy < 0 || P <= 0.0)
+      return;
+    int32_t U = UnknownOf[ToCopy];
+    if (U < 0)
+      return; // inflow into a known copy: nothing to solve
+    const NavepCopy &From = Result.Copies[FromCopy];
+    int32_t FU = UnknownOf[FromCopy];
+    if (FU < 0)
+      B[U] += From.Freq * P; // known source contributes to the constant
+    else
+      Triplets.push_back({static_cast<size_t>(U), static_cast<size_t>(FU),
+                          -P});
+  };
+
+  // Emit the out-edges of every copy with its AVEP branch probability.
+  for (size_t CI = 0; CI < NumCopies; ++CI) {
+    const NavepCopy &C = Result.Copies[CI];
+    BlockId Orig = C.Orig;
+    bool Cond = G.hasCondBranch(Orig);
+    double P = Cond ? Avep.takenProb(Orig) : 1.0;
+
+    if (C.Region >= 0) {
+      const Region &Reg = Inip.Regions[C.Region];
+      const RegionNode &Node = Reg.Nodes[C.Node];
+      auto Route = [&](int32_t Succ, bool TakenEdge, double EdgeP) {
+        if (Succ >= 0) {
+          AddFlow(static_cast<int32_t>(CI), RegionNodeCopy[C.Region][Succ],
+                  EdgeP);
+        } else if (Succ == BackEdgeSucc) {
+          AddFlow(static_cast<int32_t>(CI), RegionNodeCopy[C.Region][0],
+                  EdgeP);
+        } else if (Succ == ExitSucc) {
+          BlockId Target = TakenEdge ? G.takenTarget(Orig)
+                                     : G.fallthroughTarget(Orig);
+          if (!Cond) {
+            const auto &Ss = G.successors(Orig);
+            assert(!Ss.empty() && "exit edge from a halt block");
+            Target = Ss[0];
+          }
+          AddFlow(static_cast<int32_t>(CI), repOf(Target), EdgeP);
+        }
+        // HaltSucc: flow leaves the program.
+      };
+      if (Cond) {
+        Route(Node.TakenSucc, /*TakenEdge=*/true, P);
+        Route(Node.FallSucc, /*TakenEdge=*/false, 1.0 - P);
+      } else {
+        Route(Node.TakenSucc, /*TakenEdge=*/true, 1.0);
+      }
+    } else {
+      // Residual copy: follows the plain CFG.
+      if (Cond) {
+        AddFlow(static_cast<int32_t>(CI), repOf(G.takenTarget(Orig)), P);
+        AddFlow(static_cast<int32_t>(CI), repOf(G.fallthroughTarget(Orig)),
+                1.0 - P);
+      } else {
+        const auto &Ss = G.successors(Orig);
+        if (!Ss.empty())
+          AddFlow(static_cast<int32_t>(CI), repOf(Ss[0]), 1.0);
+      }
+    }
+  }
+
+  // The program entry receives one execution from "program start".
+  {
+    int32_t EntryRep = repOf(G.entry());
+    if (EntryRep >= 0 && UnknownOf[EntryRep] >= 0)
+      B[UnknownOf[EntryRep]] += 1.0;
+  }
+
+  numeric::SparseMatrix A =
+      numeric::SparseMatrix::fromTriplets(M, std::move(Triplets));
+
+  std::vector<double> X;
+  bool Solved = false;
+  if (M <= 1200) {
+    // Dense exact solve for the typical small systems.
+    numeric::DenseMatrix D(M, M, 0.0);
+    for (size_t R = 0; R < M; ++R)
+      A.forEachInRow(R, [&](size_t CCol, double V) { D.at(R, CCol) += V; });
+    if (numeric::solveLu(D, B, X)) {
+      Solved = true;
+      Result.SolveKind = NavepSolveKind::DenseLu;
+    }
+  }
+  if (!Solved) {
+    X.assign(M, 0.0);
+    if (numeric::gaussSeidel(A, B, X, /*MaxIters=*/2000, /*Tol=*/1e-9)) {
+      Solved = true;
+      Result.SolveKind = NavepSolveKind::GaussSeidel;
+    }
+  }
+
+  if (Solved) {
+    double Residual = 0.0;
+    std::vector<double> AX = A.apply(X);
+    for (size_t I = 0; I < M; ++I)
+      Residual = std::max(Residual, std::abs(AX[I] - B[I]));
+    Result.Residual = Residual;
+    for (size_t I = 0; I < M; ++I)
+      Result.Copies[Unknowns[I]].Freq = std::max(0.0, X[I]);
+    return;
+  }
+
+  // Fallback: split each duplicated block's AVEP frequency evenly across
+  // its copies (documented approximation; the paper notes its own
+  // normalization is approximate too).
+  Result.SolveKind = NavepSolveKind::Proportional;
+  for (size_t BI = 0; BI < G.numBlocks(); ++BI) {
+    const auto &Cs = Result.CopiesOf[BI];
+    if (Cs.size() <= 1)
+      continue;
+    double Share =
+        static_cast<double>(Avep.Blocks[BI].Use) / Cs.size();
+    for (int32_t C : Cs)
+      Result.Copies[C].Freq = Share;
+  }
+}
+
+} // namespace
+
+Navep tpdbt::analysis::buildNavep(const profile::ProfileSnapshot &Inip,
+                                  const profile::ProfileSnapshot &Avep,
+                                  const cfg::Cfg &G) {
+  assert(Inip.Blocks.size() == G.numBlocks() &&
+         Avep.Blocks.size() == G.numBlocks() &&
+         "snapshots do not match the program");
+  NavepBuilder Builder(Inip, Avep, G);
+  Builder.createCopies();
+  Builder.solve();
+  return std::move(Builder.Result);
+}

@@ -1,0 +1,80 @@
+//===- analysis/Navep.h - Normalizing AVEP to the INIP CFG ------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NAVEP construction (paper Section 3.1).
+///
+/// INIP(T) duplicates blocks into multiple regions; AVEP does not. To
+/// compare the two, AVEP is normalized onto the INIP control-flow shape:
+/// every region node becomes a *copy* of its original block, every block
+/// also gets a *residual* copy for executions outside any region context
+/// (region entry blocks excepted: entering them always enters their
+/// region), each copy inherits the original block's AVEP branch
+/// probability, and the copies' frequencies are recovered from the Markov
+/// flow equations — frequencies of single-copy blocks are the known
+/// constants, frequencies of duplicated copies are the unknowns [18]. The
+/// paper solves the system with Intel MKL; we use our own dense LU with a
+/// Gauss-Seidel fallback (src/numeric).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_ANALYSIS_NAVEP_H
+#define TPDBT_ANALYSIS_NAVEP_H
+
+#include "cfg/Cfg.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+namespace analysis {
+
+/// One copy of an original block in the NAVEP graph.
+struct NavepCopy {
+  guest::BlockId Orig = guest::InvalidBlock;
+  /// Region index, or -1 for the residual (outside-any-region) copy.
+  int32_t Region = -1;
+  /// Node index within the region; -1 for residual copies.
+  int32_t Node = -1;
+  /// Solved execution frequency of this copy.
+  double Freq = 0.0;
+};
+
+/// How the duplicated-copy frequencies were obtained.
+enum class NavepSolveKind : uint8_t {
+  NoneNeeded,   ///< no duplicated blocks; all frequencies known directly
+  DenseLu,      ///< exact dense LU solve
+  GaussSeidel,  ///< iterative solve (large or LU-singular systems)
+  Proportional, ///< fallback: AVEP frequency split evenly across copies
+};
+
+/// The normalized-AVEP view of one INIP snapshot.
+struct Navep {
+  std::vector<NavepCopy> Copies;
+  /// Per original block: indices into Copies.
+  std::vector<std::vector<int32_t>> CopiesOf;
+  /// Number of original blocks with more than one copy.
+  size_t NumDuplicated = 0;
+  NavepSolveKind SolveKind = NavepSolveKind::NoneNeeded;
+  /// Max-norm residual of the flow equations at the solution (0 when no
+  /// solve was needed).
+  double Residual = 0.0;
+
+  /// Sum of copy frequencies for original block \p B (should approximate
+  /// the block's AVEP frequency — the Section 3.1 conservation property).
+  double totalFreq(guest::BlockId B) const;
+};
+
+/// Builds the NAVEP graph for \p Inip against \p Avep and solves the copy
+/// frequencies. \p G must be the CFG of the program both snapshots ran.
+Navep buildNavep(const profile::ProfileSnapshot &Inip,
+                 const profile::ProfileSnapshot &Avep, const cfg::Cfg &G);
+
+} // namespace analysis
+} // namespace tpdbt
+
+#endif // TPDBT_ANALYSIS_NAVEP_H

@@ -1,0 +1,53 @@
+//===- analysis/OfflineRegions.cpp - Regions for profiling-only runs -------===//
+
+#include "analysis/OfflineRegions.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+
+std::vector<region::Region> tpdbt::analysis::formOfflineRegions(
+    const profile::ProfileSnapshot &Profile, const cfg::Cfg &G,
+    const region::FormationOptions &Opts, uint64_t MinUse) {
+  assert(Profile.Blocks.size() == G.numBlocks() &&
+         "profile does not match the program");
+  assert(MinUse > 0 && "MinUse must be positive");
+
+  // Hot blocks become candidates; hottest first (profile-driven trace
+  // selection picks the most frequent seed first [5]).
+  std::vector<std::pair<uint64_t, BlockId>> Hot;
+  std::vector<bool> Eligible(G.numBlocks(), false);
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    uint64_t Use = Profile.Blocks[B].Use;
+    if (Use < MinUse)
+      continue;
+    Eligible[B] = true;
+    Hot.emplace_back(Use, static_cast<BlockId>(B));
+  }
+  std::sort(Hot.begin(), Hot.end(), [](const auto &A, const auto &B) {
+    return A.first != B.first ? A.first > B.first : A.second < B.second;
+  });
+
+  std::vector<BlockId> Seeds;
+  Seeds.reserve(Hot.size());
+  for (const auto &[Use, B] : Hot)
+    Seeds.push_back(B);
+
+  std::vector<double> TakenProb(G.numBlocks(), 0.0);
+  for (size_t B = 0; B < G.numBlocks(); ++B)
+    TakenProb[B] = Profile.Blocks[B].takenProb();
+
+  region::RegionFormer Former(G, Opts);
+  return Former.form(Seeds, TakenProb, Eligible);
+}
+
+profile::ProfileSnapshot tpdbt::analysis::withOfflineRegions(
+    const profile::ProfileSnapshot &Profile, const cfg::Cfg &G,
+    const region::FormationOptions &Opts, uint64_t MinUse) {
+  profile::ProfileSnapshot Out = Profile;
+  Out.Regions = formOfflineRegions(Profile, G, Opts, MinUse);
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- analysis/OfflineRegions.h - Regions for profiling-only runs -*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline region formation for profiling-only snapshots.
+///
+/// The paper does not compute Sd.CP(train) / Sd.LP(train) because the
+/// training run is never optimized and therefore has no regions; its
+/// future-work list (Sections 2.3 and 5) proposes applying a region
+/// formation algorithm [5][11] to the training profile to obtain them.
+/// This module implements that: it runs the same RegionFormer the
+/// optimization phase uses, seeded with the profile's hot blocks in
+/// decreasing hotness order (classic profile-driven trace selection),
+/// using the profile's own branch probabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_ANALYSIS_OFFLINEREGIONS_H
+#define TPDBT_ANALYSIS_OFFLINEREGIONS_H
+
+#include "cfg/Cfg.h"
+#include "profile/Profile.h"
+#include "region/RegionFormer.h"
+
+#include <vector>
+
+namespace tpdbt {
+namespace analysis {
+
+/// Forms regions from a profile's hot blocks (Use >= \p MinUse), hottest
+/// seed first, with the profile's taken probabilities.
+std::vector<region::Region>
+formOfflineRegions(const profile::ProfileSnapshot &Profile,
+                   const cfg::Cfg &G,
+                   const region::FormationOptions &Opts, uint64_t MinUse);
+
+/// Returns a copy of \p Profile with offline regions attached, ready for
+/// the region metrics (sdCompletionProb, sdLoopBackProb, lpMismatchRate).
+profile::ProfileSnapshot
+withOfflineRegions(const profile::ProfileSnapshot &Profile,
+                   const cfg::Cfg &G,
+                   const region::FormationOptions &Opts, uint64_t MinUse);
+
+} // namespace analysis
+} // namespace tpdbt
+
+#endif // TPDBT_ANALYSIS_OFFLINEREGIONS_H

@@ -1,0 +1,94 @@
+//===- analysis/Phases.cpp - Basic-block-vector phase detection ------------===//
+
+#include "analysis/Phases.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+
+bool PhaseAnalysis::hasPhaseChange() const {
+  for (size_t W = 1; W < PhaseOfWindow.size(); ++W)
+    if (PhaseOfWindow[W] != PhaseOfWindow[W - 1])
+      return true;
+  return false;
+}
+
+int PhaseAnalysis::firstChangeWindow() const {
+  for (size_t W = 1; W < PhaseOfWindow.size(); ++W)
+    if (PhaseOfWindow[W] != PhaseOfWindow[0])
+      return static_cast<int>(W);
+  return -1;
+}
+
+std::vector<double> tpdbt::analysis::basicBlockVector(
+    const std::vector<profile::BlockCounters> &Window) {
+  double Total = 0.0;
+  for (const profile::BlockCounters &C : Window)
+    Total += static_cast<double>(C.Use);
+  if (Total == 0.0)
+    return {};
+  std::vector<double> Bbv(Window.size());
+  for (size_t B = 0; B < Window.size(); ++B)
+    Bbv[B] = static_cast<double>(Window[B].Use) / Total;
+  return Bbv;
+}
+
+double tpdbt::analysis::bbvDistance(const std::vector<double> &A,
+                                    const std::vector<double> &B) {
+  assert(A.size() == B.size() && "BBV length mismatch");
+  double D = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    D += std::fabs(A[I] - B[I]);
+  return D;
+}
+
+PhaseAnalysis tpdbt::analysis::detectPhases(
+    const std::vector<std::vector<profile::BlockCounters>> &Windows,
+    double Threshold) {
+  assert(Threshold > 0.0 && "threshold must be positive");
+  PhaseAnalysis Out;
+  Out.PhaseOfWindow.assign(Windows.size(), -1);
+
+  for (size_t W = 0; W < Windows.size(); ++W) {
+    std::vector<double> Bbv = basicBlockVector(Windows[W]);
+    if (Bbv.empty()) {
+      // Empty window (program ended early): inherit the previous phase.
+      Out.PhaseOfWindow[W] =
+          W > 0 ? Out.PhaseOfWindow[W - 1] : 0;
+      if (Out.Leaders.empty()) {
+        Out.Leaders.push_back({});
+        Out.NumPhases = 1;
+      }
+      continue;
+    }
+    // Nearest existing leader.
+    int Best = -1;
+    double BestDist = 0.0;
+    for (size_t L = 0; L < Out.Leaders.size(); ++L) {
+      if (Out.Leaders[L].empty())
+        continue;
+      double D = bbvDistance(Bbv, Out.Leaders[L]);
+      if (Best < 0 || D < BestDist) {
+        Best = static_cast<int>(L);
+        BestDist = D;
+      }
+    }
+    if (Best >= 0 && BestDist <= Threshold) {
+      Out.PhaseOfWindow[W] = Best;
+      if (BestDist > Out.MaxWithinPhaseDistance)
+        Out.MaxWithinPhaseDistance = BestDist;
+    } else {
+      Out.PhaseOfWindow[W] = static_cast<int>(Out.Leaders.size());
+      Out.Leaders.push_back(std::move(Bbv));
+    }
+  }
+  Out.NumPhases = static_cast<int>(Out.Leaders.size());
+  if (Out.NumPhases == 0) {
+    Out.Leaders.push_back({});
+    Out.NumPhases = 1;
+    Out.PhaseOfWindow.assign(Windows.size(), 0);
+  }
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- analysis/Phases.h - Basic-block-vector phase detection ---*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program-phase detection from windowed profiles, after Sherwood et
+/// al.'s basic-block-vector technique ([16] in the paper).
+///
+/// Each execution window becomes a basic-block vector (BBV): the
+/// L1-normalized per-block execution counts of that window. Windows whose
+/// BBVs are close (Manhattan distance) belong to the same phase; greedy
+/// leader clustering assigns every window a phase id deterministically.
+///
+/// The paper attributes its worst initial predictions to phase behaviour
+/// (Sections 1, 4.1, 5); this module makes code-mix phase behaviour
+/// measurable. Note the technique's known blind spot, which the synthetic
+/// suite makes vivid: phases that only shift branch *probabilities*
+/// (rather than which code runs) barely move a BBV — exactly why the
+/// paper's own branch-probability metrics (and the side-exit monitoring
+/// extension in dbt/Policy.h) are needed on top of BBV phase tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_ANALYSIS_PHASES_H
+#define TPDBT_ANALYSIS_PHASES_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+namespace analysis {
+
+/// Result of phase detection over a windowed profile.
+struct PhaseAnalysis {
+  /// Phase id per window (ids are dense, in order of first appearance).
+  std::vector<int> PhaseOfWindow;
+  /// Number of distinct phases.
+  int NumPhases = 0;
+  /// Leader BBV per phase (L1-normalized).
+  std::vector<std::vector<double>> Leaders;
+  /// Largest distance from a window to its phase leader (cohesion).
+  double MaxWithinPhaseDistance = 0.0;
+
+  /// True when any two consecutive windows belong to different phases.
+  bool hasPhaseChange() const;
+
+  /// Index of the first window whose phase differs from window 0, or -1.
+  int firstChangeWindow() const;
+};
+
+/// L1-normalized basic-block vector of one window (empty when the window
+/// saw no execution).
+std::vector<double>
+basicBlockVector(const std::vector<profile::BlockCounters> &Window);
+
+/// Manhattan distance between two BBVs of equal length. By construction
+/// of L1-normalized vectors the result lies in [0, 2].
+double bbvDistance(const std::vector<double> &A,
+                   const std::vector<double> &B);
+
+/// Detects phases over \p Windows (core::collectWindowedProfile output).
+/// \p Threshold is the Manhattan distance above which a window starts (or
+/// joins) a different phase; 0.25-0.5 are reasonable values, smaller
+/// splits more.
+PhaseAnalysis detectPhases(
+    const std::vector<std::vector<profile::BlockCounters>> &Windows,
+    double Threshold = 0.3);
+
+} // namespace analysis
+} // namespace tpdbt
+
+#endif // TPDBT_ANALYSIS_PHASES_H

@@ -1,0 +1,82 @@
+//===- analysis/RegionProb.cpp - Region probability propagation ------------===//
+
+#include "analysis/RegionProb.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::region;
+
+RegionFlow
+tpdbt::analysis::propagateRegionFlow(const Region &R,
+                                     const std::vector<double> &TakenProb) {
+  RegionFlow Flow;
+  Flow.NodeFreq.assign(R.Nodes.size(), 0.0);
+  Flow.NodeFreq[0] = 1.0;
+
+  auto Distribute = [&Flow](int32_t Succ, double Amount) {
+    if (Amount == 0.0)
+      return;
+    if (Succ >= 0) {
+      Flow.NodeFreq[Succ] += Amount;
+    } else if (Succ == BackEdgeSucc) {
+      Flow.BackFlow += Amount;
+    }
+    // ExitSucc / HaltSucc flow leaves the region and is dropped.
+  };
+
+  // Forward intra-region edges always point to higher node indices (the
+  // former appends nodes as it grows), so one in-order sweep is a full
+  // topological propagation.
+  for (size_t I = 0; I < R.Nodes.size(); ++I) {
+    const RegionNode &N = R.Nodes[I];
+    double F = Flow.NodeFreq[I];
+    if (F == 0.0)
+      continue;
+    assert((N.TakenSucc < 0 || static_cast<size_t>(N.TakenSucc) > I) &&
+           "region nodes not topologically ordered");
+    assert((!N.HasCondBranch || N.FallSucc < 0 ||
+            static_cast<size_t>(N.FallSucc) > I) &&
+           "region nodes not topologically ordered");
+    if (N.HasCondBranch) {
+      assert(N.Orig < TakenProb.size() && "TakenProb too small");
+      double P = TakenProb[N.Orig];
+      Distribute(N.TakenSucc, F * P);
+      Distribute(N.FallSucc, F * (1.0 - P));
+    } else {
+      Distribute(N.TakenSucc, F);
+    }
+  }
+  return Flow;
+}
+
+double tpdbt::analysis::completionProb(const Region &R,
+                                       const std::vector<double> &TakenProb) {
+  assert(R.Kind == RegionKind::NonLoop && "completionProb on a loop region");
+  if (R.LastNode == 0)
+    return 1.0; // single-node region trivially completes
+  RegionFlow Flow = propagateRegionFlow(R, TakenProb);
+  return Flow.NodeFreq[R.LastNode];
+}
+
+double tpdbt::analysis::loopBackProb(const Region &R,
+                                     const std::vector<double> &TakenProb) {
+  assert(R.Kind == RegionKind::Loop && "loopBackProb on a non-loop region");
+  RegionFlow Flow = propagateRegionFlow(R, TakenProb);
+  return Flow.BackFlow;
+}
+
+double tpdbt::analysis::tripCountFromLoopBackProb(double Lp) {
+  if (Lp >= 1.0)
+    return 1e18; // effectively infinite trip count
+  if (Lp <= 0.0)
+    return 1.0;
+  return 1.0 / (1.0 - Lp);
+}
+
+double tpdbt::analysis::loopBackProbFromTripCount(double TripCount) {
+  if (TripCount <= 1.0)
+    return 0.0;
+  return (TripCount - 1.0) / TripCount;
+}

@@ -1,0 +1,65 @@
+//===- analysis/RegionProb.h - Region probability propagation ---*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Completion and loop-back probabilities of regions (paper Sections 3.2
+/// and 3.3): assume the region entry executes with frequency 1 and
+/// propagate frequency along intra-region edges using per-block branch
+/// probabilities.
+///
+///  - Completion probability of a non-loop region: the propagated
+///    frequency of the region's last node (Figure 6).
+///  - Loop-back probability of a loop region: redirect back edges to a
+///    dummy node; the dummy's propagated frequency (Figure 7).
+///
+/// The same code computes CT/LT (using INIP branch probabilities) and
+/// CM/LM (using AVEP branch probabilities) — only the probability vector
+/// changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_ANALYSIS_REGIONPROB_H
+#define TPDBT_ANALYSIS_REGIONPROB_H
+
+#include "region/Region.h"
+
+#include <vector>
+
+namespace tpdbt {
+namespace analysis {
+
+/// Propagated frequencies for a region's nodes given per-original-block
+/// taken probabilities (index = BlockId). Node 0 starts at 1.0. Back-edge
+/// flow is accumulated into BackFlow instead of re-entering the entry.
+struct RegionFlow {
+  std::vector<double> NodeFreq;
+  double BackFlow = 0.0;
+};
+
+/// Runs the propagation. \p TakenProb must cover every original block
+/// referenced by the region. Region node indices are topologically ordered
+/// by construction (forward edges increase the index), which the
+/// propagation relies on.
+RegionFlow propagateRegionFlow(const region::Region &R,
+                               const std::vector<double> &TakenProb);
+
+/// Completion probability of a non-loop region (Section 3.2).
+double completionProb(const region::Region &R,
+                      const std::vector<double> &TakenProb);
+
+/// Loop-back probability of a loop region (Section 3.3).
+double loopBackProb(const region::Region &R,
+                    const std::vector<double> &TakenProb);
+
+/// The paper relates loop-back probability and average trip count as
+/// LP = (T-1)/T [20]; these helpers convert between the two.
+double tripCountFromLoopBackProb(double Lp);
+double loopBackProbFromTripCount(double TripCount);
+
+} // namespace analysis
+} // namespace tpdbt
+
+#endif // TPDBT_ANALYSIS_REGIONPROB_H

@@ -1,0 +1,285 @@
+//===- core/Experiment.cpp - Cached experiment context ---------------------===//
+
+#include "core/Experiment.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/TextFile.h"
+#include "workloads/BenchSpec.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+using namespace tpdbt::workloads;
+
+const std::vector<uint64_t> &tpdbt::core::paperThresholds() {
+  static const std::vector<uint64_t> T = {100,   200,   500,    1000,
+                                          2000,  5000,  10000,  20000,
+                                          40000, 80000, 160000, 1000000,
+                                          4000000};
+  return T;
+}
+
+const std::vector<uint64_t> &tpdbt::core::performanceThresholds() {
+  static const std::vector<uint64_t> T = [] {
+    std::vector<uint64_t> All = {1, 50};
+    for (uint64_t V : paperThresholds())
+      All.push_back(V);
+    return All;
+  }();
+  return T;
+}
+
+ExperimentConfig::ExperimentConfig() : Thresholds(performanceThresholds()) {}
+
+ExperimentConfig ExperimentConfig::fromEnv() {
+  ExperimentConfig C;
+  if (const char *S = std::getenv("TPDBT_SCALE")) {
+    double V = std::atof(S);
+    if (V > 0.0)
+      C.Scale = V;
+  }
+  if (const char *Dir = std::getenv("TPDBT_CACHE_DIR")) {
+    if (std::strcmp(Dir, "off") == 0)
+      C.CacheDir.clear();
+    else
+      C.CacheDir = Dir;
+  }
+  return C;
+}
+
+uint64_t ExperimentConfig::fingerprint() const {
+  uint64_t H = 0x7bd7u; // format version salt; bump on layout changes
+  uint64_t ScaleBits;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&ScaleBits, &Scale, 8);
+  H = combineSeeds(H, ScaleBits);
+  for (uint64_t T : Thresholds)
+    H = combineSeeds(H, T);
+  H = combineSeeds(H, Dbt.PoolLimit);
+  uint64_t MinProbBits;
+  std::memcpy(&MinProbBits, &Dbt.Formation.MinBranchProb, 8);
+  H = combineSeeds(H, MinProbBits);
+  H = combineSeeds(H, Dbt.Formation.MaxRegionBlocks);
+  H = combineSeeds(H, Dbt.Formation.EnableDiamonds ? 1 : 0);
+  H = combineSeeds(H, Dbt.Formation.AllowDuplication ? 1 : 0);
+  H = combineSeeds(H, Dbt.Cost.ColdPerInst);
+  H = combineSeeds(H, Dbt.Cost.ProfilePerBlock);
+  H = combineSeeds(H, Dbt.Cost.OptPerInst);
+  H = combineSeeds(H, Dbt.Cost.OptOffTracePerInst);
+  H = combineSeeds(H, Dbt.Cost.SideExitPenalty);
+  H = combineSeeds(H, Dbt.Cost.LoopExitPenalty);
+  H = combineSeeds(H, Dbt.Cost.OptimizePerInst);
+  return H;
+}
+
+ExperimentContext::ExperimentContext(ExperimentConfig Config)
+    : Config(std::move(Config)) {}
+
+ExperimentContext::BenchData &
+ExperimentContext::data(const std::string &Name) {
+  BenchData &D = Data[Name];
+  if (!D.Bench) {
+    const BenchSpec *Spec = findSpec(Name);
+    assert(Spec && "unknown benchmark name");
+    BenchSpec Scaled =
+        Config.Scale == 1.0 ? *Spec : scaledSpec(*Spec, Config.Scale);
+    D.Bench = std::make_unique<GeneratedBenchmark>(generateBenchmark(Scaled));
+    D.Graph = std::make_unique<cfg::Cfg>(D.Bench->Ref);
+  }
+  return D;
+}
+
+const GeneratedBenchmark &
+ExperimentContext::benchmark(const std::string &Name) {
+  return *data(Name).Bench;
+}
+
+const cfg::Cfg &ExperimentContext::graph(const std::string &Name) {
+  return *data(Name).Graph;
+}
+
+/// Hash of the spec fields that affect generated behaviour, so editing a
+/// benchmark's calibration invalidates its cache entries.
+static uint64_t specFingerprint(const BenchSpec &S) {
+  uint64_t H = combineSeeds(S.Seed, S.OuterItersRef);
+  H = combineSeeds(H, S.OuterItersTrain);
+  H = combineSeeds(H, S.Break1);
+  H = combineSeeds(H, S.Break2);
+  H = combineSeeds(H, S.LoopBreak1);
+  H = combineSeeds(H, S.LoopBreak2);
+  auto MixDouble = [&H](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    H = combineSeeds(H, Bits);
+  };
+  for (double C : S.ThetaPhaseCoef)
+    MixDouble(C);
+  MixDouble(S.ThetaDriftMag);
+  for (double C : S.TripPhaseExp)
+    MixDouble(C);
+  MixDouble(S.TripPhaseFactor);
+  MixDouble(S.SmoothDriftMag);
+  MixDouble(S.NearBoundaryFrac);
+  MixDouble(S.MidFrac);
+  MixDouble(S.TrainThetaSigma);
+  MixDouble(S.TrainTripSigma);
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumChainKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumDiamondKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumBranchKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumLoopKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumNestKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.LoopTripLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.LoopTripHi));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestOuterLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestOuterHi));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestInnerLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestInnerHi));
+  H = combineSeeds(H, S.LoopLocalPhases ? 1 : 0);
+  H = combineSeeds(H, static_cast<uint64_t>(S.TripFlipLowBaseLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.TripFlipLowBaseHi));
+  MixDouble(S.TripPhaseFrac);
+  return H;
+}
+
+std::string ExperimentContext::cachePath(const std::string &Name,
+                                         const std::string &Input,
+                                         uint64_t Threshold) const {
+  uint64_t Fp = Config.fingerprint();
+  auto It = Data.find(Name);
+  if (It != Data.end() && It->second.Bench)
+    Fp = combineSeeds(Fp, specFingerprint(It->second.Bench->Spec));
+  return formatString("%s/%s.%s.T%llu.%016llx.prof", Config.CacheDir.c_str(),
+                      Name.c_str(), Input.c_str(),
+                      static_cast<unsigned long long>(Threshold),
+                      static_cast<unsigned long long>(Fp));
+}
+
+bool ExperimentContext::loadCached(const std::string &Name, BenchData &D) {
+  if (Config.CacheDir.empty())
+    return false;
+  auto LoadOne = [&](const std::string &Input, uint64_t T,
+                     profile::ProfileSnapshot &Out) {
+    auto Text = readTextFile(cachePath(Name, Input, T));
+    if (!Text)
+      return false;
+    return profile::parseSnapshot(*Text, Out, nullptr);
+  };
+  for (uint64_t T : Config.Thresholds) {
+    profile::ProfileSnapshot S;
+    if (!LoadOne("ref", T, S))
+      return false;
+    D.Inips[T] = std::move(S);
+  }
+  if (!LoadOne("ref", 0, D.Avep))
+    return false;
+  if (!LoadOne("train", 0, D.Train))
+    return false;
+  return true;
+}
+
+void ExperimentContext::storeCached(const std::string &Name,
+                                    const BenchData &D) const {
+  if (Config.CacheDir.empty())
+    return;
+  if (!ensureDirectory(Config.CacheDir))
+    return;
+  for (const auto &[T, S] : D.Inips)
+    writeTextFile(cachePath(Name, "ref", T), profile::printSnapshot(S));
+  writeTextFile(cachePath(Name, "ref", 0), profile::printSnapshot(D.Avep));
+  writeTextFile(cachePath(Name, "train", 0),
+                profile::printSnapshot(D.Train));
+}
+
+void ExperimentContext::ensureProfiles(const std::string &Name,
+                                       BenchData &D) {
+  if (D.ProfilesReady)
+    return;
+  if (loadCached(Name, D)) {
+    D.ProfilesReady = true;
+    return;
+  }
+
+  const GeneratedBenchmark &B = *D.Bench;
+  uint64_t MaxBlocks = B.Spec.MaxBlockEvents;
+
+  SweepResult RefSweep =
+      runSweep(B.Ref, Config.Thresholds, Config.Dbt, MaxBlocks);
+  for (size_t I = 0; I < Config.Thresholds.size(); ++I) {
+    profile::ProfileSnapshot &S = RefSweep.PerThreshold[I];
+    S.Benchmark = Name;
+    S.Input = "ref";
+    D.Inips[Config.Thresholds[I]] = std::move(S);
+  }
+  RefSweep.Average.Benchmark = Name;
+  RefSweep.Average.Input = "ref";
+  D.Avep = std::move(RefSweep.Average);
+
+  SweepResult TrainSweep = runSweep(B.Train, {}, Config.Dbt, MaxBlocks);
+  TrainSweep.Average.Benchmark = Name;
+  TrainSweep.Average.Input = "train";
+  D.Train = std::move(TrainSweep.Average);
+
+  storeCached(Name, D);
+  D.ProfilesReady = true;
+}
+
+const profile::ProfileSnapshot &
+ExperimentContext::inip(const std::string &Name, uint64_t Threshold) {
+  BenchData &D = data(Name);
+  ensureProfiles(Name, D);
+  auto It = D.Inips.find(Threshold);
+  assert(It != D.Inips.end() &&
+         "threshold not part of the configured sweep");
+  return It->second;
+}
+
+const profile::ProfileSnapshot &
+ExperimentContext::avep(const std::string &Name) {
+  BenchData &D = data(Name);
+  ensureProfiles(Name, D);
+  return D.Avep;
+}
+
+const profile::ProfileSnapshot &
+ExperimentContext::train(const std::string &Name) {
+  BenchData &D = data(Name);
+  ensureProfiles(Name, D);
+  return D.Train;
+}
+
+void ExperimentContext::warmUp(const std::vector<std::string> &Names,
+                               unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  // Instantiate every BenchData entry up front so the map never rehashes
+  // while workers fill disjoint entries.
+  std::vector<std::pair<std::string, BenchData *>> Work;
+  for (const std::string &Name : Names)
+    Work.emplace_back(Name, &data(Name));
+
+  std::mutex NextLock;
+  size_t Next = 0;
+  auto Worker = [&] {
+    while (true) {
+      size_t Mine;
+      {
+        std::lock_guard<std::mutex> Guard(NextLock);
+        if (Next >= Work.size())
+          return;
+        Mine = Next++;
+      }
+      ensureProfiles(Work[Mine].first, *Work[Mine].second);
+    }
+  };
+  std::vector<std::thread> Pool;
+  for (unsigned I = 0; I < Threads && I < Work.size(); ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}

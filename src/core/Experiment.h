@@ -1,0 +1,120 @@
+//===- core/Experiment.h - Cached experiment context ------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver shared by the bench harnesses and examples.
+///
+/// An ExperimentContext lazily generates each benchmark, runs its
+/// reference-input sweep (INIP for every threshold + AVEP) and its
+/// training-input profiling run (INIP(train)), and memoizes everything on
+/// disk so the eleven figure binaries pay the interpretation cost once.
+///
+/// Environment knobs (read by ExperimentConfig::fromEnv):
+///   TPDBT_SCALE      workload scale factor (default 1.0; e.g. 0.05 for a
+///                    quick smoke run — figure shapes degrade below ~0.2)
+///   TPDBT_CACHE_DIR  snapshot cache directory (default ./tpdbt_cache;
+///                    set to "off" to disable caching)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_CORE_EXPERIMENT_H
+#define TPDBT_CORE_EXPERIMENT_H
+
+#include "cfg/Cfg.h"
+#include "core/Runner.h"
+#include "profile/Profile.h"
+#include "workloads/Generator.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace core {
+
+/// The paper's retranslation-threshold sweep (Section 4): 100, 200, 500,
+/// 1k, 2k, 5k, 10k, 20k, 40k, 80k, 160k, 1M, 4M.
+const std::vector<uint64_t> &paperThresholds();
+
+/// Figure 17 additionally measures T = 1 (the base) and T = 50.
+const std::vector<uint64_t> &performanceThresholds();
+
+/// Sweep configuration.
+struct ExperimentConfig {
+  double Scale = 1.0;
+  /// Thresholds to simulate; defaults to performanceThresholds() so a
+  /// single pass serves every figure.
+  std::vector<uint64_t> Thresholds;
+  dbt::DbtOptions Dbt;
+  std::string CacheDir = "tpdbt_cache";
+
+  ExperimentConfig();
+
+  /// Applies TPDBT_SCALE / TPDBT_CACHE_DIR.
+  static ExperimentConfig fromEnv();
+
+  /// Stable fingerprint of everything that affects results; part of the
+  /// cache key.
+  uint64_t fingerprint() const;
+};
+
+/// Lazily-computed, disk-cached profiles for the whole suite.
+class ExperimentContext {
+public:
+  explicit ExperimentContext(ExperimentConfig Config);
+
+  const ExperimentConfig &config() const { return Config; }
+
+  /// The generated benchmark (program + both inputs).
+  const workloads::GeneratedBenchmark &benchmark(const std::string &Name);
+
+  /// The benchmark's CFG.
+  const cfg::Cfg &graph(const std::string &Name);
+
+  /// INIP(T) with the reference input. \p Threshold must be one of
+  /// config().Thresholds.
+  const profile::ProfileSnapshot &inip(const std::string &Name,
+                                       uint64_t Threshold);
+
+  /// AVEP: profiling-only run with the reference input.
+  const profile::ProfileSnapshot &avep(const std::string &Name);
+
+  /// INIP(train): profiling-only run with the training input.
+  const profile::ProfileSnapshot &train(const std::string &Name);
+
+  /// Computes (or loads) the profiles for every named benchmark using up
+  /// to \p Threads worker threads. Results are identical to the lazy
+  /// single-threaded path — each benchmark's sweep is independent and
+  /// deterministic; this only shortens the wall clock of the first figure
+  /// binary. Pass 0 to use the hardware concurrency.
+  void warmUp(const std::vector<std::string> &Names, unsigned Threads = 0);
+
+private:
+  struct BenchData {
+    std::unique_ptr<workloads::GeneratedBenchmark> Bench;
+    std::unique_ptr<cfg::Cfg> Graph;
+    std::map<uint64_t, profile::ProfileSnapshot> Inips;
+    profile::ProfileSnapshot Avep;
+    profile::ProfileSnapshot Train;
+    bool ProfilesReady = false;
+  };
+
+  BenchData &data(const std::string &Name);
+  void ensureProfiles(const std::string &Name, BenchData &D);
+  std::string cachePath(const std::string &Name, const std::string &Input,
+                        uint64_t Threshold) const;
+  bool loadCached(const std::string &Name, BenchData &D);
+  void storeCached(const std::string &Name, const BenchData &D) const;
+
+  ExperimentConfig Config;
+  std::map<std::string, BenchData> Data;
+};
+
+} // namespace core
+} // namespace tpdbt
+
+#endif // TPDBT_CORE_EXPERIMENT_H

@@ -1,0 +1,173 @@
+//===- core/Figures.cpp - Per-figure series computation --------------------===//
+
+#include "core/Figures.h"
+
+#include "analysis/Metrics.h"
+#include "analysis/OfflineRegions.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "workloads/BenchSpec.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+using namespace tpdbt::analysis;
+
+static double computeMetric(ExperimentContext &Ctx, const std::string &Bench,
+                            const profile::ProfileSnapshot &Pred,
+                            MetricKind Kind) {
+  const profile::ProfileSnapshot &Avep = Ctx.avep(Bench);
+  const cfg::Cfg &G = Ctx.graph(Bench);
+  switch (Kind) {
+  case MetricKind::SdBp:
+    return sdBranchProb(Pred, Avep, G);
+  case MetricKind::BpMismatch:
+    return bpMismatchRate(Pred, Avep, G);
+  case MetricKind::SdCp:
+    return sdCompletionProb(Pred, Avep, G);
+  case MetricKind::SdLp:
+    return sdLoopBackProb(Pred, Avep, G);
+  case MetricKind::LpMismatch:
+    return lpMismatchRate(Pred, Avep, G);
+  }
+  assert(false && "unknown metric kind");
+  return 0.0;
+}
+
+double tpdbt::core::metricInip(ExperimentContext &Ctx,
+                               const std::string &Bench, uint64_t Threshold,
+                               MetricKind Kind) {
+  return computeMetric(Ctx, Bench, Ctx.inip(Bench, Threshold), Kind);
+}
+
+double tpdbt::core::metricTrain(ExperimentContext &Ctx,
+                                const std::string &Bench, MetricKind Kind) {
+  if (Kind == MetricKind::SdBp || Kind == MetricKind::BpMismatch)
+    return computeMetric(Ctx, Bench, Ctx.train(Bench), Kind);
+  // Region metrics need regions, which profiling-only runs lack; the
+  // paper leaves Sd.CP(train)/Sd.LP(train) as future work (Section 2.3).
+  // We implement that extension: offline region formation on the training
+  // profile with its own probabilities, hot-block threshold 2000 (the
+  // paper's representative INT threshold).
+  profile::ProfileSnapshot TrainRegions = analysis::withOfflineRegions(
+      Ctx.train(Bench), Ctx.graph(Bench), Ctx.config().Dbt.Formation,
+      /*MinUse=*/2000);
+  return computeMetric(Ctx, Bench, TrainRegions, Kind);
+}
+
+static bool metricHasTrainRow(MetricKind Kind) {
+  (void)Kind; // every metric has a train reference now (see metricTrain)
+  return true;
+}
+
+Table tpdbt::core::figureAverages(ExperimentContext &Ctx, MetricKind Kind,
+                                  const std::string &Title) {
+  std::vector<std::string> Int = workloads::intBenchmarkNames();
+  std::vector<std::string> Fp = workloads::fpBenchmarkNames();
+
+  Table T(Title);
+  T.setHeader({"threshold", "int", "fp"});
+  for (uint64_t Th : paperThresholds()) {
+    T.addRow();
+    T.addCell(thresholdLabel(Th));
+    for (const auto *Group : {&Int, &Fp}) {
+      std::vector<double> Vals;
+      for (const std::string &B : *Group)
+        Vals.push_back(metricInip(Ctx, B, Th, Kind));
+      T.addCell(mean(Vals));
+    }
+  }
+  if (metricHasTrainRow(Kind)) {
+    T.addRow();
+    T.addCell("train");
+    for (const auto *Group : {&Int, &Fp}) {
+      std::vector<double> Vals;
+      for (const std::string &B : *Group)
+        Vals.push_back(metricTrain(Ctx, B, Kind));
+      T.addCell(mean(Vals));
+    }
+  }
+  return T;
+}
+
+Table tpdbt::core::figurePerBench(ExperimentContext &Ctx, MetricKind Kind,
+                                  const std::vector<std::string> &Benches,
+                                  const std::string &Title) {
+  Table T(Title);
+  std::vector<std::string> Header = {"threshold"};
+  for (const std::string &B : Benches)
+    Header.push_back(B);
+  T.setHeader(Header);
+
+  for (uint64_t Th : paperThresholds()) {
+    T.addRow();
+    T.addCell(thresholdLabel(Th));
+    for (const std::string &B : Benches)
+      T.addCell(metricInip(Ctx, B, Th, Kind));
+  }
+  if (metricHasTrainRow(Kind)) {
+    T.addRow();
+    T.addCell("train");
+    for (const std::string &B : Benches)
+      T.addCell(metricTrain(Ctx, B, Kind));
+  }
+  return T;
+}
+
+Table tpdbt::core::figurePerformance(ExperimentContext &Ctx) {
+  std::vector<std::string> Int = workloads::intBenchmarkNames();
+  std::vector<std::string> Fp = workloads::fpBenchmarkNames();
+  std::vector<std::string> IntNoPerl;
+  for (const std::string &B : Int)
+    if (B != "perlbmk")
+      IntNoPerl.push_back(B);
+
+  Table T("Figure 17: relative performance vs. threshold (base: T=1)");
+  T.setHeader({"threshold", "int", "int_no_perl", "fp"});
+  for (uint64_t Th : performanceThresholds()) {
+    T.addRow();
+    T.addCell(thresholdLabel(Th));
+    for (const auto *Group : {&Int, &IntNoPerl, &Fp}) {
+      std::vector<double> Speedups;
+      for (const std::string &B : *Group) {
+        double BaseCycles =
+            static_cast<double>(Ctx.inip(B, 1).Cycles);
+        double Cycles = static_cast<double>(Ctx.inip(B, Th).Cycles);
+        assert(Cycles > 0.0 && "cost model produced zero cycles");
+        Speedups.push_back(BaseCycles / Cycles);
+      }
+      T.addCell(geomean(Speedups));
+    }
+  }
+  return T;
+}
+
+Table tpdbt::core::figureProfilingOps(ExperimentContext &Ctx) {
+  std::vector<std::string> Int = workloads::intBenchmarkNames();
+  std::vector<std::string> Fp = workloads::fpBenchmarkNames();
+  std::vector<std::string> All = Int;
+  All.insert(All.end(), Fp.begin(), Fp.end());
+
+  Table T("Figure 18: profiling operations, normalized to the training run");
+  T.setHeader({"threshold", "int", "fp", "all"});
+  for (uint64_t Th : paperThresholds()) {
+    T.addRow();
+    T.addCell(thresholdLabel(Th));
+    for (const auto *Group : {&Int, &Fp, &All}) {
+      double InipOps = 0.0;
+      double TrainOps = 0.0;
+      for (const std::string &B : *Group) {
+        InipOps += static_cast<double>(Ctx.inip(B, Th).ProfilingOps);
+        TrainOps += static_cast<double>(Ctx.train(B).ProfilingOps);
+      }
+      T.addCell(TrainOps > 0.0 ? InipOps / TrainOps : 0.0, 4);
+    }
+  }
+  T.addRow();
+  T.addCell("train");
+  T.addCell(1.0, 4);
+  T.addCell(1.0, 4);
+  T.addCell(1.0, 4);
+  return T;
+}

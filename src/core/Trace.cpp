@@ -1,0 +1,170 @@
+//===- core/Trace.cpp - Block-event trace record / replay ------------------===//
+
+#include "core/Trace.h"
+
+#include "vm/Interpreter.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+using namespace tpdbt::guest;
+
+namespace {
+
+constexpr char Magic[4] = {'T', 'P', 'D', 'T'};
+constexpr uint8_t Version = 1;
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(0x80 | (V & 0x7f)));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+bool getVarint(const std::string &In, size_t &Pos, uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (Pos < In.size()) {
+    uint8_t Byte = static_cast<uint8_t>(In[Pos++]);
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+    Shift += 7;
+    if (Shift > 63)
+      return false;
+  }
+  return false;
+}
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+} // namespace
+
+BlockTrace BlockTrace::record(const Program &P, uint64_t MaxBlocks) {
+  BlockTrace T;
+  T.setNumBlocks(P.numBlocks());
+  vm::Interpreter Interp(P);
+  vm::Machine M;
+  M.reset(P);
+  Interp.run(M, MaxBlocks, [&](BlockId B, const vm::BlockResult &R) {
+    TraceEvent E;
+    E.Block = B;
+    E.Branch = R.IsCondBranch ? (R.Taken ? 2 : 1) : 0;
+    E.Insts = R.InstsExecuted;
+    T.append(E);
+  });
+  return T;
+}
+
+std::string BlockTrace::serialize() const {
+  std::string Out(Magic, 4);
+  Out.push_back(static_cast<char>(Version));
+  putVarint(Out, NumBlocks);
+  putVarint(Out, Events.size());
+  int64_t PrevBlock = 0;
+  for (const TraceEvent &E : Events) {
+    int64_t Delta =
+        static_cast<int64_t>(E.Block) - PrevBlock;
+    PrevBlock = static_cast<int64_t>(E.Block);
+    putVarint(Out, (zigzag(Delta) << 2) | E.Branch);
+    putVarint(Out, E.Insts);
+  }
+  return Out;
+}
+
+bool BlockTrace::parse(const std::string &Bytes, BlockTrace &Out,
+                       std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (Bytes.size() < 5 || Bytes.compare(0, 4, Magic, 4) != 0)
+    return Fail("bad trace magic");
+  if (static_cast<uint8_t>(Bytes[4]) != Version)
+    return Fail("unsupported trace version");
+  size_t Pos = 5;
+  uint64_t NumBlocks = 0, NumEvents = 0;
+  if (!getVarint(Bytes, Pos, NumBlocks) ||
+      !getVarint(Bytes, Pos, NumEvents))
+    return Fail("truncated trace header");
+
+  BlockTrace T;
+  T.setNumBlocks(NumBlocks);
+  int64_t PrevBlock = 0;
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    uint64_t Packed = 0, Insts = 0;
+    if (!getVarint(Bytes, Pos, Packed) || !getVarint(Bytes, Pos, Insts))
+      return Fail("truncated trace event");
+    TraceEvent E;
+    E.Branch = static_cast<uint8_t>(Packed & 3);
+    if (E.Branch > 2)
+      return Fail("corrupt branch bits");
+    int64_t Block = PrevBlock + unzigzag(Packed >> 2);
+    if (Block < 0 || static_cast<uint64_t>(Block) >= NumBlocks)
+      return Fail("block id out of range");
+    PrevBlock = Block;
+    E.Block = static_cast<BlockId>(Block);
+    E.Insts = static_cast<uint32_t>(Insts);
+    T.append(E);
+  }
+  if (Pos != Bytes.size())
+    return Fail("trailing bytes after trace");
+  Out = std::move(T);
+  return true;
+}
+
+SweepResult tpdbt::core::replaySweep(const BlockTrace &Trace,
+                                     const Program &P,
+                                     const std::vector<uint64_t> &Thresholds,
+                                     const dbt::DbtOptions &Base) {
+  assert(Trace.numBlocks() == P.numBlocks() &&
+         "trace does not match the program");
+  cfg::Cfg G(P);
+
+  std::vector<std::unique_ptr<dbt::TranslationPolicy>> Policies;
+  for (uint64_t T : Thresholds) {
+    dbt::DbtOptions Opts = Base;
+    Opts.Threshold = T;
+    Policies.push_back(
+        std::make_unique<dbt::TranslationPolicy>(P, G, Opts));
+  }
+  dbt::DbtOptions AvgOpts = Base;
+  AvgOpts.Threshold = 0;
+  dbt::TranslationPolicy AvgPolicy(P, G, AvgOpts);
+
+  std::vector<profile::BlockCounters> Shared(P.numBlocks());
+  for (size_t I = 0; I < Trace.numEvents(); ++I) {
+    const TraceEvent &E = Trace.event(I);
+    vm::BlockResult R;
+    R.IsCondBranch = E.Branch != 0;
+    R.Taken = E.Branch == 2;
+    R.InstsExecuted = E.Insts;
+
+    profile::BlockCounters &Cnt = Shared[E.Block];
+    ++Cnt.Use;
+    if (R.IsCondBranch && R.Taken)
+      ++Cnt.Taken;
+    for (auto &Policy : Policies)
+      Policy->onBlockEvent(E.Block, R, Shared);
+    AvgPolicy.onBlockEvent(E.Block, R, Shared);
+  }
+
+  SweepResult Out;
+  for (auto &Policy : Policies)
+    Out.PerThreshold.push_back(
+        Policy->finish(Shared, Trace.numEvents(), Trace.totalInsts()));
+  Out.Average =
+      AvgPolicy.finish(Shared, Trace.numEvents(), Trace.totalInsts());
+  return Out;
+}

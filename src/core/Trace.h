@@ -1,0 +1,86 @@
+//===- core/Trace.h - Block-event trace record / replay ---------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records one execution's block-event stream to a compact binary buffer
+/// and replays it through translation policies without re-interpreting.
+///
+/// This is the standard decoupling in DBT/profiling research: collect the
+/// trace once (expensive), then study arbitrarily many translator
+/// configurations against it (cheap). replaySweep() is the trace-driven
+/// twin of core::runSweep and produces byte-identical snapshots — a
+/// property test asserts that.
+///
+/// Format: little-endian; a small header (magic, version, block count),
+/// then two varints per event: the block id delta-encoded against the
+/// previous event's id (zigzag) with the branch outcome folded into the
+/// low bits, and the executed instruction count. Typical traces take 2-3
+/// bytes per event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_CORE_TRACE_H
+#define TPDBT_CORE_TRACE_H
+
+#include "core/Runner.h"
+#include "guest/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace core {
+
+/// One recorded block event.
+struct TraceEvent {
+  guest::BlockId Block = 0;
+  /// 0 = no conditional branch, 1 = branch not taken, 2 = branch taken.
+  uint8_t Branch = 0;
+  uint32_t Insts = 0;
+};
+
+/// A recorded execution.
+class BlockTrace {
+public:
+  /// Records a full execution of \p P (up to \p MaxBlocks events).
+  static BlockTrace record(const guest::Program &P,
+                           uint64_t MaxBlocks = ~0ull);
+
+  /// Serializes to the binary format; parse() round-trips.
+  std::string serialize() const;
+  static bool parse(const std::string &Bytes, BlockTrace &Out,
+                    std::string *Error);
+
+  size_t numEvents() const { return Events.size(); }
+  size_t numBlocks() const { return NumBlocks; }
+  const TraceEvent &event(size_t I) const { return Events[I]; }
+  uint64_t totalInsts() const { return TotalInsts; }
+
+  /// Appends one event (used by record() and tests).
+  void append(const TraceEvent &E) {
+    Events.push_back(E);
+    TotalInsts += E.Insts;
+  }
+  void setNumBlocks(size_t N) { NumBlocks = N; }
+
+private:
+  std::vector<TraceEvent> Events;
+  size_t NumBlocks = 0;
+  uint64_t TotalInsts = 0;
+};
+
+/// Trace-driven twin of runSweep(): replays \p Trace through one policy
+/// per threshold (plus the profiling-only policy) and returns snapshots
+/// byte-identical to a live sweep of the same execution.
+SweepResult replaySweep(const BlockTrace &Trace, const guest::Program &P,
+                        const std::vector<uint64_t> &Thresholds,
+                        const dbt::DbtOptions &Base);
+
+} // namespace core
+} // namespace tpdbt
+
+#endif // TPDBT_CORE_TRACE_H

@@ -1,0 +1,49 @@
+//===- core/WindowedProfile.h - Per-window profile collection ---*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects use/taken counters per execution window: the raw signal for
+/// phase analysis (examples/phase_explorer) and for the mispredicted-
+/// branch characterization (analysis/Mispredict.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_CORE_WINDOWEDPROFILE_H
+#define TPDBT_CORE_WINDOWEDPROFILE_H
+
+#include "guest/Program.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace tpdbt {
+namespace core {
+
+/// Per-window block counters of one full execution.
+struct WindowedProfile {
+  /// Windows[w][b] = counters of block b during window w. Windows split
+  /// the execution into equal numbers of block events.
+  std::vector<std::vector<profile::BlockCounters>> Windows;
+  uint64_t TotalBlockEvents = 0;
+
+  size_t numWindows() const { return Windows.size(); }
+
+  /// Taken probability of \p B during window \p W (0 when unused).
+  double takenProb(size_t W, guest::BlockId B) const {
+    return Windows[W][B].takenProb();
+  }
+};
+
+/// Executes \p P to completion (or \p MaxBlocks) twice — once to size the
+/// windows, once to fill them — and returns the windowed counters.
+WindowedProfile collectWindowedProfile(const guest::Program &P,
+                                       size_t NumWindows,
+                                       uint64_t MaxBlocks = ~0ull);
+
+} // namespace core
+} // namespace tpdbt
+
+#endif // TPDBT_CORE_WINDOWEDPROFILE_H

@@ -1,0 +1,43 @@
+//===- dbt/DbtEngine.cpp - Two-phase dynamic binary translator -------------===//
+
+#include "dbt/DbtEngine.h"
+
+using namespace tpdbt;
+using namespace tpdbt::dbt;
+using namespace tpdbt::guest;
+
+DbtEngine::DbtEngine(const Program &P, DbtOptions Opts)
+    : P(P), Opts(Opts), Graph(P), Interp(P) {}
+
+profile::ProfileSnapshot DbtEngine::run(uint64_t MaxBlocks) {
+  Policy = std::make_unique<TranslationPolicy>(P, Graph, Opts);
+
+  // Program-lifetime counters; a policy sees the shared counts for blocks
+  // it has not frozen and its own frozen snapshots afterwards.
+  std::vector<profile::BlockCounters> Shared(P.numBlocks());
+
+  vm::Machine M;
+  M.reset(P);
+
+  BlockId Cur = P.Entry;
+  uint64_t Blocks = 0;
+  uint64_t Insts = 0;
+  while (Blocks < MaxBlocks) {
+    vm::BlockResult R = Interp.executeBlock(Cur, M);
+    ++Blocks;
+    Insts += R.InstsExecuted;
+
+    profile::BlockCounters &Cnt = Shared[Cur];
+    ++Cnt.Use;
+    if (R.IsCondBranch && R.Taken)
+      ++Cnt.Taken;
+
+    Policy->onBlockEvent(Cur, R, Shared);
+
+    if (R.Reason != vm::StopReason::Running)
+      break;
+    Cur = R.Next;
+  }
+
+  return Policy->finish(Shared, Blocks, Insts);
+}

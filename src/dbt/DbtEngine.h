@@ -1,0 +1,79 @@
+//===- dbt/DbtEngine.h - Two-phase dynamic binary translator ----*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-phase translation engine, modeled on IA32EL as the paper
+/// describes it (Section 1):
+///
+///  - Profiling phase: every block executes instrumented, accumulating
+///    "use" and "taken" counters.
+///  - When a block's use count reaches the retranslation threshold T it is
+///    registered in a pool of candidate blocks.
+///  - When the pool holds enough blocks, or a block is registered twice
+///    (its use count reaches 2T while still unoptimized), the optimization
+///    phase retranslates the candidates: regions are formed from the
+///    taken/use branch probabilities, the candidate blocks are frozen
+///    (their counters stop — this is why INIP(T) block frequencies all lie
+///    between T and 2T), and execution of those blocks switches to the
+///    optimized translation.
+///
+/// A threshold of 0 disables optimization entirely: the run then produces
+/// the paper's AVEP (reference input) or INIP(train) (training input).
+///
+/// DbtEngine couples one interpreted execution to one TranslationPolicy;
+/// the experiment driver (src/core) instead drives many policies from a
+/// single execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_DBT_DBTENGINE_H
+#define TPDBT_DBT_DBTENGINE_H
+
+#include "dbt/Policy.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace tpdbt {
+namespace dbt {
+
+/// Runs one guest program under the two-phase translator and produces the
+/// profile snapshot the study consumes.
+class DbtEngine {
+public:
+  DbtEngine(const guest::Program &P, DbtOptions Opts);
+
+  /// Executes from the program entry until Halt, a fault, or \p MaxBlocks
+  /// block executions, and returns the resulting snapshot. Benchmark/input
+  /// metadata fields of the snapshot are left empty for the caller.
+  profile::ProfileSnapshot run(uint64_t MaxBlocks);
+
+  /// Cycle accounting of the last run().
+  const CostAccount &cost() const { return Policy->cost(); }
+
+  /// Regions formed during the last run(), in formation order.
+  const std::vector<region::Region> &regions() const {
+    return Policy->regions();
+  }
+
+  /// Number of times the optimization phase fired during the last run().
+  size_t optimizationRounds() const { return Policy->optimizationRounds(); }
+
+  /// Regions the adaptive mechanism retranslated during the last run().
+  uint64_t retranslations() const { return Policy->retranslations(); }
+
+private:
+  const guest::Program &P;
+  DbtOptions Opts;
+  cfg::Cfg Graph;
+  vm::Interpreter Interp;
+  std::unique_ptr<TranslationPolicy> Policy;
+};
+
+} // namespace dbt
+} // namespace tpdbt
+
+#endif // TPDBT_DBT_DBTENGINE_H

@@ -1,0 +1,165 @@
+//===- dbt/Policy.h - Two-phase translation policy --------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-phase translation *policy*: everything the translator decides
+/// per block event (candidate registration, optimization triggering,
+/// counter freezing, region-context cost accounting), factored out of the
+/// execution loop.
+///
+/// Because guest execution is deterministic and unaffected by translation
+/// decisions, one interpreted execution can drive many policies at once —
+/// the experiment driver runs all retranslation thresholds of a figure in
+/// a single pass. The block counters are shared: for a block that policy
+/// P has not frozen, P's counts equal the shared counts; freezing
+/// snapshots them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_DBT_POLICY_H
+#define TPDBT_DBT_POLICY_H
+
+#include "cfg/Cfg.h"
+#include "dbt/CostModel.h"
+#include "profile/Profile.h"
+#include "region/RegionFormer.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+namespace dbt {
+
+/// Adaptive re-optimization (paper Section 5 future work): monitor each
+/// region's side exits (and loop trip behaviour, after [21]) in the
+/// optimized code and retranslate regions whose runtime behaviour departs
+/// from the profile they were formed on. Retranslation returns the
+/// region's blocks to the profiling phase with *fresh* counters — a new
+/// profiling phase — so the next optimization uses current behaviour.
+struct AdaptiveOptions {
+  bool Enabled = false;
+  /// Observe at least this many region entries before judging.
+  uint64_t MinEntries = 256;
+  /// Retranslate a non-loop region whose observed completion probability
+  /// falls below this.
+  double MinCompletion = 0.4;
+  /// Monitor loop regions: retranslate when the observed loop-back
+  /// probability changes trip-count class (continuous trip-count
+  /// profiling [21]) or most terminations are unexpected side exits.
+  bool MonitorLoops = true;
+  /// Cap retranslations per region (guards against oscillation).
+  int MaxRetranslations = 4;
+};
+
+/// Engine/policy configuration.
+struct DbtOptions {
+  /// Retranslation threshold T; 0 = profiling only (no optimization).
+  uint64_t Threshold = 0;
+  /// Optimization triggers when the candidate pool reaches this size.
+  /// Sized so that the registered-twice trigger normally fires first: by
+  /// the time a block reaches 2T, every related block executing at least
+  /// half as often has itself registered, so region growth can follow
+  /// likely successors and absorb diamond arms instead of degenerating to
+  /// singleton regions.
+  size_t PoolLimit = 64;
+  /// Region-formation tuning.
+  region::FormationOptions Formation;
+  /// Cycle model parameters.
+  CostParams Cost;
+  /// Adaptive re-optimization (off by default, matching the paper's
+  /// two-phase baseline).
+  AdaptiveOptions Adaptive;
+};
+
+/// Per-threshold simulation state. Feed it every executed block via
+/// onBlockEvent() (with the shared counters already incremented for this
+/// event) and collect the snapshot with finish().
+class TranslationPolicy {
+public:
+  TranslationPolicy(const guest::Program &P, const cfg::Cfg &G,
+                    DbtOptions Opts);
+
+  const DbtOptions &options() const { return Opts; }
+
+  /// Processes one executed block. \p Shared are the program-lifetime
+  /// counters (identical to every policy's view of unfrozen blocks),
+  /// already updated for this event.
+  void onBlockEvent(guest::BlockId B, const vm::BlockResult &R,
+                    const std::vector<profile::BlockCounters> &Shared);
+
+  /// Builds the INIP snapshot: frozen counts for optimized blocks, shared
+  /// end-of-run counts for the rest, plus regions and accounting.
+  profile::ProfileSnapshot
+  finish(const std::vector<profile::BlockCounters> &SharedFinal,
+         uint64_t BlockEvents, uint64_t InstsExecuted) const;
+
+  const CostAccount &cost() const { return Account; }
+  const std::vector<region::Region> &regions() const { return Regions; }
+  size_t optimizationRounds() const { return Rounds; }
+
+  /// Number of regions the adaptive mechanism retranslated.
+  uint64_t retranslations() const { return Retranslations; }
+
+  /// Runtime observations of one live region (adaptive mode).
+  struct RegionRuntime {
+    uint64_t Entries = 0;
+    uint64_t Completions = 0; ///< non-loop: runs reaching the last node
+    uint64_t BackEdges = 0;   ///< loop: back-edge traversals
+    uint64_t LatchExits = 0;  ///< loop: expected terminations
+    uint64_t SideExits = 0;   ///< unexpected exits
+    double FormationLp = 0.0; ///< loop-back prob the region was built for
+    int RetranslationsLeft = 0;
+    bool Dead = false;
+  };
+
+  const std::vector<RegionRuntime> &regionRuntime() const {
+    return Runtime;
+  }
+
+private:
+  void triggerOptimization(const std::vector<profile::BlockCounters> &Shared);
+  void maybeRetranslate(int32_t RegionIdx,
+                        const std::vector<profile::BlockCounters> &Shared);
+  void invalidateRegion(int32_t RegionIdx,
+                        const std::vector<profile::BlockCounters> &Shared);
+
+  /// The policy's view of a block's counters: the shared counts minus the
+  /// block's baseline (reset when adaptive retranslation sends the block
+  /// back to the profiling phase).
+  profile::BlockCounters
+  effectiveCounts(guest::BlockId B,
+                  const std::vector<profile::BlockCounters> &Shared) const {
+    const profile::BlockCounters &S = Shared[B];
+    const profile::BlockCounters &Base = BaseCounts[B];
+    return {S.Use - Base.Use, S.Taken - Base.Taken};
+  }
+
+  const guest::Program &P;
+  const cfg::Cfg &G;
+  DbtOptions Opts;
+
+  std::vector<profile::BlockCounters> FrozenCounts;
+  std::vector<profile::BlockCounters> BaseCounts;
+  std::vector<bool> Frozen;
+  std::vector<bool> InPool;
+  std::vector<uint8_t> LiveRegionCount; ///< live regions containing block
+  std::vector<guest::BlockId> Pool;
+  std::vector<region::Region> Regions;
+  std::vector<RegionRuntime> Runtime;
+  std::vector<int32_t> RegionEntryOf;
+  uint64_t ProfilingOps = 0;
+  uint64_t Retranslations = 0;
+  size_t Rounds = 0;
+  CostAccount Account;
+  int32_t CtxRegion = -1;
+  int32_t CtxNode = -1;
+};
+
+} // namespace dbt
+} // namespace tpdbt
+
+#endif // TPDBT_DBT_POLICY_H

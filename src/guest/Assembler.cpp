@@ -1,0 +1,390 @@
+//===- guest/Assembler.cpp - Guest ISA text assembler ----------------------===//
+
+#include "guest/Assembler.h"
+
+#include "guest/ProgramBuilder.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+
+namespace {
+
+/// A parsed operand: register, immediate, or label reference.
+struct Operand {
+  enum class Kind { Reg, Imm, Label } K;
+  uint8_t Reg = 0;
+  int64_t Imm = 0;
+  std::string Label;
+};
+
+/// One pending instruction or terminator, with unresolved label targets.
+struct Statement {
+  std::string Mnemonic;
+  std::vector<Operand> Operands;
+  int Line = 0;
+};
+
+struct PendingBlock {
+  std::string Label;
+  std::vector<Statement> Statements;
+  int Line = 0;
+};
+
+class Assembler {
+public:
+  bool run(const std::string &Source, Program &Out, std::string *Error);
+
+private:
+  bool fail(int Line, const std::string &Msg) {
+    if (Err)
+      *Err = formatString("line %d: %s", Line, Msg.c_str());
+    return false;
+  }
+
+  bool parseLine(const std::string &Line, int LineNo);
+  bool parseOperand(const std::string &Tok, int LineNo, Operand &Out);
+  bool emitStatement(ProgramBuilder &PB, const Statement &S,
+                     const std::map<std::string, BlockId> &Labels,
+                     BlockId Fallthrough, bool &Terminated);
+
+  std::vector<PendingBlock> Blocks;
+  std::string ProgramName = "asm";
+  uint64_t MemWords = 0;
+  std::vector<int64_t> InitialMem;
+  std::string *Err = nullptr;
+};
+
+/// Splits a statement into mnemonic + comma/space separated operands.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::string Cur;
+  for (char C : Line) {
+    if (std::isspace(static_cast<unsigned char>(C)) || C == ',') {
+      if (!Cur.empty()) {
+        Toks.push_back(Cur);
+        Cur.clear();
+      }
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Toks.push_back(Cur);
+  return Toks;
+}
+
+std::optional<int64_t> parseInt(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  size_t Pos = 0;
+  try {
+    int64_t V = std::stoll(S, &Pos, 0);
+    if (Pos != S.size())
+      return std::nullopt;
+    return V;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// Non-terminator mnemonics -> opcode. Register/immediate operand shapes
+/// follow opcodeReadsRa/Rb/UsesImm.
+const std::map<std::string, Opcode> &opcodeTable() {
+  static const std::map<std::string, Opcode> Table = {
+      {"add", Opcode::Add},       {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},       {"divs", Opcode::Divs},
+      {"rems", Opcode::Rems},     {"and", Opcode::And},
+      {"or", Opcode::Or},         {"xor", Opcode::Xor},
+      {"shl", Opcode::Shl},       {"shr", Opcode::Shr},
+      {"sar", Opcode::Sar},       {"addi", Opcode::AddI},
+      {"muli", Opcode::MulI},     {"andi", Opcode::AndI},
+      {"ori", Opcode::OrI},       {"xori", Opcode::XorI},
+      {"shli", Opcode::ShlI},     {"shri", Opcode::ShrI},
+      {"cmpeq", Opcode::CmpEq},   {"cmplt", Opcode::CmpLt},
+      {"cmpltu", Opcode::CmpLtU}, {"cmpeqi", Opcode::CmpEqI},
+      {"cmplti", Opcode::CmpLtI}, {"cmpltui", Opcode::CmpLtUI},
+      {"movi", Opcode::MovI},     {"mov", Opcode::Mov},
+      {"load", Opcode::Load},     {"store", Opcode::Store},
+      {"fadd", Opcode::FAdd},     {"fsub", Opcode::FSub},
+      {"fmul", Opcode::FMul},     {"fdiv", Opcode::FDiv},
+      {"fconst", Opcode::FConst}, {"fcmplt", Opcode::FCmpLt},
+      {"itof", Opcode::IToF},     {"ftoi", Opcode::FToI},
+      {"nop", Opcode::Nop}};
+  return Table;
+}
+
+/// Branch mnemonics -> condition kind.
+const std::map<std::string, CondKind> &branchTable() {
+  static const std::map<std::string, CondKind> Table = {
+      {"beq", CondKind::Eq},   {"bne", CondKind::Ne},
+      {"blt", CondKind::Lt},   {"bge", CondKind::Ge},
+      {"bltu", CondKind::LtU}, {"bgeu", CondKind::GeU},
+      {"beqi", CondKind::EqI}, {"bnei", CondKind::NeI},
+      {"blti", CondKind::LtI}, {"bgei", CondKind::GeI}};
+  return Table;
+}
+
+bool Assembler::parseOperand(const std::string &Tok, int LineNo,
+                             Operand &Out) {
+  if (Tok.size() >= 2 && (Tok[0] == 'r' || Tok[0] == 'R')) {
+    if (auto N = parseInt(Tok.substr(1)); N && *N >= 0 && *N < NumRegs) {
+      Out.K = Operand::Kind::Reg;
+      Out.Reg = static_cast<uint8_t>(*N);
+      return true;
+    }
+  }
+  if (auto V = parseInt(Tok)) {
+    Out.K = Operand::Kind::Imm;
+    Out.Imm = *V;
+    return true;
+  }
+  // Anything identifier-shaped is a label reference.
+  if (!Tok.empty() &&
+      (std::isalpha(static_cast<unsigned char>(Tok[0])) || Tok[0] == '_' ||
+       Tok[0] == '.')) {
+    Out.K = Operand::Kind::Label;
+    Out.Label = Tok;
+    return true;
+  }
+  return fail(LineNo, "cannot parse operand '" + Tok + "'");
+}
+
+bool Assembler::parseLine(const std::string &Raw, int LineNo) {
+  // Strip comments.
+  std::string Line = Raw;
+  for (char C : {';', '#'}) {
+    size_t Pos = Line.find(C);
+    if (Pos != std::string::npos)
+      Line.resize(Pos);
+  }
+  std::vector<std::string> Toks = tokenize(Line);
+  if (Toks.empty())
+    return true;
+
+  // Directives.
+  if (Toks[0] == ".program") {
+    if (Toks.size() != 2)
+      return fail(LineNo, ".program takes one name");
+    ProgramName = Toks[1];
+    return true;
+  }
+  if (Toks[0] == ".memwords") {
+    if (Toks.size() != 2)
+      return fail(LineNo, ".memwords takes one value");
+    auto V = parseInt(Toks[1]);
+    if (!V || *V < 0)
+      return fail(LineNo, "bad .memwords value");
+    MemWords = static_cast<uint64_t>(*V);
+    return true;
+  }
+  if (Toks[0] == ".mem") {
+    for (size_t I = 1; I < Toks.size(); ++I) {
+      auto V = parseInt(Toks[I]);
+      if (!V)
+        return fail(LineNo, "bad .mem value '" + Toks[I] + "'");
+      InitialMem.push_back(*V);
+    }
+    return true;
+  }
+  if (Toks[0][0] == '.')
+    return fail(LineNo, "unknown directive " + Toks[0]);
+
+  // Label definition.
+  if (Toks[0].back() == ':') {
+    std::string Label = Toks[0].substr(0, Toks[0].size() - 1);
+    if (Label.empty())
+      return fail(LineNo, "empty label");
+    Blocks.push_back(PendingBlock{Label, {}, LineNo});
+    if (Toks.size() > 1)
+      return fail(LineNo, "label must be alone on its line");
+    return true;
+  }
+
+  // Instruction.
+  if (Blocks.empty())
+    return fail(LineNo, "instruction before the first label");
+  Statement S;
+  S.Mnemonic = Toks[0];
+  S.Line = LineNo;
+  for (size_t I = 1; I < Toks.size(); ++I) {
+    Operand Op;
+    if (!parseOperand(Toks[I], LineNo, Op))
+      return false;
+    S.Operands.push_back(Op);
+  }
+  Blocks.back().Statements.push_back(std::move(S));
+  return true;
+}
+
+bool Assembler::emitStatement(ProgramBuilder &PB, const Statement &S,
+                              const std::map<std::string, BlockId> &Labels,
+                              BlockId Fallthrough, bool &Terminated) {
+  auto Resolve = [&](const Operand &Op, BlockId &Out) {
+    if (Op.K != Operand::Kind::Label)
+      return fail(S.Line, "expected a label operand");
+    auto It = Labels.find(Op.Label);
+    if (It == Labels.end())
+      return fail(S.Line, "unknown label '" + Op.Label + "'");
+    Out = It->second;
+    return true;
+  };
+  auto Reg = [&](size_t I, uint8_t &Out) {
+    if (I >= S.Operands.size() || S.Operands[I].K != Operand::Kind::Reg)
+      return fail(S.Line, formatString("operand %zu of %s must be a "
+                                       "register",
+                                       I + 1, S.Mnemonic.c_str()));
+    Out = S.Operands[I].Reg;
+    return true;
+  };
+  auto Imm = [&](size_t I, int64_t &Out) {
+    if (I >= S.Operands.size() || S.Operands[I].K != Operand::Kind::Imm)
+      return fail(S.Line, formatString("operand %zu of %s must be an "
+                                       "immediate",
+                                       I + 1, S.Mnemonic.c_str()));
+    Out = S.Operands[I].Imm;
+    return true;
+  };
+
+  // Terminators.
+  if (S.Mnemonic == "halt") {
+    if (!S.Operands.empty())
+      return fail(S.Line, "halt takes no operands");
+    PB.halt();
+    Terminated = true;
+    return true;
+  }
+  if (S.Mnemonic == "jmp") {
+    BlockId Target;
+    if (S.Operands.size() != 1 || !Resolve(S.Operands[0], Target))
+      return S.Operands.size() == 1 ? false
+                                    : fail(S.Line, "jmp takes one label");
+    PB.jump(Target);
+    Terminated = true;
+    return true;
+  }
+  if (auto It = branchTable().find(S.Mnemonic); It != branchTable().end()) {
+    CondKind CK = It->second;
+    uint8_t Ra;
+    BlockId Taken, Fall;
+    if (condUsesImm(CK)) {
+      int64_t ImmV;
+      if (S.Operands.size() != 4 || !Reg(0, Ra) || !Imm(1, ImmV) ||
+          !Resolve(S.Operands[2], Taken) || !Resolve(S.Operands[3], Fall))
+        return false;
+      PB.branchImm(CK, Ra, ImmV, Taken, Fall);
+    } else {
+      uint8_t Rb;
+      if (S.Operands.size() != 4 || !Reg(0, Ra) || !Reg(1, Rb) ||
+          !Resolve(S.Operands[2], Taken) || !Resolve(S.Operands[3], Fall))
+        return false;
+      PB.branch(CK, Ra, Rb, Taken, Fall);
+    }
+    Terminated = true;
+    return true;
+  }
+
+  // Plain instructions.
+  auto It = opcodeTable().find(S.Mnemonic);
+  if (It == opcodeTable().end())
+    return fail(S.Line, "unknown mnemonic '" + S.Mnemonic + "'");
+  Opcode Op = It->second;
+  Inst In;
+  In.Op = Op;
+  size_t Idx = 0;
+  if (opcodeWritesRd(Op) && !Reg(Idx++, In.Rd))
+    return false;
+  if (Op == Opcode::Store) {
+    // store rb, ra, imm  (value, base, offset)
+    if (!Reg(Idx++, In.Rb) || !Reg(Idx++, In.Ra) || !Imm(Idx++, In.Imm))
+      return false;
+  } else {
+    if (opcodeReadsRa(Op) && !Reg(Idx++, In.Ra))
+      return false;
+    if (opcodeReadsRb(Op) && !Reg(Idx++, In.Rb))
+      return false;
+    if (opcodeUsesImm(Op) && !Imm(Idx++, In.Imm))
+      return false;
+  }
+  if (Idx != S.Operands.size())
+    return fail(S.Line, formatString("%s expects %zu operands, got %zu",
+                                     S.Mnemonic.c_str(), Idx,
+                                     S.Operands.size()));
+  PB.emit(In);
+  return true;
+}
+
+bool Assembler::run(const std::string &Source, Program &Out,
+                    std::string *Error) {
+  Err = Error;
+  int LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    ++LineNo;
+    if (!parseLine(Source.substr(Pos, End - Pos), LineNo))
+      return false;
+    Pos = End + 1;
+  }
+  if (Blocks.empty())
+    return fail(LineNo, "no blocks defined");
+
+  ProgramBuilder PB(ProgramName);
+  std::map<std::string, BlockId> Labels;
+  std::vector<BlockId> Ids;
+  for (const PendingBlock &B : Blocks) {
+    if (Labels.count(B.Label))
+      return fail(B.Line, "duplicate label '" + B.Label + "'");
+    BlockId Id = PB.createBlock(B.Label);
+    Labels[B.Label] = Id;
+    Ids.push_back(Id);
+  }
+  PB.setEntry(Ids[0]);
+
+  for (size_t BI = 0; BI < Blocks.size(); ++BI) {
+    PB.switchTo(Ids[BI]);
+    bool Terminated = false;
+    for (const Statement &S : Blocks[BI].Statements) {
+      if (Terminated)
+        return fail(S.Line, "instruction after block terminator");
+      if (!emitStatement(PB, S, Labels, guest::InvalidBlock, Terminated))
+        return false;
+    }
+    if (!Terminated) {
+      // Implicit fallthrough to the next block.
+      if (BI + 1 >= Blocks.size())
+        return fail(Blocks[BI].Line,
+                    "last block '" + Blocks[BI].Label +
+                        "' has no terminator");
+      PB.jump(Ids[BI + 1]);
+    }
+  }
+
+  if (MemWords > 0)
+    PB.setMemWords(MemWords);
+  PB.setInitialMem(InitialMem);
+
+  std::vector<std::string> Problems;
+  // build() asserts on malformed programs; validate first for a clean
+  // error path on bad register/target values that slipped through.
+  Out = PB.build();
+  if (!verifyProgram(Out, &Problems))
+    return fail(0, "assembled program is malformed: " +
+                       (Problems.empty() ? "?" : Problems[0]));
+  return true;
+}
+
+} // namespace
+
+bool tpdbt::guest::assembleProgram(const std::string &Source, Program &Out,
+                                   std::string *Error) {
+  Assembler A;
+  return A.run(Source, Out, Error);
+}

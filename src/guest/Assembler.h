@@ -1,0 +1,52 @@
+//===- guest/Assembler.h - Guest ISA text assembler -------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text assembler for the guest ISA, so tests and examples can
+/// write programs as readable assembly instead of builder calls.
+///
+/// Syntax (one statement per line, `;` or `#` start a comment):
+///
+/// \code
+///   .program demo          ; optional program name
+///   .memwords 64           ; memory size in words
+///   .mem 5 7 -3            ; append initial-memory words
+///
+///   entry:                 ; first label is the entry block
+///       movi  r1, 0
+///   head:
+///       addi  r1, r1, 1
+///       blti  r1, 100, head, exit   ; cond branches: taken first
+///   exit:
+///       halt
+/// \endcode
+///
+/// Every label starts a new block. A block with no explicit terminator
+/// falls through to the next label via an implicit jump. Branch mnemonics
+/// are `b<cond>` / `b<cond>i` (beq, bne, blt, bge, bltu, bgeu, beqi,
+/// bnei, blti, bgei), plus `jmp label` and `halt`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_GUEST_ASSEMBLER_H
+#define TPDBT_GUEST_ASSEMBLER_H
+
+#include "guest/Program.h"
+
+#include <string>
+
+namespace tpdbt {
+namespace guest {
+
+/// Assembles \p Source into a Program. Returns false and fills \p Error
+/// (with a line number) on malformed input.
+bool assembleProgram(const std::string &Source, Program &Out,
+                     std::string *Error);
+
+} // namespace guest
+} // namespace tpdbt
+
+#endif // TPDBT_GUEST_ASSEMBLER_H

@@ -1,0 +1,238 @@
+//===- guest/Isa.cpp - Synthetic guest instruction set --------------------===//
+
+#include "guest/Isa.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+
+const char *tpdbt::guest::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Divs:
+    return "divs";
+  case Opcode::Rems:
+    return "rems";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Sar:
+    return "sar";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::MulI:
+    return "muli";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::OrI:
+    return "ori";
+  case Opcode::XorI:
+    return "xori";
+  case Opcode::ShlI:
+    return "shli";
+  case Opcode::ShrI:
+    return "shri";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLtU:
+    return "cmpltu";
+  case Opcode::CmpEqI:
+    return "cmpeqi";
+  case Opcode::CmpLtI:
+    return "cmplti";
+  case Opcode::CmpLtUI:
+    return "cmpltui";
+  case Opcode::MovI:
+    return "movi";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FConst:
+    return "fconst";
+  case Opcode::FCmpLt:
+    return "fcmplt";
+  case Opcode::IToF:
+    return "itof";
+  case Opcode::FToI:
+    return "ftoi";
+  case Opcode::Nop:
+    return "nop";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+bool tpdbt::guest::opcodeUsesImm(Opcode Op) {
+  switch (Op) {
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::XorI:
+  case Opcode::ShlI:
+  case Opcode::ShrI:
+  case Opcode::CmpEqI:
+  case Opcode::CmpLtI:
+  case Opcode::CmpLtUI:
+  case Opcode::MovI:
+  case Opcode::FConst:
+  case Opcode::Load:
+  case Opcode::Store:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool tpdbt::guest::opcodeReadsRa(Opcode Op) {
+  switch (Op) {
+  case Opcode::MovI:
+  case Opcode::FConst:
+  case Opcode::Nop:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool tpdbt::guest::opcodeReadsRb(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Divs:
+  case Opcode::Rems:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sar:
+  case Opcode::CmpEq:
+  case Opcode::CmpLt:
+  case Opcode::CmpLtU:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FCmpLt:
+  case Opcode::Store:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool tpdbt::guest::opcodeWritesRd(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Nop:
+    return false;
+  default:
+    return true;
+  }
+}
+
+const char *tpdbt::guest::condKindName(CondKind CK) {
+  switch (CK) {
+  case CondKind::Eq:
+    return "eq";
+  case CondKind::Ne:
+    return "ne";
+  case CondKind::Lt:
+    return "lt";
+  case CondKind::Ge:
+    return "ge";
+  case CondKind::LtU:
+    return "ltu";
+  case CondKind::GeU:
+    return "geu";
+  case CondKind::EqI:
+    return "eqi";
+  case CondKind::NeI:
+    return "nei";
+  case CondKind::LtI:
+    return "lti";
+  case CondKind::GeI:
+    return "gei";
+  }
+  assert(false && "unknown condition kind");
+  return "?";
+}
+
+bool tpdbt::guest::condUsesImm(CondKind CK) {
+  switch (CK) {
+  case CondKind::EqI:
+  case CondKind::NeI:
+  case CondKind::LtI:
+  case CondKind::GeI:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Terminator Terminator::jump(BlockId Target) {
+  Terminator T;
+  T.Kind = TermKind::Jump;
+  T.Taken = Target;
+  return T;
+}
+
+Terminator Terminator::halt() {
+  Terminator T;
+  T.Kind = TermKind::Halt;
+  return T;
+}
+
+Terminator Terminator::branch(CondKind Cond, uint8_t Ra, uint8_t Rb,
+                              BlockId Taken, BlockId Fallthrough) {
+  assert(!condUsesImm(Cond) && "use branchImm for immediate conditions");
+  Terminator T;
+  T.Kind = TermKind::Branch;
+  T.Cond = Cond;
+  T.Ra = Ra;
+  T.Rb = Rb;
+  T.Taken = Taken;
+  T.Fallthrough = Fallthrough;
+  return T;
+}
+
+Terminator Terminator::branchImm(CondKind Cond, uint8_t Ra, int64_t Imm,
+                                 BlockId Taken, BlockId Fallthrough) {
+  assert(condUsesImm(Cond) && "use branch for register conditions");
+  Terminator T;
+  T.Kind = TermKind::Branch;
+  T.Cond = Cond;
+  T.Ra = Ra;
+  T.Imm = Imm;
+  T.Taken = Taken;
+  T.Fallthrough = Fallthrough;
+  return T;
+}

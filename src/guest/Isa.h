@@ -1,0 +1,160 @@
+//===- guest/Isa.h - Synthetic guest instruction set ------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic guest ISA executed by the tpdbt two-phase translator.
+///
+/// The paper's study runs IA-32 binaries under IA32EL; neither IA-32
+/// decoding nor Itanium code generation affects the study, only the
+/// *block-level* structure of programs (conditional branches, loops) and
+/// the profiling semantics. This ISA is therefore a small, regular RISC-ish
+/// register machine: 32 general registers holding 64-bit integers (FP ops
+/// reinterpret the bits as IEEE double), a flat word-addressed memory, and
+/// basic blocks terminated by exactly one control-transfer instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_GUEST_ISA_H
+#define TPDBT_GUEST_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace tpdbt {
+namespace guest {
+
+/// Number of general-purpose guest registers.
+constexpr unsigned NumRegs = 32;
+
+/// Identifies a basic block within a Program.
+using BlockId = uint32_t;
+
+/// Sentinel for "no block".
+constexpr BlockId InvalidBlock = ~static_cast<BlockId>(0);
+
+/// Non-terminator operations. Register operands are Rd (dest), Ra, Rb;
+/// immediate forms use Imm instead of Rb.
+enum class Opcode : uint8_t {
+  // Integer ALU, register-register.
+  Add,
+  Sub,
+  Mul,
+  Divs, // signed divide; divide by zero yields 0 (guest-defined)
+  Rems, // signed remainder; by zero yields 0
+  And,
+  Or,
+  Xor,
+  Shl, // shift count masked to 63
+  Shr, // logical right shift, count masked
+  Sar, // arithmetic right shift, count masked
+  // Integer ALU, register-immediate (Imm is the second operand).
+  AddI,
+  MulI,
+  AndI,
+  OrI,
+  XorI,
+  ShlI,
+  ShrI,
+  // Comparisons producing 0/1 in Rd.
+  CmpEq,
+  CmpLt,  // signed
+  CmpLtU, // unsigned
+  CmpEqI,
+  CmpLtI,
+  CmpLtUI,
+  // Data movement.
+  MovI, // Rd = Imm
+  Mov,  // Rd = Ra
+  // Memory: word-granular, address = Ra + Imm (in words).
+  Load,  // Rd = Mem[Ra + Imm]
+  Store, // Mem[Ra + Imm] = Rb
+  // Floating point (registers reinterpreted as IEEE double).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FConst, // Rd = bit pattern of double(Imm) -- Imm carries raw bits
+  FCmpLt, // Rd = (double)Ra < (double)Rb ? 1 : 0
+  // Conversion.
+  IToF, // Rd = bits of (double)(int64)Ra
+  FToI, // Rd = (int64) trunc((double bits)Ra)
+  Nop,
+};
+
+/// Returns a stable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True for opcodes whose second operand is the immediate field.
+bool opcodeUsesImm(Opcode Op);
+
+/// True for opcodes that read Ra / Rb / write Rd.
+bool opcodeReadsRa(Opcode Op);
+bool opcodeReadsRb(Opcode Op);
+bool opcodeWritesRd(Opcode Op);
+
+/// A single non-terminator guest instruction.
+struct Inst {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Ra = 0;
+  uint8_t Rb = 0;
+  int64_t Imm = 0;
+};
+
+/// Branch condition kinds for conditional terminators. The comparison is
+/// Ra <cond> Rb (or Imm for the *I forms).
+enum class CondKind : uint8_t {
+  Eq,
+  Ne,
+  Lt,  // signed
+  Ge,  // signed
+  LtU, // unsigned
+  GeU,
+  EqI,
+  NeI,
+  LtI,
+  GeI,
+};
+
+/// Returns a stable mnemonic for \p CK.
+const char *condKindName(CondKind CK);
+
+/// True for the immediate-comparand condition kinds.
+bool condUsesImm(CondKind CK);
+
+/// Terminator kinds; every block ends with exactly one terminator.
+enum class TermKind : uint8_t {
+  Jump,   ///< unconditional jump to Taken
+  Branch, ///< conditional: Taken if cond holds, else Fallthrough
+  Halt,   ///< program end
+};
+
+/// The control transfer that ends a block.
+///
+/// For Branch terminators the *taken* edge is the one whose count the
+/// profiling phase accumulates (the paper's "taken" counter); the branch
+/// probability of the block is taken/use.
+struct Terminator {
+  TermKind Kind = TermKind::Halt;
+  CondKind Cond = CondKind::Eq;
+  uint8_t Ra = 0;
+  uint8_t Rb = 0;
+  int64_t Imm = 0;
+  BlockId Taken = InvalidBlock;
+  BlockId Fallthrough = InvalidBlock;
+
+  static Terminator jump(BlockId Target);
+  static Terminator halt();
+  static Terminator branch(CondKind Cond, uint8_t Ra, uint8_t Rb,
+                           BlockId Taken, BlockId Fallthrough);
+  static Terminator branchImm(CondKind Cond, uint8_t Ra, int64_t Imm,
+                              BlockId Taken, BlockId Fallthrough);
+};
+
+} // namespace guest
+} // namespace tpdbt
+
+#endif // TPDBT_GUEST_ISA_H

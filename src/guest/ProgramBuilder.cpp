@@ -1,0 +1,128 @@
+//===- guest/ProgramBuilder.cpp - Guest program construction ---------------===//
+
+#include "guest/ProgramBuilder.h"
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+
+BlockId ProgramBuilder::createBlock(std::string Name) {
+  Block B;
+  B.Name = std::move(Name);
+  B.Term = Terminator::halt();
+  P.Blocks.push_back(std::move(B));
+  Terminated.push_back(false);
+  return static_cast<BlockId>(P.Blocks.size() - 1);
+}
+
+void ProgramBuilder::switchTo(BlockId Id) {
+  assert(Id < P.Blocks.size() && "switchTo out of range");
+  Cur = Id;
+}
+
+Block &ProgramBuilder::cur() {
+  assert(Cur != InvalidBlock && "no current block; call switchTo first");
+  assert(!Terminated[Cur] && "emitting into a terminated block");
+  return P.Blocks[Cur];
+}
+
+void ProgramBuilder::setInitialMem(std::vector<int64_t> Mem) {
+  P.InitialMem = std::move(Mem);
+  if (P.MemWords < P.InitialMem.size())
+    P.MemWords = P.InitialMem.size();
+}
+
+uint64_t ProgramBuilder::appendMemWord(int64_t Value) {
+  P.InitialMem.push_back(Value);
+  if (P.MemWords < P.InitialMem.size())
+    P.MemWords = P.InitialMem.size();
+  return P.InitialMem.size() - 1;
+}
+
+void ProgramBuilder::emit(const Inst &In) { cur().Insts.push_back(In); }
+
+void ProgramBuilder::movI(uint8_t Rd, int64_t Imm) {
+  emit({Opcode::MovI, Rd, 0, 0, Imm});
+}
+void ProgramBuilder::mov(uint8_t Rd, uint8_t Ra) {
+  emit({Opcode::Mov, Rd, Ra, 0, 0});
+}
+void ProgramBuilder::add(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::Add, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::sub(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::Sub, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::mul(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::Mul, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::addI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::AddI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::mulI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::MulI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::andI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::AndI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::orI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::OrI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::xorI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::XorI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::shlI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::ShlI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::shrI(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::ShrI, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::xorR(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::Xor, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::cmpLtU(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::CmpLtU, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::load(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::Load, Rd, Ra, 0, Imm});
+}
+void ProgramBuilder::store(uint8_t Rb, uint8_t Ra, int64_t Imm) {
+  emit({Opcode::Store, 0, Ra, Rb, Imm});
+}
+void ProgramBuilder::fadd(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::FAdd, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::fmul(uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+  emit({Opcode::FMul, Rd, Ra, Rb, 0});
+}
+void ProgramBuilder::nop() { emit({Opcode::Nop, 0, 0, 0, 0}); }
+
+void ProgramBuilder::jump(BlockId Target) {
+  cur().Term = Terminator::jump(Target);
+  Terminated[Cur] = true;
+}
+
+void ProgramBuilder::halt() {
+  cur().Term = Terminator::halt();
+  Terminated[Cur] = true;
+}
+
+void ProgramBuilder::branch(CondKind Cond, uint8_t Ra, uint8_t Rb,
+                            BlockId Taken, BlockId Fallthrough) {
+  cur().Term = Terminator::branch(Cond, Ra, Rb, Taken, Fallthrough);
+  Terminated[Cur] = true;
+}
+
+void ProgramBuilder::branchImm(CondKind Cond, uint8_t Ra, int64_t Imm,
+                               BlockId Taken, BlockId Fallthrough) {
+  cur().Term = Terminator::branchImm(Cond, Ra, Imm, Taken, Fallthrough);
+  Terminated[Cur] = true;
+}
+
+Program ProgramBuilder::build() {
+  for (size_t I = 0; I < Terminated.size(); ++I)
+    assert(Terminated[I] && "block left unterminated");
+  std::vector<std::string> Errors;
+  [[maybe_unused]] bool Ok = verifyProgram(P, &Errors);
+  assert(Ok && "builder produced malformed program");
+  return std::move(P);
+}

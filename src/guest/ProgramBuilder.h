@@ -1,0 +1,116 @@
+//===- guest/ProgramBuilder.h - Guest program construction ------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder for guest programs: create blocks up front, emit instructions
+/// into a current block, and terminate blocks with jumps/branches. The
+/// workload generator and the tests use this instead of hand-assembling
+/// Program structs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_GUEST_PROGRAMBUILDER_H
+#define TPDBT_GUEST_PROGRAMBUILDER_H
+
+#include "guest/Program.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace guest {
+
+/// Incrementally builds a Program. Typical use:
+/// \code
+///   ProgramBuilder PB("loop");
+///   BlockId Head = PB.createBlock("head");
+///   BlockId Body = PB.createBlock("body");
+///   PB.setEntry(Head);
+///   PB.switchTo(Head);
+///   PB.movI(0, 100);                    // r0 = 100
+///   PB.jump(Body);
+///   ...
+///   Program P = PB.build();
+/// \endcode
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name) { P.Name = std::move(Name); }
+
+  /// Creates a new empty block and returns its id. The block is terminated
+  /// with Halt until a terminator is set.
+  BlockId createBlock(std::string Name = "");
+
+  /// Sets the program entry block.
+  void setEntry(BlockId Id) { P.Entry = Id; }
+
+  /// Makes \p Id the current insertion block.
+  void switchTo(BlockId Id);
+
+  BlockId currentBlock() const { return Cur; }
+
+  /// Sets the guest memory size in words.
+  void setMemWords(uint64_t Words) { P.MemWords = Words; }
+
+  /// Sets the initial memory image (loaded at word 0).
+  void setInitialMem(std::vector<int64_t> Mem);
+
+  /// Appends one word to the initial memory image and returns its address.
+  uint64_t appendMemWord(int64_t Value);
+
+  /// Emits a raw instruction into the current block.
+  void emit(const Inst &In);
+
+  // --- Convenience emitters (all write into the current block) -----------
+
+  void movI(uint8_t Rd, int64_t Imm);
+  void mov(uint8_t Rd, uint8_t Ra);
+  void add(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void sub(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void mul(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void addI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void mulI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void andI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void orI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void xorI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void shlI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void shrI(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void xorR(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void cmpLtU(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void load(uint8_t Rd, uint8_t Ra, int64_t Imm);
+  void store(uint8_t Rb, uint8_t Ra, int64_t Imm);
+  void fadd(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void fmul(uint8_t Rd, uint8_t Ra, uint8_t Rb);
+  void nop();
+
+  // --- Terminators --------------------------------------------------------
+
+  void jump(BlockId Target);
+  void halt();
+  void branch(CondKind Cond, uint8_t Ra, uint8_t Rb, BlockId Taken,
+              BlockId Fallthrough);
+  void branchImm(CondKind Cond, uint8_t Ra, int64_t Imm, BlockId Taken,
+                 BlockId Fallthrough);
+
+  /// Verifies and returns the finished program. Asserts on malformed
+  /// programs (builder misuse is a programming error).
+  Program build();
+
+  /// Number of blocks created so far.
+  size_t numBlocks() const { return P.Blocks.size(); }
+
+private:
+  Block &cur();
+
+  Program P;
+  BlockId Cur = InvalidBlock;
+  std::vector<bool> Terminated;
+};
+
+} // namespace guest
+} // namespace tpdbt
+
+#endif // TPDBT_GUEST_PROGRAMBUILDER_H

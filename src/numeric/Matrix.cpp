@@ -1,0 +1,157 @@
+//===- numeric/Matrix.cpp - Dense matrix and linear solving ----------------===//
+
+#include "numeric/Matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace tpdbt;
+using namespace tpdbt::numeric;
+
+std::vector<double> DenseMatrix::apply(const std::vector<double> &V) const {
+  assert(V.size() == NumCols && "dimension mismatch");
+  std::vector<double> Out(NumRows, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    double Sum = 0.0;
+    for (size_t C = 0; C < NumCols; ++C)
+      Sum += at(R, C) * V[C];
+    Out[R] = Sum;
+  }
+  return Out;
+}
+
+DenseMatrix DenseMatrix::identity(size_t N) {
+  DenseMatrix M(N, N, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+bool tpdbt::numeric::solveLu(const DenseMatrix &A,
+                             const std::vector<double> &B,
+                             std::vector<double> &X) {
+  assert(A.rows() == A.cols() && "solveLu requires a square matrix");
+  assert(B.size() == A.rows() && "rhs dimension mismatch");
+  const size_t N = A.rows();
+  DenseMatrix M = A;
+  X = B;
+
+  for (size_t K = 0; K < N; ++K) {
+    // Partial pivoting.
+    size_t Pivot = K;
+    double Best = std::fabs(M.at(K, K));
+    for (size_t R = K + 1; R < N; ++R) {
+      double V = std::fabs(M.at(R, K));
+      if (V > Best) {
+        Best = V;
+        Pivot = R;
+      }
+    }
+    if (Best < 1e-300)
+      return false; // numerically singular
+    if (Pivot != K) {
+      for (size_t C = K; C < N; ++C)
+        std::swap(M.at(K, C), M.at(Pivot, C));
+      std::swap(X[K], X[Pivot]);
+    }
+    // Eliminate below.
+    double Diag = M.at(K, K);
+    for (size_t R = K + 1; R < N; ++R) {
+      double Factor = M.at(R, K) / Diag;
+      if (Factor == 0.0)
+        continue;
+      M.at(R, K) = 0.0;
+      for (size_t C = K + 1; C < N; ++C)
+        M.at(R, C) -= Factor * M.at(K, C);
+      X[R] -= Factor * X[K];
+    }
+  }
+  // Back substitution.
+  for (size_t RI = N; RI-- > 0;) {
+    double Sum = X[RI];
+    for (size_t C = RI + 1; C < N; ++C)
+      Sum -= M.at(RI, C) * X[C];
+    X[RI] = Sum / M.at(RI, RI);
+  }
+  return true;
+}
+
+double tpdbt::numeric::residualNorm(const DenseMatrix &A,
+                                    const std::vector<double> &X,
+                                    const std::vector<double> &B) {
+  std::vector<double> AX = A.apply(X);
+  double Norm = 0.0;
+  for (size_t I = 0; I < B.size(); ++I)
+    Norm = std::max(Norm, std::fabs(AX[I] - B[I]));
+  return Norm;
+}
+
+SparseMatrix SparseMatrix::fromTriplets(size_t N,
+                                        std::vector<Triplet> Entries) {
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Triplet &A, const Triplet &B) {
+              return A.Row != B.Row ? A.Row < B.Row : A.Col < B.Col;
+            });
+  SparseMatrix M;
+  M.N = N;
+  M.RowPtr.assign(N + 1, 0);
+  for (size_t I = 0; I < Entries.size();) {
+    size_t J = I + 1;
+    double Sum = Entries[I].Value;
+    while (J < Entries.size() && Entries[J].Row == Entries[I].Row &&
+           Entries[J].Col == Entries[I].Col) {
+      Sum += Entries[J].Value;
+      ++J;
+    }
+    assert(Entries[I].Row < N && Entries[I].Col < N &&
+           "triplet index out of range");
+    M.Col.push_back(Entries[I].Col);
+    M.Val.push_back(Sum);
+    ++M.RowPtr[Entries[I].Row + 1];
+    I = J;
+  }
+  for (size_t R = 0; R < N; ++R)
+    M.RowPtr[R + 1] += M.RowPtr[R];
+  return M;
+}
+
+std::vector<double> SparseMatrix::apply(const std::vector<double> &V) const {
+  assert(V.size() == N && "dimension mismatch");
+  std::vector<double> Out(N, 0.0);
+  for (size_t R = 0; R < N; ++R) {
+    double Sum = 0.0;
+    forEachInRow(R, [&](size_t C, double Value) { Sum += Value * V[C]; });
+    Out[R] = Sum;
+  }
+  return Out;
+}
+
+bool tpdbt::numeric::gaussSeidel(const SparseMatrix &A,
+                                 const std::vector<double> &B,
+                                 std::vector<double> &X, size_t MaxIters,
+                                 double Tol) {
+  const size_t N = A.size();
+  assert(B.size() == N && "rhs dimension mismatch");
+  X.resize(N, 0.0);
+  for (size_t Iter = 0; Iter < MaxIters; ++Iter) {
+    double MaxDelta = 0.0;
+    for (size_t R = 0; R < N; ++R) {
+      double Diag = 0.0;
+      double Sum = B[R];
+      A.forEachInRow(R, [&](size_t C, double Value) {
+        if (C == R)
+          Diag = Value;
+        else
+          Sum -= Value * X[C];
+      });
+      if (Diag == 0.0)
+        return false;
+      double NewX = Sum / Diag;
+      MaxDelta = std::max(MaxDelta, std::fabs(NewX - X[R]));
+      X[R] = NewX;
+    }
+    if (MaxDelta <= Tol)
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,109 @@
+//===- numeric/Matrix.h - Dense matrix and linear solving -------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense matrices and LU solving with partial pivoting. The paper uses the
+/// Intel MKL linear solver to propagate block frequencies to duplicated
+/// blocks in the NAVEP normalization (Section 3.1, "Markov Modeling of
+/// Control Flow"); this module is its stand-in. The systems are small (one
+/// unknown per duplicated block), so a dense direct solve is exact and
+/// cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_NUMERIC_MATRIX_H
+#define TPDBT_NUMERIC_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace tpdbt {
+namespace numeric {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Returns this * V. V.size() must equal cols().
+  std::vector<double> apply(const std::vector<double> &V) const;
+
+  static DenseMatrix identity(size_t N);
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Solves A * X = B in-place-safe (A and B are copied). Returns false when
+/// A is (numerically) singular.
+bool solveLu(const DenseMatrix &A, const std::vector<double> &B,
+             std::vector<double> &X);
+
+/// Max-norm of the residual A*X - B; used to validate solutions.
+double residualNorm(const DenseMatrix &A, const std::vector<double> &X,
+                    const std::vector<double> &B);
+
+/// Compressed-sparse-row matrix, built from (row, col, value) triplets.
+/// Duplicate entries are summed.
+class SparseMatrix {
+public:
+  struct Triplet {
+    size_t Row;
+    size_t Col;
+    double Value;
+  };
+
+  SparseMatrix() = default;
+
+  static SparseMatrix fromTriplets(size_t N, std::vector<Triplet> Entries);
+
+  size_t size() const { return N; }
+
+  /// Returns this * V.
+  std::vector<double> apply(const std::vector<double> &V) const;
+
+  /// Visits the entries of row \p R as (Col, Value) via \p Fn.
+  template <typename FnT> void forEachInRow(size_t R, FnT &&Fn) const {
+    for (size_t I = RowPtr[R]; I < RowPtr[R + 1]; ++I)
+      Fn(Col[I], Val[I]);
+  }
+
+private:
+  size_t N = 0;
+  std::vector<size_t> RowPtr;
+  std::vector<size_t> Col;
+  std::vector<double> Val;
+};
+
+/// Gauss-Seidel iteration for A * X = B. Requires non-zero diagonal.
+/// Returns true if the max-norm update fell below \p Tol within
+/// \p MaxIters sweeps. X is used as the starting guess and holds the
+/// result.
+bool gaussSeidel(const SparseMatrix &A, const std::vector<double> &B,
+                 std::vector<double> &X, size_t MaxIters = 1000,
+                 double Tol = 1e-12);
+
+} // namespace numeric
+} // namespace tpdbt
+
+#endif // TPDBT_NUMERIC_MATRIX_H

@@ -1,0 +1,110 @@
+//===- profile/Profile.cpp - Profiling-phase data ---------------------------===//
+
+#include "profile/Profile.h"
+
+#include <sstream>
+
+using namespace tpdbt;
+using namespace tpdbt::profile;
+using namespace tpdbt::region;
+
+std::string tpdbt::profile::printSnapshot(const ProfileSnapshot &S) {
+  std::ostringstream OS;
+  OS << "tpdbt-profile v1\n";
+  OS << "benchmark " << (S.Benchmark.empty() ? "-" : S.Benchmark) << "\n";
+  OS << "input " << (S.Input.empty() ? "-" : S.Input) << "\n";
+  OS << "threshold " << S.Threshold << "\n";
+  OS << "profops " << S.ProfilingOps << "\n";
+  OS << "blockevents " << S.BlockEvents << "\n";
+  OS << "insts " << S.InstsExecuted << "\n";
+  OS << "cycles " << S.Cycles << "\n";
+  OS << "blocks " << S.Blocks.size() << "\n";
+  for (const BlockCounters &C : S.Blocks)
+    OS << C.Use << " " << C.Taken << "\n";
+  OS << "regions " << S.Regions.size() << "\n";
+  for (const Region &R : S.Regions) {
+    OS << "region " << (R.Kind == RegionKind::Loop ? "loop" : "nonloop")
+       << " " << R.Nodes.size() << " " << R.LastNode << "\n";
+    for (const RegionNode &N : R.Nodes)
+      OS << N.Orig << " " << (N.HasCondBranch ? 1 : 0) << " " << N.TakenSucc
+         << " " << N.FallSucc << "\n";
+  }
+  return OS.str();
+}
+
+bool tpdbt::profile::parseSnapshot(const std::string &Text,
+                                   ProfileSnapshot &Out,
+                                   std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  std::istringstream IS(Text);
+  std::string Tok;
+  if (!(IS >> Tok) || Tok != "tpdbt-profile")
+    return Fail("missing tpdbt-profile header");
+  if (!(IS >> Tok) || Tok != "v1")
+    return Fail("unsupported version");
+
+  ProfileSnapshot S;
+  auto Expect = [&](const char *Key) {
+    return static_cast<bool>(IS >> Tok) && Tok == Key;
+  };
+  if (!Expect("benchmark") || !(IS >> S.Benchmark))
+    return Fail("bad benchmark line");
+  if (S.Benchmark == "-")
+    S.Benchmark.clear();
+  if (!Expect("input") || !(IS >> S.Input))
+    return Fail("bad input line");
+  if (S.Input == "-")
+    S.Input.clear();
+  if (!Expect("threshold") || !(IS >> S.Threshold))
+    return Fail("bad threshold line");
+  if (!Expect("profops") || !(IS >> S.ProfilingOps))
+    return Fail("bad profops line");
+  if (!Expect("blockevents") || !(IS >> S.BlockEvents))
+    return Fail("bad blockevents line");
+  if (!Expect("insts") || !(IS >> S.InstsExecuted))
+    return Fail("bad insts line");
+  if (!Expect("cycles") || !(IS >> S.Cycles))
+    return Fail("bad cycles line");
+
+  size_t NumBlocks = 0;
+  if (!Expect("blocks") || !(IS >> NumBlocks))
+    return Fail("bad blocks line");
+  S.Blocks.resize(NumBlocks);
+  for (auto &C : S.Blocks)
+    if (!(IS >> C.Use >> C.Taken))
+      return Fail("truncated block counters");
+
+  size_t NumRegions = 0;
+  if (!Expect("regions") || !(IS >> NumRegions))
+    return Fail("bad regions line");
+  S.Regions.resize(NumRegions);
+  for (Region &R : S.Regions) {
+    std::string Kind;
+    size_t NumNodes = 0;
+    if (!Expect("region") || !(IS >> Kind >> NumNodes >> R.LastNode))
+      return Fail("bad region header");
+    if (Kind == "loop")
+      R.Kind = RegionKind::Loop;
+    else if (Kind == "nonloop")
+      R.Kind = RegionKind::NonLoop;
+    else
+      return Fail("unknown region kind " + Kind);
+    R.Nodes.resize(NumNodes);
+    for (RegionNode &N : R.Nodes) {
+      int Cond = 0;
+      if (!(IS >> N.Orig >> Cond >> N.TakenSucc >> N.FallSucc))
+        return Fail("truncated region node");
+      N.HasCondBranch = Cond != 0;
+    }
+    std::string Err;
+    if (!R.verify(&Err))
+      return Fail("invalid region in snapshot: " + Err);
+  }
+
+  Out = std::move(S);
+  return true;
+}

@@ -1,0 +1,89 @@
+//===- profile/Profile.h - Profiling-phase data -----------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data the profiling phase collects and the study consumes.
+///
+/// A ProfileSnapshot is the paper's "information output to files"
+/// (Section 2): per-block use/taken counts — frozen at optimization time
+/// for blocks that were optimized, end-of-run otherwise — plus the regions
+/// the optimization phase formed (entry, exits, member blocks), plus the
+/// profiling-operation accounting used by Figure 18 and the cycle
+/// accounting used by Figure 17.
+///
+/// Threshold == 0 denotes a profiling-only run (AVEP, or INIP(train) when
+/// the input is the training input): no regions, counts cover the entire
+/// execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_PROFILE_PROFILE_H
+#define TPDBT_PROFILE_PROFILE_H
+
+#include "guest/Isa.h"
+#include "region/Region.h"
+
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace profile {
+
+/// The profiling phase's per-block instrumentation counters.
+struct BlockCounters {
+  uint64_t Use = 0;   ///< number of times the block was visited
+  uint64_t Taken = 0; ///< number of times its conditional branch was taken
+
+  /// The branch probability taken/use; 0 when the block never ran.
+  double takenProb() const {
+    return Use ? static_cast<double>(Taken) / static_cast<double>(Use) : 0.0;
+  }
+};
+
+/// Everything a single run under the translator produces.
+struct ProfileSnapshot {
+  std::string Benchmark;
+  std::string Input;      ///< "ref" or "train"
+  uint64_t Threshold = 0; ///< retranslation threshold; 0 = profiling only
+
+  /// Indexed by BlockId. For optimized blocks these are the counts at the
+  /// moment the block was frozen (hence Use in [T, 2T)); for the rest,
+  /// end-of-run counts.
+  std::vector<BlockCounters> Blocks;
+
+  /// Regions formed by the optimization phase (empty for profiling-only
+  /// runs).
+  std::vector<region::Region> Regions;
+
+  /// Sum of all use and taken increments performed (Figure 18).
+  uint64_t ProfilingOps = 0;
+  /// Total block executions of the run.
+  uint64_t BlockEvents = 0;
+  /// Total guest instructions executed.
+  uint64_t InstsExecuted = 0;
+  /// Modeled machine cycles (Figure 17); 0 for profiling-only runs if the
+  /// caller does not request cost modeling.
+  uint64_t Cycles = 0;
+
+  /// Branch probability of \p B in this snapshot.
+  double takenProb(guest::BlockId B) const { return Blocks[B].takenProb(); }
+
+  /// True when this snapshot is a profiling-only (average-behavior) run.
+  bool isAverage() const { return Threshold == 0; }
+};
+
+/// Serializes a snapshot to the study's line-based text format.
+std::string printSnapshot(const ProfileSnapshot &S);
+
+/// Parses the format produced by printSnapshot. Returns false (and fills
+/// \p Error if non-null) on malformed input.
+bool parseSnapshot(const std::string &Text, ProfileSnapshot &Out,
+                   std::string *Error);
+
+} // namespace profile
+} // namespace tpdbt
+
+#endif // TPDBT_PROFILE_PROFILE_H

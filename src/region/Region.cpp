@@ -1,0 +1,149 @@
+//===- region/Region.cpp - Optimization-phase region IR --------------------===//
+
+#include "region/Region.h"
+
+#include "support/Format.h"
+
+#include <vector>
+
+using namespace tpdbt;
+using namespace tpdbt::region;
+
+bool Region::containsBlock(guest::BlockId B) const {
+  for (const RegionNode &N : Nodes)
+    if (N.Orig == B)
+      return true;
+  return false;
+}
+
+bool Region::verify(std::string *Error) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (Nodes.empty())
+    return Fail("region has no nodes");
+
+  auto CheckSucc = [&](int32_t S) {
+    if (S >= 0 && static_cast<size_t>(S) >= Nodes.size())
+      return false;
+    if (S == BackEdgeSucc && Kind != RegionKind::Loop)
+      return false;
+    if (S < 0 && S != ExitSucc && S != BackEdgeSucc && S != HaltSucc)
+      return false;
+    return true;
+  };
+
+  bool HasBackEdge = false;
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const RegionNode &N = Nodes[I];
+    if (!CheckSucc(N.TakenSucc))
+      return Fail(formatString("node %zu: bad taken successor", I));
+    if (N.HasCondBranch && !CheckSucc(N.FallSucc))
+      return Fail(formatString("node %zu: bad fallthrough successor", I));
+    if (N.TakenSucc == BackEdgeSucc ||
+        (N.HasCondBranch && N.FallSucc == BackEdgeSucc))
+      HasBackEdge = true;
+    // Self-edges must use BackEdgeSucc (only legal to the entry).
+    if (N.TakenSucc == static_cast<int32_t>(I) ||
+        (N.HasCondBranch && N.FallSucc == static_cast<int32_t>(I)))
+      return Fail(formatString("node %zu: self edge must be a back edge", I));
+  }
+  if (Kind == RegionKind::Loop && !HasBackEdge)
+    return Fail("loop region without back edge");
+  if (Kind == RegionKind::NonLoop &&
+      (LastNode < 0 || static_cast<size_t>(LastNode) >= Nodes.size()))
+    return Fail("invalid last node");
+
+  // Reachability from the entry along intra-region edges.
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<int32_t> Work{0};
+  Seen[0] = true;
+  while (!Work.empty()) {
+    int32_t Cur = Work.back();
+    Work.pop_back();
+    const RegionNode &N = Nodes[Cur];
+    auto Visit = [&](int32_t S) {
+      if (S >= 0 && !Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+    };
+    Visit(N.TakenSucc);
+    if (N.HasCondBranch)
+      Visit(N.FallSucc);
+  }
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    if (!Seen[I])
+      return Fail(formatString("node %zu unreachable from region entry", I));
+  return true;
+}
+
+std::string Region::toString() const {
+  std::string Out =
+      formatString("%s region, %zu nodes, entry b%u",
+                   Kind == RegionKind::Loop ? "loop" : "non-loop",
+                   Nodes.size(), entryBlock());
+  if (Kind == RegionKind::NonLoop)
+    Out += formatString(", last node %d", LastNode);
+  Out += "\n";
+  auto SuccStr = [](int32_t S) -> std::string {
+    if (S == ExitSucc)
+      return "exit";
+    if (S == BackEdgeSucc)
+      return "back";
+    if (S == HaltSucc)
+      return "halt";
+    return formatString("n%d", S);
+  };
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const RegionNode &N = Nodes[I];
+    Out += formatString("  n%zu = b%u", I, N.Orig);
+    if (N.HasCondBranch)
+      Out += formatString("  taken->%s fall->%s",
+                          SuccStr(N.TakenSucc).c_str(),
+                          SuccStr(N.FallSucc).c_str());
+    else
+      Out += formatString("  ->%s", SuccStr(N.TakenSucc).c_str());
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string Region::toDot(const std::string &Name) const {
+  std::string Out = formatString("digraph %s {\n", Name.c_str());
+  Out += "  rankdir=TB;\n  node [shape=box];\n";
+  Out += formatString("  exit [shape=ellipse,label=\"exit\"];\n");
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Out += formatString("  n%zu [label=\"n%zu: b%u%s\"];\n", I, I,
+                        Nodes[I].Orig,
+                        (Kind == RegionKind::NonLoop &&
+                         static_cast<int32_t>(I) == LastNode)
+                            ? " (last)"
+                            : "");
+  auto Edge = [&](size_t From, int32_t To, const char *Label) {
+    if (To >= 0)
+      Out += formatString("  n%zu -> n%d [label=\"%s\"];\n", From, To,
+                          Label);
+    else if (To == BackEdgeSucc)
+      Out += formatString("  n%zu -> n0 [style=dashed,label=\"%s back\"];"
+                          "\n",
+                          From, Label);
+    else if (To == ExitSucc)
+      Out += formatString("  n%zu -> exit [style=dotted,label=\"%s\"];\n",
+                          From, Label);
+    // HaltSucc: program end; no edge.
+  };
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const RegionNode &N = Nodes[I];
+    if (N.HasCondBranch) {
+      Edge(I, N.TakenSucc, "T");
+      Edge(I, N.FallSucc, "F");
+    } else {
+      Edge(I, N.TakenSucc, "");
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- region/Region.h - Optimization-phase region IR -----------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The region IR produced by the optimization phase.
+///
+/// A region is a single-entry subgraph of duplicated blocks ("nodes"). The
+/// same original block may appear in several regions (tail duplication,
+/// Section 3.1 / Figure 2 of the paper) — that is what forces the NAVEP
+/// normalization. Two kinds (Section 2.2/2.3):
+///
+///  - NonLoop: a DAG from the entry node to a designated last node. Edges
+///    leaving the region before the last node are *side exits*; the
+///    completion probability is P(entry reaches last node).
+///  - Loop: nodes may have *back edges* to the entry node; the loop-back
+///    probability is P(entry reaches entry again), computed by redirecting
+///    back edges to a dummy node (Figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_REGION_REGION_H
+#define TPDBT_REGION_REGION_H
+
+#include "guest/Isa.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace region {
+
+/// Special successor encodings for region nodes.
+enum : int32_t {
+  /// Edge leaves the region.
+  ExitSucc = -1,
+  /// Edge returns to the region entry (loop regions only).
+  BackEdgeSucc = -2,
+  /// The node's block ends in Halt (leaves the region by ending the
+  /// program).
+  HaltSucc = -3,
+};
+
+/// One (possibly duplicated) block inside a region.
+struct RegionNode {
+  /// The original program block this node is a copy of.
+  guest::BlockId Orig = guest::InvalidBlock;
+  /// True when the original block ends in a two-target conditional branch.
+  bool HasCondBranch = false;
+  /// Intra-region successor for the taken edge: node index, ExitSucc,
+  /// BackEdgeSucc or HaltSucc. For unconditional blocks only TakenSucc is
+  /// meaningful.
+  int32_t TakenSucc = ExitSucc;
+  /// Intra-region successor for the fallthrough edge.
+  int32_t FallSucc = ExitSucc;
+};
+
+/// Region kind (the paper treats non-loop regions containing inner loops
+/// as non-loop, Section 2.3).
+enum class RegionKind : uint8_t { NonLoop, Loop };
+
+/// A formed region. Node 0 is always the entry.
+struct Region {
+  RegionKind Kind = RegionKind::NonLoop;
+  std::vector<RegionNode> Nodes;
+  /// For NonLoop regions: the node whose reach defines completion (the
+  /// "last block" of Section 2.2). Unused for Loop regions.
+  int32_t LastNode = 0;
+
+  guest::BlockId entryBlock() const { return Nodes.front().Orig; }
+  size_t size() const { return Nodes.size(); }
+
+  /// True if any node duplicates original block \p B.
+  bool containsBlock(guest::BlockId B) const;
+
+  /// Structural sanity: node 0 exists, successor indices in range,
+  /// BackEdgeSucc only in Loop regions, LastNode valid, Loop regions have
+  /// at least one back edge, non-entry nodes reachable from the entry.
+  bool verify(std::string *Error = nullptr) const;
+
+  /// Human-readable dump for diagnostics.
+  std::string toString() const;
+
+  /// GraphViz dot rendering of the region (nodes labelled with their
+  /// original block ids; back edges dashed, exits to a sink node).
+  std::string toDot(const std::string &Name = "region") const;
+};
+
+} // namespace region
+} // namespace tpdbt
+
+#endif // TPDBT_REGION_REGION_H

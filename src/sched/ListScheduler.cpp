@@ -1,0 +1,127 @@
+//===- sched/ListScheduler.cpp - Cycle-driven list scheduling --------------===//
+
+#include "sched/ListScheduler.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace tpdbt;
+using namespace tpdbt::sched;
+
+namespace {
+
+/// Height of each node: longest latency path from the node to any sink.
+std::vector<unsigned> computeHeights(const DepGraph &G) {
+  // Build successor lists, then walk nodes in reverse (edges point
+  // forward, so reverse index order is a reverse topological order).
+  std::vector<std::vector<std::pair<uint32_t, unsigned>>> Succs(G.size());
+  for (size_t I = 0; I < G.size(); ++I)
+    for (auto [Pred, Lat] : G.node(I).Preds)
+      Succs[Pred].emplace_back(static_cast<uint32_t>(I), Lat);
+
+  std::vector<unsigned> Height(G.size(), 0);
+  for (size_t I = G.size(); I-- > 0;) {
+    unsigned H = G.node(I).latency();
+    for (auto [Succ, Lat] : Succs[I])
+      H = std::max(H, Lat + Height[Succ]);
+    Height[I] = H;
+  }
+  return Height;
+}
+
+} // namespace
+
+Schedule tpdbt::sched::listSchedule(const DepGraph &G,
+                                    const MachineModel &M) {
+  const size_t N = G.size();
+  Schedule S;
+  S.CycleOf.assign(N, 0);
+  if (N == 0)
+    return S;
+
+  std::vector<unsigned> Height = computeHeights(G);
+  std::vector<unsigned> ReadyAt(N, 0); // earliest dependence-legal cycle
+  std::vector<bool> Issued(N, false);
+  size_t Remaining = N;
+  unsigned Cycle = 0;
+  unsigned LastFinish = 0;
+
+  while (Remaining > 0) {
+    // Collect nodes issueable this cycle, best priority first.
+    std::vector<uint32_t> Ready;
+    for (uint32_t I = 0; I < N; ++I) {
+      if (Issued[I])
+        continue;
+      bool DepsIssued = true;
+      unsigned Earliest = 0;
+      for (auto [Pred, Lat] : G.node(I).Preds) {
+        if (!Issued[Pred]) {
+          DepsIssued = false;
+          break;
+        }
+        Earliest = std::max(Earliest, S.CycleOf[Pred] + Lat);
+      }
+      if (DepsIssued && Earliest <= Cycle)
+        Ready.push_back(I);
+    }
+    std::sort(Ready.begin(), Ready.end(), [&](uint32_t A, uint32_t B) {
+      return Height[A] != Height[B] ? Height[A] > Height[B] : A < B;
+    });
+
+    unsigned SlotsLeft = M.IssueWidth;
+    std::array<unsigned, NumUnitKinds> UnitsLeft = M.Units;
+    for (uint32_t I : Ready) {
+      if (SlotsLeft == 0)
+        break;
+      unsigned &UnitFree = UnitsLeft[static_cast<size_t>(G.node(I).unit())];
+      if (UnitFree == 0)
+        continue;
+      --UnitFree;
+      --SlotsLeft;
+      Issued[I] = true;
+      S.CycleOf[I] = Cycle;
+      LastFinish = std::max(LastFinish, Cycle + G.node(I).latency());
+      --Remaining;
+    }
+    ++Cycle;
+    assert(Cycle < 1000000 && "scheduler failed to make progress");
+  }
+  S.Length = LastFinish;
+  return S;
+}
+
+bool Schedule::verify(const DepGraph &G, const MachineModel &M,
+                      std::string *Error) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (CycleOf.size() != G.size())
+    return Fail("schedule size mismatch");
+
+  // Dependence feasibility.
+  for (size_t I = 0; I < G.size(); ++I)
+    for (auto [Pred, Lat] : G.node(I).Preds)
+      if (CycleOf[I] < CycleOf[Pred] + Lat)
+        return Fail(formatString("node %zu issued before dependence on "
+                                 "%u resolved",
+                                 I, Pred));
+
+  // Resource feasibility per cycle.
+  std::map<unsigned, std::array<unsigned, NumUnitKinds>> PerCycle;
+  std::map<unsigned, unsigned> SlotsPerCycle;
+  for (size_t I = 0; I < G.size(); ++I) {
+    unsigned C = CycleOf[I];
+    if (++SlotsPerCycle[C] > M.IssueWidth)
+      return Fail(formatString("issue width exceeded in cycle %u", C));
+    auto &Units = PerCycle[C];
+    if (++Units[static_cast<size_t>(G.node(I).unit())] >
+        M.unitsFor(G.node(I).unit()))
+      return Fail(formatString("unit oversubscribed in cycle %u", C));
+  }
+  return true;
+}

@@ -1,0 +1,44 @@
+//===- sched/ListScheduler.h - Cycle-driven list scheduling -----*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic cycle-by-cycle list scheduling of a DepGraph onto a
+/// MachineModel: each cycle issues ready nodes (operand latencies
+/// satisfied) into free functional units up to the issue width, choosing
+/// by longest remaining critical path (the standard priority).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SCHED_LISTSCHEDULER_H
+#define TPDBT_SCHED_LISTSCHEDULER_H
+
+#include "sched/DepGraph.h"
+
+#include <vector>
+
+namespace tpdbt {
+namespace sched {
+
+/// A finished schedule.
+struct Schedule {
+  /// Issue cycle per node (0-based).
+  std::vector<unsigned> CycleOf;
+  /// Total cycles until the last result is available.
+  unsigned Length = 0;
+
+  /// Verifies dependence and resource feasibility against the inputs;
+  /// used by tests.
+  bool verify(const DepGraph &G, const MachineModel &M,
+              std::string *Error = nullptr) const;
+};
+
+/// Schedules \p G on \p M.
+Schedule listSchedule(const DepGraph &G, const MachineModel &M);
+
+} // namespace sched
+} // namespace tpdbt
+
+#endif // TPDBT_SCHED_LISTSCHEDULER_H

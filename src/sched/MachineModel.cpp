@@ -1,0 +1,56 @@
+//===- sched/MachineModel.cpp - VLIW-ish machine description ---------------===//
+
+#include "sched/MachineModel.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::sched;
+using namespace tpdbt::guest;
+
+UnitKind tpdbt::sched::unitFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return UnitKind::Mem;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FCmpLt:
+  case Opcode::IToF:
+  case Opcode::FToI:
+  case Opcode::FConst:
+    return UnitKind::Fp;
+  default:
+    return UnitKind::Int;
+  }
+}
+
+unsigned tpdbt::sched::latencyOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mul:
+  case Opcode::MulI:
+    return 4;
+  case Opcode::Divs:
+  case Opcode::Rems:
+    return 12;
+  case Opcode::Load:
+    return 3;
+  case Opcode::Store:
+    return 1;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FCmpLt:
+    return 4;
+  case Opcode::FMul:
+    return 5;
+  case Opcode::FDiv:
+    return 20;
+  case Opcode::IToF:
+  case Opcode::FToI:
+    return 3;
+  default:
+    return 1; // simple integer / move / nop
+  }
+}

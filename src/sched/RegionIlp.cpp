@@ -1,0 +1,42 @@
+//===- sched/RegionIlp.cpp - Per-region ILP analysis -----------------------===//
+
+#include "sched/RegionIlp.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::sched;
+
+DepGraph tpdbt::sched::buildRegionDepGraph(const region::Region &R,
+                                           const guest::Program &P) {
+  DepGraph G;
+  // Region node indices are topologically ordered by construction, so
+  // appending in index order flattens the hyperblock along control flow.
+  for (const region::RegionNode &N : R.Nodes) {
+    const guest::Block &B = P.Blocks[N.Orig];
+    for (const guest::Inst &In : B.Insts)
+      G.addInst(In);
+    G.addTerminator(B.Term);
+  }
+  return G;
+}
+
+RegionIlpReport tpdbt::sched::analyzeRegionIlp(const region::Region &R,
+                                               const guest::Program &P,
+                                               const MachineModel &M) {
+  DepGraph G = buildRegionDepGraph(R, P);
+  RegionIlpReport Out;
+  Out.Insts = G.size();
+  if (G.size() == 0)
+    return Out;
+  Out.CriticalPath = G.criticalPathLength();
+  Schedule Wide = listSchedule(G, M);
+  Schedule Scalar = listSchedule(G, MachineModel::scalar());
+  Out.ScheduleLength = Wide.Length;
+  Out.ScalarLength = Scalar.Length;
+  Out.Ilp = static_cast<double>(Out.Insts) /
+            static_cast<double>(Wide.Length);
+  Out.SpeedupVsScalar = static_cast<double>(Scalar.Length) /
+                        static_cast<double>(Wide.Length);
+  return Out;
+}

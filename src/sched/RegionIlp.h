@@ -1,0 +1,49 @@
+//===- sched/RegionIlp.h - Per-region ILP analysis --------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Schedules a formed region as one if-converted hyperblock (the paper's
+/// optimization phase applies "advanced optimizations ... and instruction
+/// scheduling" [11][15]) and reports the instruction-level parallelism
+/// the machine model can extract — the Section 4.4 performance factor
+/// that prediction accuracy alone does not capture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SCHED_REGIONILP_H
+#define TPDBT_SCHED_REGIONILP_H
+
+#include "guest/Program.h"
+#include "region/Region.h"
+#include "sched/ListScheduler.h"
+
+namespace tpdbt {
+namespace sched {
+
+/// Scheduling summary of one region.
+struct RegionIlpReport {
+  uint64_t Insts = 0;           ///< instructions incl. terminators
+  unsigned CriticalPath = 0;    ///< latency lower bound
+  unsigned ScheduleLength = 0;  ///< cycles on the wide machine
+  unsigned ScalarLength = 0;    ///< cycles on the single-issue machine
+  double Ilp = 0.0;             ///< Insts / ScheduleLength
+  double SpeedupVsScalar = 0.0; ///< ScalarLength / ScheduleLength
+};
+
+/// Builds the region's hyperblock dependence graph: every node's
+/// instructions in region (topological) order, terminators included.
+DepGraph buildRegionDepGraph(const region::Region &R,
+                             const guest::Program &P);
+
+/// Schedules the region on \p M (and on the scalar baseline) and reports.
+RegionIlpReport analyzeRegionIlp(const region::Region &R,
+                                 const guest::Program &P,
+                                 const MachineModel &M);
+
+} // namespace sched
+} // namespace tpdbt
+
+#endif // TPDBT_SCHED_REGIONILP_H

@@ -1,0 +1,72 @@
+//===- support/Format.cpp - String formatting helpers --------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tpdbt;
+
+std::string tpdbt::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string tpdbt::thresholdLabel(uint64_t Threshold) {
+  if (Threshold >= 1000000 && Threshold % 1000000 == 0)
+    return formatString("%lluM",
+                        static_cast<unsigned long long>(Threshold / 1000000));
+  if (Threshold >= 1000 && Threshold % 1000 == 0)
+    return formatString("%lluk",
+                        static_cast<unsigned long long>(Threshold / 1000));
+  return formatString("%llu", static_cast<unsigned long long>(Threshold));
+}
+
+uint64_t tpdbt::parseThresholdLabel(const std::string &Label) {
+  if (Label.empty())
+    return 0;
+  uint64_t Mult = 1;
+  std::string Digits = Label;
+  char Last = Label.back();
+  if (Last == 'k' || Last == 'K') {
+    Mult = 1000;
+    Digits.pop_back();
+  } else if (Last == 'M' || Last == 'm') {
+    Mult = 1000000;
+    Digits.pop_back();
+  }
+  if (Digits.empty())
+    return 0;
+  for (char C : Digits)
+    if (C < '0' || C > '9')
+      return 0;
+  return std::strtoull(Digits.c_str(), nullptr, 10) * Mult;
+}
+
+std::string tpdbt::formatDouble(double Value, int Digits) {
+  return formatString("%.*f", Digits, Value);
+}
+
+std::string tpdbt::join(const std::vector<std::string> &Parts,
+                        const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}

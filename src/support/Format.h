@@ -1,0 +1,44 @@
+//===- support/Format.h - String formatting helpers ------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and the threshold labels used on the
+/// paper's x-axes ("100", "2k", "4M", ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_FORMAT_H
+#define TPDBT_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+
+/// printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a retranslation threshold the way the paper labels it:
+/// 100 -> "100", 1000 -> "1k", 2000 -> "2k", 1000000 -> "1M", 4000000 ->
+/// "4M". Values that are not clean multiples fall back to plain digits.
+std::string thresholdLabel(uint64_t Threshold);
+
+/// Parses a threshold label ("2k", "4M", "500") back to a number. Returns 0
+/// on malformed input.
+uint64_t parseThresholdLabel(const std::string &Label);
+
+/// Formats a double with \p Digits fractional digits.
+std::string formatDouble(double Value, int Digits = 3);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_FORMAT_H

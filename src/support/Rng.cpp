@@ -1,0 +1,82 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+
+#include "support/Rng.h"
+
+using namespace tpdbt;
+
+uint64_t tpdbt::splitMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t tpdbt::combineSeeds(uint64_t A, uint64_t B) {
+  return splitMix64(A ^ (splitMix64(B) + 0x9e3779b97f4a7c15ULL + (A << 6) +
+                         (A >> 2)));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro
+  // authors; guards against the all-zero state.
+  uint64_t S = Seed;
+  for (auto &Word : State) {
+    S = splitMix64(S);
+    Word = S;
+  }
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow bound must be positive");
+  // Rejection-free (slightly biased for huge bounds, irrelevant here):
+  // multiply-shift reduction.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(next()) * Bound) >> 64);
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // full 64-bit range
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+double Rng::nextGaussian(double Mean, double Sigma) {
+  // Irwin-Hall with 12 uniforms: mean 6, variance 1.
+  double Sum = 0.0;
+  for (int I = 0; I < 12; ++I)
+    Sum += nextDouble();
+  return Mean + Sigma * (Sum - 6.0);
+}

@@ -1,0 +1,67 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the tpdbt project: reproduction of "The Accuracy of Initial
+// Prediction in Two-Phase Dynamic Binary Translators" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generators. Everything in tpdbt
+/// that needs randomness (workload generation, property tests) goes through
+/// these so that every run of every experiment is bit-reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_RNG_H
+#define TPDBT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace tpdbt {
+
+/// Mixes a 64-bit value into a well-distributed 64-bit value (SplitMix64
+/// finalizer). Used both for seeding and as a stateless hash.
+uint64_t splitMix64(uint64_t X);
+
+/// Combines two seeds into one; order-sensitive.
+uint64_t combineSeeds(uint64_t A, uint64_t B);
+
+/// Small, fast xoshiro256** generator.
+///
+/// Streams created with distinct seeds are independent for our purposes.
+/// The default-constructed generator uses a fixed documented seed so that
+/// forgetting to seed is still deterministic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64 expansion.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Returns a sample from a (approximately) normal distribution with the
+  /// given mean and standard deviation, via the sum-of-uniforms method.
+  double nextGaussian(double Mean, double Sigma);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_RNG_H

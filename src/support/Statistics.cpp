@@ -1,0 +1,83 @@
+//===- support/Statistics.cpp - Weighted statistics helpers --------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace tpdbt;
+
+void WeightedDeviation::add(double Predicted, double Measured,
+                            double Weight) {
+  assert(Weight >= 0.0 && "negative weight");
+  double Diff = Predicted - Measured;
+  SumW += Weight;
+  SumW2Diff += Diff * Diff * Weight;
+  ++Count;
+}
+
+double WeightedDeviation::deviation() const {
+  if (SumW <= 0.0)
+    return 0.0;
+  return std::sqrt(SumW2Diff / SumW);
+}
+
+void WeightedMismatch::add(bool Mismatch, double Weight) {
+  assert(Weight >= 0.0 && "negative weight");
+  SumW += Weight;
+  if (Mismatch)
+    SumMismatchW += Weight;
+  ++Count;
+}
+
+double WeightedMismatch::rate() const {
+  if (SumW <= 0.0)
+    return 0.0;
+  return SumMismatchW / SumW;
+}
+
+void RunningStats::add(double X) {
+  if (Count == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  ++Count;
+  Sum += X;
+  SumSq += X * X;
+}
+
+double RunningStats::mean() const {
+  return Count ? Sum / static_cast<double>(Count) : 0.0;
+}
+
+double RunningStats::stddev() const {
+  if (Count == 0)
+    return 0.0;
+  double M = mean();
+  double Var = SumSq / static_cast<double>(Count) - M * M;
+  return Var > 0.0 ? std::sqrt(Var) : 0.0;
+}
+
+double tpdbt::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double tpdbt::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

@@ -1,0 +1,95 @@
+//===- support/Statistics.h - Weighted statistics helpers ------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weighted-deviation statistics used by the paper's metrics (Sections
+/// 2.1-2.3): the frequency-weighted standard deviation of a predicted
+/// probability from a measured probability, plus generic running stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_STATISTICS_H
+#define TPDBT_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+
+/// Accumulates the paper's weighted standard deviation:
+///   sqrt( sum_i (P(i) - M(i))^2 * W(i) / sum_i W(i) )
+/// where P is the predicted probability, M the measured (average) one and W
+/// the block/region weight. This is exactly the Sd.BP / Sd.CP / Sd.LP
+/// formula from Sections 2.1-2.3.
+class WeightedDeviation {
+public:
+  /// Adds one (predicted, measured, weight) sample. Zero weights are
+  /// accepted and contribute nothing.
+  void add(double Predicted, double Measured, double Weight);
+
+  /// Number of samples added (including zero-weight ones).
+  size_t count() const { return Count; }
+
+  /// Total weight added.
+  double totalWeight() const { return SumW; }
+
+  /// The weighted standard deviation; 0 when no weight has been added.
+  double deviation() const;
+
+private:
+  double SumW = 0.0;
+  double SumW2Diff = 0.0;
+  size_t Count = 0;
+};
+
+/// Accumulates a weighted mismatch rate: the fraction of weight whose
+/// samples were flagged as mismatching. Used for Figures 10-12 and 15-16.
+class WeightedMismatch {
+public:
+  void add(bool Mismatch, double Weight);
+
+  size_t count() const { return Count; }
+  double totalWeight() const { return SumW; }
+
+  /// Mismatching weight / total weight; 0 when no weight has been added.
+  double rate() const;
+
+private:
+  double SumW = 0.0;
+  double SumMismatchW = 0.0;
+  size_t Count = 0;
+};
+
+/// Plain running statistics (unweighted) used by tests and reports.
+class RunningStats {
+public:
+  void add(double X);
+
+  size_t count() const { return Count; }
+  double mean() const;
+  double min() const { return Count ? Min : 0.0; }
+  double max() const { return Count ? Max : 0.0; }
+  /// Population standard deviation.
+  double stddev() const;
+
+private:
+  size_t Count = 0;
+  double Sum = 0.0;
+  double SumSq = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values (all must be positive); 0 for empty input.
+double geomean(const std::vector<double> &Values);
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_STATISTICS_H

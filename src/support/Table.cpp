@@ -1,0 +1,97 @@
+//===- support/Table.cpp - Aligned text table / CSV output ---------------===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tpdbt;
+
+void Table::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+size_t Table::addRow() {
+  Rows.emplace_back();
+  return Rows.size() - 1;
+}
+
+void Table::addCell(std::string Value) {
+  assert(!Rows.empty() && "addRow before addCell");
+  Rows.back().push_back(std::move(Value));
+}
+
+void Table::addCell(double Value, int Digits) {
+  addCell(formatDouble(Value, Digits));
+}
+
+void Table::addCell(uint64_t Value) {
+  addCell(formatString("%llu", static_cast<unsigned long long>(Value)));
+}
+
+std::string Table::toText() const {
+  // Compute column widths over header + all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Row) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::string Out;
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+  }
+  auto Emit = [&Out, &Widths](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += "  ";
+      // Right-align numbers-ish cells; keep it simple: right-align all but
+      // the first column.
+      size_t Pad = Widths[I] - Row[I].size();
+      if (I == 0) {
+        Out += Row[I];
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Row[I];
+      }
+    }
+    Out += '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      Total += Widths[I] + (I ? 2 : 0);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+std::string Table::toCsv() const {
+  std::string Out;
+  auto Emit = [&Out](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += Row[I];
+    }
+    Out += '\n';
+  };
+  if (!Header.empty())
+    Emit(Header);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}

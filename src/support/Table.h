@@ -1,0 +1,54 @@
+//===- support/Table.h - Aligned text table / CSV output -------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny table builder used by the bench harnesses to print each paper
+/// figure as rows/series, and to dump the same data as CSV.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_TABLE_H
+#define TPDBT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+
+/// Column-aligned text table with an optional title. All cells are strings;
+/// numeric convenience adders format with a fixed digit count.
+class Table {
+public:
+  explicit Table(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Starts a new row and returns its index.
+  size_t addRow();
+
+  /// Appends a cell to the last row.
+  void addCell(std::string Value);
+  void addCell(double Value, int Digits = 3);
+  void addCell(uint64_t Value);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders with space-aligned columns, suitable for terminal output.
+  std::string toText() const;
+
+  /// Renders as CSV (header first when present).
+  std::string toCsv() const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_TABLE_H

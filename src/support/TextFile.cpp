@@ -1,0 +1,39 @@
+//===- support/TextFile.cpp - Whole-file text I/O ------------------------===//
+
+#include "support/TextFile.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+using namespace tpdbt;
+
+std::optional<std::string> tpdbt::readTextFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Out;
+  char Buf[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+bool tpdbt::writeTextFile(const std::string &Path,
+                          const std::string &Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  bool Ok = Written == Contents.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+bool tpdbt::ensureDirectory(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::create_directories(Path, EC);
+  return !EC || std::filesystem::exists(Path);
+}

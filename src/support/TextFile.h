@@ -1,0 +1,33 @@
+//===- support/TextFile.h - Whole-file text I/O ----------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal whole-file read/write helpers used by profile serialization and
+/// the experiment result cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_TEXTFILE_H
+#define TPDBT_SUPPORT_TEXTFILE_H
+
+#include <optional>
+#include <string>
+
+namespace tpdbt {
+
+/// Reads the whole file; std::nullopt if it cannot be opened.
+std::optional<std::string> readTextFile(const std::string &Path);
+
+/// Writes (truncating) the whole file; returns false on failure.
+bool writeTextFile(const std::string &Path, const std::string &Contents);
+
+/// Creates a directory (and parents); returns false on failure other than
+/// "already exists".
+bool ensureDirectory(const std::string &Path);
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_TEXTFILE_H

@@ -1,0 +1,232 @@
+//===- vm/Interpreter.cpp - Block-level guest interpreter ------------------===//
+
+#include "vm/Interpreter.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+using namespace tpdbt;
+using namespace tpdbt::vm;
+using namespace tpdbt::guest;
+
+static inline double asDouble(int64_t Bits) {
+  return std::bit_cast<double>(Bits);
+}
+
+static inline int64_t asBits(double D) { return std::bit_cast<int64_t>(D); }
+
+BlockResult Interpreter::executeBlock(BlockId Id, Machine &M) const {
+  assert(Id < P.numBlocks() && "block id out of range");
+  const Block &B = P.Blocks[Id];
+  BlockResult R;
+  auto &Regs = M.Regs;
+  auto &Mem = M.Mem;
+  const size_t MemSize = Mem.size();
+
+  for (const Inst &In : B.Insts) {
+    switch (In.Op) {
+    case Opcode::Add:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) +
+                                         static_cast<uint64_t>(Regs[In.Rb]));
+      break;
+    case Opcode::Sub:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) -
+                                         static_cast<uint64_t>(Regs[In.Rb]));
+      break;
+    case Opcode::Mul:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) *
+                                         static_cast<uint64_t>(Regs[In.Rb]));
+      break;
+    case Opcode::Divs:
+      Regs[In.Rd] = (Regs[In.Rb] == 0 ||
+                     (Regs[In.Ra] == INT64_MIN && Regs[In.Rb] == -1))
+                        ? 0
+                        : Regs[In.Ra] / Regs[In.Rb];
+      break;
+    case Opcode::Rems:
+      Regs[In.Rd] = (Regs[In.Rb] == 0 ||
+                     (Regs[In.Ra] == INT64_MIN && Regs[In.Rb] == -1))
+                        ? 0
+                        : Regs[In.Ra] % Regs[In.Rb];
+      break;
+    case Opcode::And:
+      Regs[In.Rd] = Regs[In.Ra] & Regs[In.Rb];
+      break;
+    case Opcode::Or:
+      Regs[In.Rd] = Regs[In.Ra] | Regs[In.Rb];
+      break;
+    case Opcode::Xor:
+      Regs[In.Rd] = Regs[In.Ra] ^ Regs[In.Rb];
+      break;
+    case Opcode::Shl:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra])
+                                         << (Regs[In.Rb] & 63));
+      break;
+    case Opcode::Shr:
+      Regs[In.Rd] = static_cast<int64_t>(
+          static_cast<uint64_t>(Regs[In.Ra]) >> (Regs[In.Rb] & 63));
+      break;
+    case Opcode::Sar:
+      Regs[In.Rd] = Regs[In.Ra] >> (Regs[In.Rb] & 63);
+      break;
+    case Opcode::AddI:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) +
+                                         static_cast<uint64_t>(In.Imm));
+      break;
+    case Opcode::MulI:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) *
+                                         static_cast<uint64_t>(In.Imm));
+      break;
+    case Opcode::AndI:
+      Regs[In.Rd] = Regs[In.Ra] & In.Imm;
+      break;
+    case Opcode::OrI:
+      Regs[In.Rd] = Regs[In.Ra] | In.Imm;
+      break;
+    case Opcode::XorI:
+      Regs[In.Rd] = Regs[In.Ra] ^ In.Imm;
+      break;
+    case Opcode::ShlI:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra])
+                                         << (In.Imm & 63));
+      break;
+    case Opcode::ShrI:
+      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) >>
+                                         (In.Imm & 63));
+      break;
+    case Opcode::CmpEq:
+      Regs[In.Rd] = Regs[In.Ra] == Regs[In.Rb];
+      break;
+    case Opcode::CmpLt:
+      Regs[In.Rd] = Regs[In.Ra] < Regs[In.Rb];
+      break;
+    case Opcode::CmpLtU:
+      Regs[In.Rd] = static_cast<uint64_t>(Regs[In.Ra]) <
+                    static_cast<uint64_t>(Regs[In.Rb]);
+      break;
+    case Opcode::CmpEqI:
+      Regs[In.Rd] = Regs[In.Ra] == In.Imm;
+      break;
+    case Opcode::CmpLtI:
+      Regs[In.Rd] = Regs[In.Ra] < In.Imm;
+      break;
+    case Opcode::CmpLtUI:
+      Regs[In.Rd] = static_cast<uint64_t>(Regs[In.Ra]) <
+                    static_cast<uint64_t>(In.Imm);
+      break;
+    case Opcode::MovI:
+      Regs[In.Rd] = In.Imm;
+      break;
+    case Opcode::Mov:
+      Regs[In.Rd] = Regs[In.Ra];
+      break;
+    case Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(Regs[In.Ra]) +
+                      static_cast<uint64_t>(In.Imm);
+      if (Addr >= MemSize) {
+        R.Reason = StopReason::MemFault;
+        R.InstsExecuted += 1;
+        return R;
+      }
+      Regs[In.Rd] = Mem[Addr];
+      break;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(Regs[In.Ra]) +
+                      static_cast<uint64_t>(In.Imm);
+      if (Addr >= MemSize) {
+        R.Reason = StopReason::MemFault;
+        R.InstsExecuted += 1;
+        return R;
+      }
+      Mem[Addr] = Regs[In.Rb];
+      break;
+    }
+    case Opcode::FAdd:
+      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) + asDouble(Regs[In.Rb]));
+      break;
+    case Opcode::FSub:
+      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) - asDouble(Regs[In.Rb]));
+      break;
+    case Opcode::FMul:
+      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) * asDouble(Regs[In.Rb]));
+      break;
+    case Opcode::FDiv:
+      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) / asDouble(Regs[In.Rb]));
+      break;
+    case Opcode::FConst:
+      Regs[In.Rd] = In.Imm; // Imm carries the raw double bits
+      break;
+    case Opcode::FCmpLt:
+      Regs[In.Rd] = asDouble(Regs[In.Ra]) < asDouble(Regs[In.Rb]);
+      break;
+    case Opcode::IToF:
+      Regs[In.Rd] = asBits(static_cast<double>(Regs[In.Ra]));
+      break;
+    case Opcode::FToI: {
+      double D = asDouble(Regs[In.Ra]);
+      Regs[In.Rd] = std::isfinite(D) ? static_cast<int64_t>(D) : 0;
+      break;
+    }
+    case Opcode::Nop:
+      break;
+    }
+    ++R.InstsExecuted;
+  }
+
+  // Terminator (counts as one executed instruction).
+  ++R.InstsExecuted;
+  const Terminator &T = B.Term;
+  switch (T.Kind) {
+  case TermKind::Jump:
+    R.Next = T.Taken;
+    return R;
+  case TermKind::Halt:
+    R.Reason = StopReason::Halted;
+    return R;
+  case TermKind::Branch: {
+    bool Cond = false;
+    int64_t A = Regs[T.Ra];
+    switch (T.Cond) {
+    case CondKind::Eq:
+      Cond = A == Regs[T.Rb];
+      break;
+    case CondKind::Ne:
+      Cond = A != Regs[T.Rb];
+      break;
+    case CondKind::Lt:
+      Cond = A < Regs[T.Rb];
+      break;
+    case CondKind::Ge:
+      Cond = A >= Regs[T.Rb];
+      break;
+    case CondKind::LtU:
+      Cond = static_cast<uint64_t>(A) < static_cast<uint64_t>(Regs[T.Rb]);
+      break;
+    case CondKind::GeU:
+      Cond = static_cast<uint64_t>(A) >= static_cast<uint64_t>(Regs[T.Rb]);
+      break;
+    case CondKind::EqI:
+      Cond = A == T.Imm;
+      break;
+    case CondKind::NeI:
+      Cond = A != T.Imm;
+      break;
+    case CondKind::LtI:
+      Cond = A < T.Imm;
+      break;
+    case CondKind::GeI:
+      Cond = A >= T.Imm;
+      break;
+    }
+    R.IsCondBranch = true;
+    R.Taken = Cond;
+    R.Next = Cond ? T.Taken : T.Fallthrough;
+    return R;
+  }
+  }
+  assert(false && "unknown terminator kind");
+  return R;
+}

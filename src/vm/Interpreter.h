@@ -1,0 +1,102 @@
+//===- vm/Interpreter.h - Block-level guest interpreter ---------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A block-at-a-time interpreter for guest programs.
+///
+/// The two-phase DBT engine (src/dbt) drives execution one block at a time
+/// via executeBlock() — exactly the granularity at which IA32EL's profiling
+/// phase instruments code (per-block "use" and "taken" counters). The
+/// convenience run() loop is used for plain profiling runs (AVEP) and by
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_VM_INTERPRETER_H
+#define TPDBT_VM_INTERPRETER_H
+
+#include "guest/Program.h"
+#include "vm/Machine.h"
+
+#include <cstdint>
+
+namespace tpdbt {
+namespace vm {
+
+/// Why block execution stopped advancing.
+enum class StopReason : uint8_t {
+  Running,    ///< block completed; Next is valid
+  Halted,     ///< executed a Halt terminator
+  MemFault,   ///< out-of-bounds memory access
+  BlockLimit, ///< run() exhausted its block budget
+};
+
+/// Result of executing one block.
+struct BlockResult {
+  guest::BlockId Next = guest::InvalidBlock;
+  StopReason Reason = StopReason::Running;
+  bool IsCondBranch = false; ///< block ends in a conditional branch
+  bool Taken = false;        ///< branch outcome; valid if IsCondBranch
+  uint32_t InstsExecuted = 0;
+};
+
+/// Aggregate outcome of a run() loop.
+struct RunOutcome {
+  StopReason Reason = StopReason::Halted;
+  uint64_t BlocksExecuted = 0;
+  uint64_t InstsExecuted = 0;
+  guest::BlockId LastBlock = guest::InvalidBlock;
+};
+
+/// Interprets one program. The interpreter holds only a reference to the
+/// program; the caller owns machine state, so multiple independent runs can
+/// share one Interpreter.
+class Interpreter {
+public:
+  explicit Interpreter(const guest::Program &P) : P(P) {}
+
+  const guest::Program &program() const { return P; }
+
+  /// Executes the straight-line body and terminator of block \p Id against
+  /// \p M. Returns where control goes next.
+  BlockResult executeBlock(guest::BlockId Id, Machine &M) const;
+
+  /// Runs from the program entry until Halt, a fault, or \p MaxBlocks
+  /// block executions. \p OnBlock is invoked as
+  /// OnBlock(BlockId, const BlockResult &) after each block.
+  template <typename CallbackT>
+  RunOutcome run(Machine &M, uint64_t MaxBlocks, CallbackT &&OnBlock) const {
+    RunOutcome Out;
+    guest::BlockId Cur = P.Entry;
+    while (Out.BlocksExecuted < MaxBlocks) {
+      BlockResult R = executeBlock(Cur, M);
+      ++Out.BlocksExecuted;
+      Out.InstsExecuted += R.InstsExecuted;
+      Out.LastBlock = Cur;
+      OnBlock(Cur, R);
+      if (R.Reason != StopReason::Running) {
+        Out.Reason = R.Reason;
+        return Out;
+      }
+      Cur = R.Next;
+    }
+    Out.Reason = StopReason::BlockLimit;
+    return Out;
+  }
+
+  /// run() without a callback.
+  RunOutcome run(Machine &M, uint64_t MaxBlocks) const {
+    return run(M, MaxBlocks, [](guest::BlockId, const BlockResult &) {});
+  }
+
+private:
+  const guest::Program &P;
+};
+
+} // namespace vm
+} // namespace tpdbt
+
+#endif // TPDBT_VM_INTERPRETER_H

@@ -1,0 +1,14 @@
+//===- vm/Machine.cpp - Guest machine state --------------------------------===//
+
+#include "vm/Machine.h"
+
+#include <algorithm>
+
+using namespace tpdbt;
+using namespace tpdbt::vm;
+
+void Machine::reset(const guest::Program &P) {
+  Regs.fill(0);
+  Mem.assign(P.MemWords, 0);
+  std::copy(P.InitialMem.begin(), P.InitialMem.end(), Mem.begin());
+}

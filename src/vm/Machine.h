@@ -1,0 +1,38 @@
+//===- vm/Machine.h - Guest machine state -----------------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architectural state of the guest machine: 32 registers and a flat
+/// word-addressed memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_VM_MACHINE_H
+#define TPDBT_VM_MACHINE_H
+
+#include "guest/Program.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+namespace vm {
+
+/// Guest architectural state. reset() re-initializes it for a program:
+/// registers zeroed, memory sized to Program::MemWords and overlaid with
+/// the initial image.
+struct Machine {
+  std::array<int64_t, guest::NumRegs> Regs{};
+  std::vector<int64_t> Mem;
+
+  void reset(const guest::Program &P);
+};
+
+} // namespace vm
+} // namespace tpdbt
+
+#endif // TPDBT_VM_MACHINE_H

@@ -1,0 +1,129 @@
+//===- workloads/BenchSpec.h - Synthetic SPEC2000 descriptors ---*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptors for the synthetic SPEC2000 stand-in suite.
+///
+/// SPEC2000 is proprietary; the study, however, only depends on the
+/// *statistical behaviour* of each benchmark's branches and loops: branch
+/// probability distributions, their drift over time (phases), loop
+/// trip-count distributions, and how well the training input predicts the
+/// reference input. Each BenchSpec encodes those knobs for one benchmark,
+/// calibrated to the per-benchmark findings reported in the paper's
+/// Section 4 (see DESIGN.md Section 5 for the inventory). The generator
+/// (Generator.h) turns a spec into a real guest program whose branch
+/// predicates and loop bounds are computed by guest code from
+/// input-dependent memory, so "ref" and "train" are literally the same
+/// code with different data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_WORKLOADS_BENCHSPEC_H
+#define TPDBT_WORKLOADS_BENCHSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace workloads {
+
+/// Behaviour descriptor for one synthetic benchmark.
+struct BenchSpec {
+  std::string Name;
+  bool IsFp = false;
+  uint64_t Seed = 1;
+
+  /// Outer driver-loop iterations ("ticks") for the two inputs.
+  uint64_t OuterItersRef = 60000;
+  uint64_t OuterItersTrain = 18000;
+
+  /// Phase behaviour: tick values at which behaviour shifts (phase 0 ->
+  /// 1 at Break1, 1 -> 2 at Break2). Breaks beyond OuterItersRef never
+  /// fire.
+  int NumPhases = 1;
+  uint64_t Break1 = ~0ull;
+  uint64_t Break2 = ~0ull;
+
+  /// Per-phase branch-probability shift: theta_p = clamp(theta +
+  /// ThetaPhaseCoef[p] * dir_site * ThetaDriftMag) where dir_site is a
+  /// per-site deterministic sign.
+  double ThetaPhaseCoef[3] = {0.0, 0.0, 0.0};
+  double ThetaDriftMag = 0.0;
+
+  /// Per-phase loop trip-count scaling: trips_p = base *
+  /// TripPhaseFactor^(TripPhaseExp[p] * dir_loop).
+  double TripPhaseExp[3] = {0.0, 0.0, 0.0};
+  double TripPhaseFactor = 1.0;
+  /// Fraction of loops whose trip ranges follow the phase scaling.
+  double TripPhaseFrac = 1.0;
+  /// Base trip range for loops whose trips *grow* across phases (their
+  /// early profile must look low-trip); mcf keeps the default low range
+  /// so the flip also crosses the 0.7 branch-probability boundary, while
+  /// vpr/gcc use a higher range so only the trip-count class flips.
+  int TripFlipLowBaseLo = 2, TripFlipLowBaseHi = 8;
+
+  /// When true, each loop selects its trip-range phase from its *own*
+  /// entry count instead of the global tick — models benchmarks (mcf)
+  /// whose loops change trip-count class after a given number of loop
+  /// executions (phase 0 -> 1 at LoopBreak1 entries, 1 -> 2 at
+  /// LoopBreak2).
+  bool LoopLocalPhases = false;
+  uint64_t LoopBreak1 = ~0ull;
+  uint64_t LoopBreak2 = ~0ull;
+
+  /// Magnitude of smooth (per-1024-ticks) branch-probability drift; models
+  /// benchmarks whose accuracy keeps improving with larger thresholds
+  /// (gap, parser, wupwise).
+  double SmoothDriftMag = 0.0;
+
+  /// Fraction of branch sites placed near the 0.3 / 0.7 classification
+  /// boundaries (drives persistent range-mismatch, e.g. crafty).
+  double NearBoundaryFrac = 0.15;
+  /// Fraction of genuinely two-sided (0.4..0.6) sites.
+  double MidFrac = 0.2;
+
+  /// Training-input divergence: per-site probability offset sigma and
+  /// per-loop log-trip sigma. Large values model unrepresentative training
+  /// inputs (perlbmk, lucas, apsi).
+  double TrainThetaSigma = 0.05;
+  double TrainTripSigma = 0.1;
+
+  /// Kernel mix.
+  int NumChainKernels = 3;   ///< 3 biased sites each, likely path onward
+  int NumDiamondKernels = 2; ///< one balanced site with rejoining arms
+  int NumBranchKernels = 3;  ///< one biased site each
+  int NumLoopKernels = 3;    ///< single bottom-test loops
+  int NumNestKernels = 1;    ///< two-level loop nests
+
+  /// Base trip-count ranges the generator draws from.
+  int LoopTripLo = 2, LoopTripHi = 40;
+  int NestOuterLo = 4, NestOuterHi = 10;
+  int NestInnerLo = 4, NestInnerHi = 12;
+
+  /// Safety cap on interpreted block events per run.
+  uint64_t MaxBlockEvents = 600000000ull;
+};
+
+/// The full 26-benchmark suite (12 INT + 14 FP), calibrated per DESIGN.md
+/// Section 5. Order: the 12 INT benchmarks first, then the 14 FP ones.
+const std::vector<BenchSpec> &spec2000Suite();
+
+/// Finds a spec by name; nullptr when unknown.
+const BenchSpec *findSpec(const std::string &Name);
+
+/// Names of the INT / FP subsets, in suite order.
+std::vector<std::string> intBenchmarkNames();
+std::vector<std::string> fpBenchmarkNames();
+
+/// Returns a copy of \p Spec with execution lengths (and phase breaks)
+/// scaled by \p Factor — used by tests and quick runs.
+BenchSpec scaledSpec(const BenchSpec &Spec, double Factor);
+
+} // namespace workloads
+} // namespace tpdbt
+
+#endif // TPDBT_WORKLOADS_BENCHSPEC_H

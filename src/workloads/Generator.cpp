@@ -1,0 +1,554 @@
+//===- workloads/Generator.cpp - Benchmark program generation --------------===//
+
+#include "workloads/Generator.h"
+
+#include "guest/ProgramBuilder.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace tpdbt;
+using namespace tpdbt::workloads;
+using namespace tpdbt::guest;
+
+namespace {
+
+// Register conventions of generated code.
+enum : uint8_t {
+  RZero = 0,   // always 0 (absolute addressing base)
+  RScr1 = 1,   // LCG / scratch
+  RScr2 = 2,
+  RScr3 = 3,
+  RScr4 = 4,
+  RScr5 = 5,
+  ROutLimit = 5, // outer (nest) loop limit — disjoint from LCG scratch use
+  ROutCnt = 6,
+  RInLimit = 7,
+  RInCnt = 8,
+  RBody1 = 10, // body compute scratch
+  RBody2 = 11,
+  RBody3 = 12,
+  RLocalPhase = 13, // per-loop phase (LoopLocalPhases specs)
+  RCnt = 14,        // per-loop entry counter scratch
+  RScr6 = 15,
+  RScr7 = 16,
+  RFp1 = 20,
+  RFp2 = 21,
+  RFp3 = 22,
+  RPhase = 29, // current phase index (0..2)
+  RTick = 30,  // outer driver-loop counter
+  ROuter = 31, // total driver iterations
+};
+
+constexpr int64_t LcgA = 6364136223846793005LL;
+constexpr int64_t LcgC = 1442695040888963407LL;
+constexpr double ThetaScale = 2147483648.0; // 2^31
+
+/// Converts a probability to the 31-bit comparison threshold.
+int64_t thetaToMem(double Theta) {
+  double T = std::clamp(Theta, 0.0, 1.0);
+  return static_cast<int64_t>(T * ThetaScale);
+}
+
+/// Shifts a probability by \p Delta, reflecting at the [0.02, 0.98] walls
+/// so phase drift always produces a visible change.
+double shiftTheta(double Theta, double Delta) {
+  double Out = Theta + Delta;
+  if (Out > 0.98 || Out < 0.02)
+    Out = Theta - Delta;
+  return std::clamp(Out, 0.01, 0.99);
+}
+
+/// Memory parameters of one branch site.
+struct SiteParams {
+  uint64_t ThetaBase = 0; // 3 words: per-phase threshold
+  uint64_t StateSlot = 0; // LCG state
+  uint64_t SlopeSlot = 0; // smooth-drift slope (0 when unused)
+  bool Smooth = false;
+};
+
+/// Memory parameters of one loop.
+struct LoopParams {
+  uint64_t LoBase = 0;   // 3 words: per-phase minimum trip count
+  uint64_t SpanBase = 0; // 3 words: per-phase (hi - lo + 1)
+  uint64_t StateSlot = 0;
+  // LoopLocalPhases only: entry counter and entry-count phase breaks.
+  bool LocalPhases = false;
+  uint64_t CntSlot = 0;
+  uint64_t Break1Slot = 0;
+  uint64_t Break2Slot = 0;
+};
+
+/// Builds the program and both memory images.
+class Generator {
+public:
+  explicit Generator(const BenchSpec &Spec)
+      : Spec(Spec), R(Spec.Seed), PB(Spec.Name) {}
+
+  GeneratedBenchmark generate();
+
+private:
+  // --- memory image management -------------------------------------------
+  uint64_t alloc(int64_t RefVal, int64_t TrainVal) {
+    RefMem.push_back(RefVal);
+    TrainMem.push_back(TrainVal);
+    return RefMem.size() - 1;
+  }
+  uint64_t alloc(int64_t Both) { return alloc(Both, Both); }
+
+  // --- behaviour parameter drawing ---------------------------------------
+  double drawTheta(bool BiasHigh);
+  SiteParams makeSite(bool BiasHigh);
+  LoopParams makeLoop(int TripLo, int TripHi);
+
+  // --- code emission ------------------------------------------------------
+  void emitLcg(uint64_t StateSlot, uint8_t Dst);
+  void emitDecision(const SiteParams &S, BlockId Taken, BlockId Fall);
+  void emitLoopBounds(const LoopParams &L, uint8_t LimitReg);
+  void emitIntBody(uint8_t CntReg);
+  void emitFpBody(uint8_t CntReg);
+  void emitBody(uint8_t CntReg) {
+    if (Spec.IsFp)
+      emitFpBody(CntReg);
+    else
+      emitIntBody(CntReg);
+  }
+
+  BlockId emitBranchKernel(BlockId Next, bool Balanced);
+  BlockId emitChainKernel(BlockId Next);
+  BlockId emitLoopKernel(BlockId Next);
+  BlockId emitNestKernel(BlockId Next);
+
+  const BenchSpec &Spec;
+  Rng R;
+  ProgramBuilder PB;
+  std::vector<int64_t> RefMem, TrainMem;
+  uint64_t IntArrBase = 0;
+  uint64_t FpArrBase = 0;
+  int SiteIndex = 0;
+  int LoopIndex = 0;
+};
+
+double Generator::drawTheta(bool BiasHigh) {
+  double U = R.nextDouble();
+  if (U < Spec.NearBoundaryFrac) {
+    double Boundary = R.nextBool(0.5) ? 0.7 : 0.3;
+    return std::clamp(Boundary + R.nextGaussian(0.0, 0.05), 0.02, 0.98);
+  }
+  if (U < Spec.NearBoundaryFrac + Spec.MidFrac)
+    return 0.4 + 0.2 * R.nextDouble();
+  if (BiasHigh)
+    return 0.78 + 0.19 * R.nextDouble();
+  if (Spec.IsFp)
+    return R.nextBool(0.75) ? 0.93 + 0.06 * R.nextDouble()
+                            : 0.02 + 0.06 * R.nextDouble();
+  return R.nextBool(0.6) ? 0.75 + 0.22 * R.nextDouble()
+                         : 0.03 + 0.22 * R.nextDouble();
+}
+
+SiteParams Generator::makeSite(bool BiasHigh) {
+  SiteParams S;
+  int Idx = SiteIndex++;
+  double Dir = R.nextBool(0.5) ? 1.0 : -1.0;
+  double Base = drawTheta(BiasHigh);
+  double TrainOffset = R.nextGaussian(0.0, Spec.TrainThetaSigma);
+
+  // Per-phase thresholds for both inputs.
+  int64_t RefTheta[3], TrainTheta[3];
+  for (int P = 0; P < 3; ++P) {
+    double Delta = Spec.ThetaPhaseCoef[P] * Dir * Spec.ThetaDriftMag;
+    double Ref = shiftTheta(Base, Delta);
+    RefTheta[P] = thetaToMem(Ref);
+    TrainTheta[P] = thetaToMem(std::clamp(Ref + TrainOffset, 0.01, 0.99));
+  }
+  S.ThetaBase = alloc(RefTheta[0], TrainTheta[0]);
+  alloc(RefTheta[1], TrainTheta[1]);
+  alloc(RefTheta[2], TrainTheta[2]);
+
+  uint64_t RefState = splitMix64(combineSeeds(Spec.Seed, 0x517e + Idx)) | 1;
+  uint64_t TrainState =
+      splitMix64(combineSeeds(Spec.Seed, 0x7a11 + Idx)) | 1;
+  S.StateSlot = alloc(static_cast<int64_t>(RefState),
+                      static_cast<int64_t>(TrainState));
+
+  // Smooth drift: theta moves gradually over the run; the per-1024-ticks
+  // slope is sized so the total drift over the run equals the drawn
+  // magnitude for either input.
+  S.Smooth = Spec.SmoothDriftMag > 0.0 && R.nextBool(0.6);
+  double Drift =
+      S.Smooth ? R.nextGaussian(0.0, Spec.SmoothDriftMag) * 10.0 : 0.0;
+  auto SlopeFor = [&](uint64_t Outer) {
+    double Steps = std::max<double>(1.0, static_cast<double>(Outer) / 1024.0);
+    return static_cast<int64_t>(Drift * ThetaScale / Steps);
+  };
+  S.SlopeSlot = alloc(SlopeFor(Spec.OuterItersRef),
+                      SlopeFor(Spec.OuterItersTrain));
+  return S;
+}
+
+LoopParams Generator::makeLoop(int TripLo, int TripHi) {
+  LoopParams L;
+  int Idx = LoopIndex++;
+  double Dir = (Idx % 2 == 0) ? 1.0 : -1.0;
+
+  // Base trip range: log-uniform midpoint, +/-40% span.
+  double LogMid = std::log(static_cast<double>(TripLo)) +
+                  R.nextDouble() * (std::log(static_cast<double>(TripHi)) -
+                                    std::log(static_cast<double>(TripLo)));
+  double Mid = std::exp(LogMid);
+  double TrainScale = std::exp(R.nextGaussian(0.0, Spec.TrainTripSigma));
+
+  bool PhaseAffected = Spec.TripPhaseFactor != 1.0 &&
+                       R.nextBool(Spec.TripPhaseFrac);
+  if (PhaseAffected && Spec.TripPhaseFactor < 1.0 && Dir < 0.0) {
+    // This loop's trips grow across phases; start it low so the class
+    // flips low -> high (the paper's mcf observation that the loops with
+    // actual high trip counts have low trip counts initially).
+    Mid = Spec.TripFlipLowBaseLo +
+          (Spec.TripFlipLowBaseHi - Spec.TripFlipLowBaseLo) *
+              R.nextDouble();
+  }
+
+  int64_t RefLo[3], RefSpan[3], TrainLo[3], TrainSpan[3];
+  for (int P = 0; P < 3; ++P) {
+    double Factor =
+        PhaseAffected
+            ? std::pow(Spec.TripPhaseFactor, Spec.TripPhaseExp[P] * Dir)
+            : 1.0;
+    auto Bounds = [&](double Scale, int64_t &Lo, int64_t &Span) {
+      double M = std::max(1.0, Mid * Factor * Scale);
+      Lo = std::max<int64_t>(1, static_cast<int64_t>(M * 0.6));
+      int64_t Hi = std::max<int64_t>(Lo, static_cast<int64_t>(M * 1.4));
+      Span = Hi - Lo + 1;
+    };
+    Bounds(1.0, RefLo[P], RefSpan[P]);
+    Bounds(TrainScale, TrainLo[P], TrainSpan[P]);
+  }
+  L.LoBase = alloc(RefLo[0], TrainLo[0]);
+  alloc(RefLo[1], TrainLo[1]);
+  alloc(RefLo[2], TrainLo[2]);
+  L.SpanBase = alloc(RefSpan[0], TrainSpan[0]);
+  alloc(RefSpan[1], TrainSpan[1]);
+  alloc(RefSpan[2], TrainSpan[2]);
+
+  uint64_t RefState = splitMix64(combineSeeds(Spec.Seed, 0x100b + Idx)) | 1;
+  uint64_t TrainState =
+      splitMix64(combineSeeds(Spec.Seed, 0x7e57 + Idx)) | 1;
+  L.StateSlot = alloc(static_cast<int64_t>(RefState),
+                      static_cast<int64_t>(TrainState));
+
+  L.LocalPhases = Spec.LoopLocalPhases;
+  if (L.LocalPhases) {
+    auto BreakVal = [](uint64_t V) {
+      return V == ~0ull ? INT64_MAX : static_cast<int64_t>(V);
+    };
+    L.CntSlot = alloc(0);
+    L.Break1Slot = alloc(BreakVal(Spec.LoopBreak1));
+    L.Break2Slot = alloc(BreakVal(Spec.LoopBreak2));
+  }
+  return L;
+}
+
+void Generator::emitLcg(uint64_t StateSlot, uint8_t Dst) {
+  PB.load(RScr1, RZero, static_cast<int64_t>(StateSlot));
+  PB.mulI(RScr1, RScr1, LcgA);
+  PB.addI(RScr1, RScr1, LcgC);
+  PB.store(RScr1, RZero, static_cast<int64_t>(StateSlot));
+  PB.shrI(Dst, RScr1, 33); // 31-bit uniform value
+}
+
+void Generator::emitDecision(const SiteParams &S, BlockId Taken,
+                             BlockId Fall) {
+  emitLcg(S.StateSlot, RScr2);
+  PB.load(RScr3, RPhase, static_cast<int64_t>(S.ThetaBase));
+  if (S.Smooth) {
+    PB.load(RScr4, RZero, static_cast<int64_t>(S.SlopeSlot));
+    PB.shrI(RScr5, RTick, 10);
+    PB.mul(RScr4, RScr4, RScr5);
+    PB.add(RScr3, RScr3, RScr4);
+  }
+  PB.branch(CondKind::LtU, RScr2, RScr3, Taken, Fall);
+}
+
+void Generator::emitLoopBounds(const LoopParams &L, uint8_t LimitReg) {
+  uint8_t PhaseReg = RPhase;
+  if (L.LocalPhases) {
+    // Branch-free local phase from the loop's own entry count:
+    // phase = 2 - (cnt < break1) - (cnt < break2).
+    PB.load(RCnt, RZero, static_cast<int64_t>(L.CntSlot));
+    PB.addI(RCnt, RCnt, 1);
+    PB.store(RCnt, RZero, static_cast<int64_t>(L.CntSlot));
+    PB.load(RScr6, RZero, static_cast<int64_t>(L.Break1Slot));
+    PB.emit({Opcode::CmpLt, RScr7, RCnt, RScr6, 0});
+    PB.movI(RLocalPhase, 2);
+    PB.sub(RLocalPhase, RLocalPhase, RScr7);
+    PB.load(RScr6, RZero, static_cast<int64_t>(L.Break2Slot));
+    PB.emit({Opcode::CmpLt, RScr7, RCnt, RScr6, 0});
+    PB.sub(RLocalPhase, RLocalPhase, RScr7);
+    PhaseReg = RLocalPhase;
+  }
+  emitLcg(L.StateSlot, RScr2);
+  PB.load(RScr3, PhaseReg, static_cast<int64_t>(L.LoBase));
+  PB.load(RScr4, PhaseReg, static_cast<int64_t>(L.SpanBase));
+  PB.emit({Opcode::Rems, RScr2, RScr2, RScr4, 0});
+  PB.add(LimitReg, RScr3, RScr2);
+}
+
+void Generator::emitIntBody(uint8_t CntReg) {
+  PB.andI(RBody1, CntReg, 255);
+  PB.load(RBody2, RBody1, static_cast<int64_t>(IntArrBase));
+  PB.xorR(RBody2, RBody2, CntReg);
+  PB.addI(RBody2, RBody2, 0x9e37);
+  PB.store(RBody2, RBody1, static_cast<int64_t>(IntArrBase));
+}
+
+void Generator::emitFpBody(uint8_t CntReg) {
+  PB.andI(RBody1, CntReg, 255);
+  PB.load(RFp1, RBody1, static_cast<int64_t>(FpArrBase));
+  PB.andI(RBody2, CntReg, 254);
+  PB.load(RFp2, RBody2, static_cast<int64_t>(FpArrBase));
+  PB.fadd(RFp3, RFp1, RFp2);
+  PB.emit({Opcode::FMul, RFp3, RFp3, RFp1, 0});
+  PB.store(RFp3, RBody1, static_cast<int64_t>(FpArrBase));
+}
+
+BlockId Generator::emitBranchKernel(BlockId Next, bool Balanced) {
+  SiteParams S = makeSite(false);
+  if (Balanced) {
+    // Force a genuinely two-sided site: overwrite the thresholds with a
+    // mid probability (phase drift still applies through the tables we
+    // just wrote, so rewrite all three phases).
+    double Base = 0.4 + 0.2 * R.nextDouble();
+    double Dir = R.nextBool(0.5) ? 1.0 : -1.0;
+    for (int P = 0; P < 3; ++P) {
+      double Delta = Spec.ThetaPhaseCoef[P] * Dir * Spec.ThetaDriftMag;
+      double Ref = shiftTheta(Base, Delta);
+      RefMem[S.ThetaBase + P] = thetaToMem(Ref);
+      TrainMem[S.ThetaBase + P] = thetaToMem(
+          std::clamp(Ref + R.nextGaussian(0.0, Spec.TrainThetaSigma), 0.01,
+                     0.99));
+    }
+  }
+
+  BlockId D = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId M = PB.createBlock();
+  PB.switchTo(D);
+  emitDecision(S, A, B);
+  PB.switchTo(A);
+  emitBody(RTick);
+  PB.jump(M);
+  PB.switchTo(B);
+  PB.addI(RBody3, RTick, 17);
+  emitBody(RBody3);
+  PB.jump(M);
+  PB.switchTo(M);
+  PB.emit({Opcode::Nop, 0, 0, 0, 0});
+  PB.jump(Next);
+  return D;
+}
+
+BlockId Generator::emitChainKernel(BlockId Next) {
+  // Three biased sites; each taken edge continues the chain, each
+  // fallthrough bails to the kernel end.
+  BlockId End = PB.createBlock();
+  BlockId Tail = PB.createBlock();
+  BlockId C3 = PB.createBlock();
+  BlockId C2 = PB.createBlock();
+  BlockId C1 = PB.createBlock();
+
+  SiteParams S1 = makeSite(true);
+  SiteParams S2 = makeSite(true);
+  SiteParams S3 = makeSite(true);
+
+  PB.switchTo(C1);
+  emitDecision(S1, C2, End);
+  PB.switchTo(C2);
+  emitDecision(S2, C3, End);
+  PB.switchTo(C3);
+  emitDecision(S3, Tail, End);
+  PB.switchTo(Tail);
+  emitBody(RTick);
+  PB.jump(End);
+  PB.switchTo(End);
+  PB.emit({Opcode::Nop, 0, 0, 0, 0});
+  PB.jump(Next);
+  return C1;
+}
+
+BlockId Generator::emitLoopKernel(BlockId Next) {
+  LoopParams L = makeLoop(Spec.LoopTripLo, Spec.LoopTripHi);
+  BlockId Pre = PB.createBlock();
+  BlockId Body = PB.createBlock();
+  PB.switchTo(Pre);
+  emitLoopBounds(L, RInLimit);
+  PB.movI(RInCnt, 0);
+  PB.jump(Body);
+  PB.switchTo(Body);
+  emitBody(RInCnt);
+  PB.addI(RInCnt, RInCnt, 1);
+  PB.branch(CondKind::Lt, RInCnt, RInLimit, Body, Next);
+  return Pre;
+}
+
+BlockId Generator::emitNestKernel(BlockId Next) {
+  LoopParams Outer = makeLoop(Spec.NestOuterLo, Spec.NestOuterHi);
+  LoopParams Inner = makeLoop(Spec.NestInnerLo, Spec.NestInnerHi);
+  BlockId Pre = PB.createBlock();
+  BlockId OuterHead = PB.createBlock();
+  BlockId InnerBody = PB.createBlock();
+  BlockId OuterTail = PB.createBlock();
+
+  PB.switchTo(Pre);
+  emitLoopBounds(Outer, ROutLimit);
+  PB.movI(ROutCnt, 0);
+  PB.jump(OuterHead);
+
+  PB.switchTo(OuterHead);
+  emitLoopBounds(Inner, RInLimit);
+  PB.movI(RInCnt, 0);
+  PB.jump(InnerBody);
+
+  PB.switchTo(InnerBody);
+  emitBody(RInCnt);
+  PB.addI(RInCnt, RInCnt, 1);
+  PB.branch(CondKind::Lt, RInCnt, RInLimit, InnerBody, OuterTail);
+
+  PB.switchTo(OuterTail);
+  PB.addI(ROutCnt, ROutCnt, 1);
+  PB.branch(CondKind::Lt, ROutCnt, ROutLimit, OuterHead, Next);
+  return Pre;
+}
+
+GeneratedBenchmark Generator::generate() {
+  // Fixed header slots.
+  uint64_t OuterSlot = alloc(static_cast<int64_t>(Spec.OuterItersRef),
+                             static_cast<int64_t>(Spec.OuterItersTrain));
+  auto ScaleBreak = [&](uint64_t BreakTick) -> int64_t {
+    if (BreakTick == ~0ull || BreakTick > Spec.OuterItersRef)
+      return static_cast<int64_t>(Spec.OuterItersTrain) + 1;
+    double Frac = static_cast<double>(BreakTick) /
+                  static_cast<double>(Spec.OuterItersRef);
+    return static_cast<int64_t>(Frac * Spec.OuterItersTrain);
+  };
+  auto RefBreak = [&](uint64_t BreakTick) -> int64_t {
+    if (BreakTick == ~0ull)
+      return static_cast<int64_t>(Spec.OuterItersRef) + 1;
+    return static_cast<int64_t>(BreakTick);
+  };
+  uint64_t Break1Slot = alloc(RefBreak(Spec.Break1), ScaleBreak(Spec.Break1));
+  uint64_t Break2Slot = alloc(RefBreak(Spec.Break2), ScaleBreak(Spec.Break2));
+
+  // Data arrays the kernel bodies touch.
+  IntArrBase = RefMem.size();
+  for (int I = 0; I < 256; ++I)
+    alloc(static_cast<int64_t>(splitMix64(Spec.Seed + I)),
+          static_cast<int64_t>(splitMix64(Spec.Seed + 7777 + I)));
+  FpArrBase = RefMem.size();
+  for (int I = 0; I < 256; ++I) {
+    double RefV = 0.5 + 1.5 * (static_cast<double>(I % 97) / 97.0);
+    double TrainV = 0.5 + 1.5 * (static_cast<double>(I % 89) / 89.0);
+    int64_t RefBits, TrainBits;
+    static_assert(sizeof(double) == sizeof(int64_t));
+    __builtin_memcpy(&RefBits, &RefV, 8);
+    __builtin_memcpy(&TrainBits, &TrainV, 8);
+    alloc(RefBits, TrainBits);
+  }
+
+  // Control skeleton blocks.
+  BlockId Entry = PB.createBlock("entry");
+  BlockId Head0 = PB.createBlock("phase0");
+  BlockId Head1 = PB.createBlock("phase1");
+  BlockId Head2 = PB.createBlock("phase2");
+  BlockId TailB = PB.createBlock("tail");
+  BlockId ExitB = PB.createBlock("exit");
+  PB.setEntry(Entry);
+
+  // Kernel order: seeded interleaving of the kernel mix.
+  enum class Kind { Branch, Diamond, Chain, Loop, Nest };
+  std::vector<Kind> Kinds;
+  for (int I = 0; I < Spec.NumBranchKernels; ++I)
+    Kinds.push_back(Kind::Branch);
+  for (int I = 0; I < Spec.NumDiamondKernels; ++I)
+    Kinds.push_back(Kind::Diamond);
+  for (int I = 0; I < Spec.NumChainKernels; ++I)
+    Kinds.push_back(Kind::Chain);
+  for (int I = 0; I < Spec.NumLoopKernels; ++I)
+    Kinds.push_back(Kind::Loop);
+  for (int I = 0; I < Spec.NumNestKernels; ++I)
+    Kinds.push_back(Kind::Nest);
+  // Fisher-Yates with the spec RNG.
+  for (size_t I = Kinds.size(); I > 1; --I)
+    std::swap(Kinds[I - 1], Kinds[R.nextBelow(I)]);
+
+  // Emit kernels back to front so each knows its successor.
+  BlockId Next = TailB;
+  for (size_t I = Kinds.size(); I-- > 0;) {
+    switch (Kinds[I]) {
+    case Kind::Branch:
+      Next = emitBranchKernel(Next, /*Balanced=*/false);
+      break;
+    case Kind::Diamond:
+      Next = emitBranchKernel(Next, /*Balanced=*/true);
+      break;
+    case Kind::Chain:
+      Next = emitChainKernel(Next);
+      break;
+    case Kind::Loop:
+      Next = emitLoopKernel(Next);
+      break;
+    case Kind::Nest:
+      Next = emitNestKernel(Next);
+      break;
+    }
+  }
+  BlockId KernelStart = Next;
+
+  // Entry: r0 = 0, load iteration count, reset tick.
+  PB.switchTo(Entry);
+  PB.movI(RZero, 0);
+  PB.load(ROuter, RZero, static_cast<int64_t>(OuterSlot));
+  PB.movI(RTick, 0);
+  PB.jump(Head0);
+
+  // Phase dispatch: phase = 0, 1 or 2 by comparing the tick to the breaks.
+  PB.switchTo(Head0);
+  PB.movI(RPhase, 0);
+  PB.load(RScr1, RZero, static_cast<int64_t>(Break1Slot));
+  PB.branch(CondKind::Lt, RTick, RScr1, KernelStart, Head1);
+  PB.switchTo(Head1);
+  PB.movI(RPhase, 1);
+  PB.load(RScr1, RZero, static_cast<int64_t>(Break2Slot));
+  PB.branch(CondKind::Lt, RTick, RScr1, KernelStart, Head2);
+  PB.switchTo(Head2);
+  PB.movI(RPhase, 2);
+  PB.jump(KernelStart);
+
+  // Tail: advance the tick, loop back or halt.
+  PB.switchTo(TailB);
+  PB.addI(RTick, RTick, 1);
+  PB.branch(CondKind::Lt, RTick, ROuter, Head0, ExitB);
+  PB.switchTo(ExitB);
+  PB.halt();
+
+  PB.setMemWords(RefMem.size());
+
+  GeneratedBenchmark Out;
+  Out.Spec = Spec;
+  Out.Ref = PB.build();
+  Out.Ref.InitialMem = RefMem;
+  Out.Train = Out.Ref;
+  Out.Train.InitialMem = TrainMem;
+  return Out;
+}
+
+} // namespace
+
+GeneratedBenchmark
+tpdbt::workloads::generateBenchmark(const BenchSpec &Spec) {
+  Generator G(Spec);
+  return G.generate();
+}

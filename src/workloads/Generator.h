@@ -1,0 +1,58 @@
+//===- workloads/Generator.h - Benchmark program generation -----*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a BenchSpec into a runnable guest program with two input images.
+///
+/// The generated program is a driver loop over a seeded mix of kernels:
+///
+///  - branch kernels: one biased branch site with rejoining arms
+///  - diamond kernels: one balanced (0.4-0.6) site with rejoining arms
+///  - chain kernels: three biased sites whose likely edges continue the
+///    chain and whose unlikely edges exit early (completion-probability
+///    shapes)
+///  - loop kernels: bottom-test loops with data-drawn trip counts
+///  - nest kernels: two-level loop nests (the paper's Figure 1 shape)
+///
+/// Every branch predicate is computed by guest code: a per-site linear
+/// congruential generator whose state lives in guest memory, compared
+/// against a per-site, per-phase threshold loaded from guest memory. Loop
+/// bounds are drawn the same way. Because all behaviour parameters are
+/// *data*, the "ref" and "train" inputs are the same program text with
+/// different initial memory — exactly the property the study needs (the
+/// training run must cover the same static blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_WORKLOADS_GENERATOR_H
+#define TPDBT_WORKLOADS_GENERATOR_H
+
+#include "guest/Program.h"
+#include "workloads/BenchSpec.h"
+
+namespace tpdbt {
+namespace workloads {
+
+/// One generated benchmark: identical code, two initial-memory images.
+struct GeneratedBenchmark {
+  BenchSpec Spec;
+  guest::Program Ref;
+  guest::Program Train;
+
+  /// Returns the program for the requested input ("ref" or "train").
+  const guest::Program &program(const std::string &Input) const {
+    return Input == "train" ? Train : Ref;
+  }
+};
+
+/// Generates the program and both input images for \p Spec.
+/// Deterministic: the same spec always yields the same benchmark.
+GeneratedBenchmark generateBenchmark(const BenchSpec &Spec);
+
+} // namespace workloads
+} // namespace tpdbt
+
+#endif // TPDBT_WORKLOADS_GENERATOR_H

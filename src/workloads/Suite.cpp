@@ -1,0 +1,386 @@
+//===- workloads/Suite.cpp - The calibrated 26-benchmark suite -------------===//
+//
+// Per-benchmark knob values trace to the paper's Section 4 findings; see
+// DESIGN.md Section 5 for the mapping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BenchSpec.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace tpdbt;
+using namespace tpdbt::workloads;
+
+namespace {
+
+BenchSpec intDefaults(const char *Name, uint64_t SeedSalt) {
+  BenchSpec S;
+  S.Name = Name;
+  S.IsFp = false;
+  S.Seed = combineSeeds(0x5eedbeef, SeedSalt);
+  S.OuterItersRef = 80000;
+  S.OuterItersTrain = 22000;
+  S.NumChainKernels = 3;
+  S.NumDiamondKernels = 2;
+  S.NumBranchKernels = 4;
+  S.NumLoopKernels = 3;
+  S.NumNestKernels = 1;
+  S.LoopTripLo = 2;
+  S.LoopTripHi = 40;
+  S.NestOuterLo = 5;
+  S.NestOuterHi = 9;
+  S.NestInnerLo = 6;
+  S.NestInnerHi = 14;
+  S.NearBoundaryFrac = 0.15;
+  S.MidFrac = 0.2;
+  S.TrainThetaSigma = 0.085;
+  S.TrainTripSigma = 0.5;
+  // Every benchmark warms up: the first ~400 driver iterations behave
+  // somewhat differently (startup/initialization), which is what makes
+  // very small retranslation thresholds less accurate than the training
+  // input (paper Figure 8). Benchmarks with their own phase structure
+  // override these fields.
+  S.NumPhases = 2;
+  S.Break1 = 400;
+  S.ThetaPhaseCoef[0] = 1.0;
+  S.ThetaDriftMag = 0.18;
+  return S;
+}
+
+BenchSpec fpDefaults(const char *Name, uint64_t SeedSalt) {
+  BenchSpec S;
+  S.Name = Name;
+  S.IsFp = true;
+  S.Seed = combineSeeds(0xf10a7, SeedSalt);
+  S.OuterItersRef = 16000;
+  S.OuterItersTrain = 5000;
+  S.NumChainKernels = 1;
+  S.NumDiamondKernels = 1;
+  S.NumBranchKernels = 2;
+  S.NumLoopKernels = 4;
+  S.NumNestKernels = 2;
+  S.LoopTripLo = 40;
+  S.LoopTripHi = 200;
+  S.NestOuterLo = 3;
+  S.NestOuterHi = 6;
+  S.NestInnerLo = 60;
+  S.NestInnerHi = 160;
+  S.NearBoundaryFrac = 0.03;
+  S.MidFrac = 0.05;
+  S.TrainThetaSigma = 0.03;
+  S.TrainTripSigma = 0.08;
+  // Mild initialization phase (see intDefaults).
+  S.NumPhases = 2;
+  S.Break1 = 150;
+  S.ThetaPhaseCoef[0] = 1.0;
+  S.ThetaDriftMag = 0.12;
+  return S;
+}
+
+std::vector<BenchSpec> buildSuite() {
+  std::vector<BenchSpec> Suite;
+
+  // ---------------- SPEC2000 INT (12) ----------------
+
+  {
+    // Gzip: strong initialization phase (first ~800 ticks behave
+    // differently) -> mismatch >40% below T=1k, ~22% above; a second late
+    // shift keeps INIP below training-input quality.
+    BenchSpec S = intDefaults("gzip", 1);
+    S.NumBranchKernels = 8;
+    S.NumChainKernels = 5;
+    S.NumLoopKernels = 2;
+    S.NumPhases = 3;
+    S.Break1 = 800;
+    S.Break2 = 48000;
+    S.ThetaPhaseCoef[0] = 1.0;
+    S.ThetaPhaseCoef[1] = 0.0;
+    S.ThetaPhaseCoef[2] = 0.45;
+    S.ThetaDriftMag = 0.55;
+    S.NearBoundaryFrac = 0.35;
+    S.TrainThetaSigma = 0.035;
+    Suite.push_back(S);
+  }
+  {
+    // Vpr: loop trip classes change after an early phase -> LP
+    // classification wrong until large thresholds.
+    BenchSpec S = intDefaults("vpr", 2);
+    S.NumPhases = 2;
+    S.Break1 = 600;
+    S.TripPhaseExp[1] = 1.0;
+    S.TripPhaseExp[2] = 1.0;
+    S.TripPhaseFactor = 0.2;
+    S.TripPhaseFrac = 1.0;
+    S.TripFlipLowBaseLo = 15;
+    S.TripFlipLowBaseHi = 25;
+    S.LoopTripLo = 80;
+    S.LoopTripHi = 160;
+    S.NestInnerLo = 40;
+    S.NestInnerHi = 90;
+    S.ThetaPhaseCoef[0] = 0.6;
+    S.ThetaPhaseCoef[1] = 0.25;
+    S.ThetaPhaseCoef[2] = 0.25;
+    S.ThetaDriftMag = 0.12;
+    S.TrainTripSigma = 0.12;
+    Suite.push_back(S);
+  }
+  {
+    // Gcc (cc1): larger code, early trip-class shift like vpr.
+    BenchSpec S = intDefaults("gcc", 3);
+    S.NumChainKernels = 5;
+    S.NumBranchKernels = 6;
+    S.NumLoopKernels = 4;
+    S.NumPhases = 2;
+    S.Break1 = 6000;
+    S.TripPhaseExp[1] = 1.0;
+    S.TripPhaseExp[2] = 1.0;
+    S.TripPhaseFactor = 0.25;
+    S.TripPhaseFrac = 0.7;
+    S.TripFlipLowBaseLo = 15;
+    S.TripFlipLowBaseHi = 25;
+    S.LoopTripLo = 50;
+    S.LoopTripHi = 180;
+    S.NestInnerLo = 40;
+    S.NestInnerHi = 80;
+    S.ThetaPhaseCoef[0] = 0.6;
+    S.ThetaPhaseCoef[1] = 0.2;
+    S.ThetaPhaseCoef[2] = 0.2;
+    S.ThetaDriftMag = 0.1;
+    S.NearBoundaryFrac = 0.25;
+    Suite.push_back(S);
+  }
+  {
+    // Mcf: the paper's phase-change poster child. Branch behaviour flips
+    // twice (around use counts 5k-10k and 160k+); loops swap between high
+    // and low trip counts across phases (the Figure 1 nest).
+    BenchSpec S = intDefaults("mcf", 4);
+    S.OuterItersRef = 600000;
+    S.OuterItersTrain = 150000;
+    S.NumPhases = 3;
+    S.Break1 = 7000;
+    S.Break2 = 350000;
+    S.ThetaPhaseCoef[0] = 0.0;
+    S.ThetaPhaseCoef[1] = 1.0;
+    S.ThetaPhaseCoef[2] = -1.0;
+    S.ThetaDriftMag = 0.45;
+    S.TripPhaseExp[1] = 1.0;
+    S.TripPhaseExp[2] = 1.0;
+    S.TripPhaseFactor = 0.09;
+    // Loops flip trip-count class after ~100 own entries (use counts
+    // around 5k-10k for trip counts near 90) and again much later — the
+    // Figure 16 "completely incorrect until 10k" behaviour.
+    S.LoopLocalPhases = true;
+    S.LoopBreak1 = 120;
+    S.LoopBreak2 = 12000;
+    S.NearBoundaryFrac = 0.45;
+    S.LoopTripLo = 30;
+    S.LoopTripHi = 160;
+    Suite.push_back(S);
+  }
+  {
+    // Crafty: many data-dependent branches sitting near the 0.7/0.3
+    // classification boundaries -> ~18% mismatch at every threshold.
+    BenchSpec S = intDefaults("crafty", 5);
+    S.NearBoundaryFrac = 0.6;
+    S.SmoothDriftMag = 0.012;
+    S.TrainThetaSigma = 0.06;
+    Suite.push_back(S);
+  }
+  {
+    // Parser: behaviour drifts smoothly over the whole run -> accuracy
+    // keeps improving as the threshold grows.
+    BenchSpec S = intDefaults("parser", 6);
+    S.SmoothDriftMag = 0.02;
+    S.NearBoundaryFrac = 0.25;
+    S.LoopTripLo = 2;
+    S.LoopTripHi = 12;
+    S.NestInnerLo = 4;
+    S.NestInnerHi = 8;
+    Suite.push_back(S);
+  }
+  {
+    // Eon: very stable; the training input is only mediocre, so the
+    // initial profile wins from T=100 on.
+    BenchSpec S = intDefaults("eon", 7);
+    S.NearBoundaryFrac = 0.05;
+    S.TrainThetaSigma = 0.12;
+    Suite.push_back(S);
+  }
+  {
+    // Perlbmk: the training input is wildly unrepresentative (~50%
+    // mismatch) while the reference behaviour is stable -> the initial
+    // profile is dramatically better, and Figure 17's biggest win.
+    BenchSpec S = intDefaults("perlbmk", 8);
+    S.TrainThetaSigma = 0.40;
+    S.TrainTripSigma = 0.8;
+    S.NearBoundaryFrac = 0.15;
+    S.MidFrac = 0.5;
+    S.NumDiamondKernels = 6;
+    S.NumChainKernels = 5;
+    S.NumBranchKernels = 6;
+    S.NumLoopKernels = 1;
+    S.NestInnerLo = 3;
+    S.NestInnerHi = 5;
+    Suite.push_back(S);
+  }
+  {
+    // Gap: smooth drift; larger thresholds keep helping.
+    BenchSpec S = intDefaults("gap", 9);
+    S.SmoothDriftMag = 0.015;
+    S.TrainThetaSigma = 0.07;
+    Suite.push_back(S);
+  }
+  {
+    // Vortex: stable and predictable.
+    BenchSpec S = intDefaults("vortex", 10);
+    S.NearBoundaryFrac = 0.1;
+    S.TrainThetaSigma = 0.06;
+    Suite.push_back(S);
+  }
+  {
+    // Bzip2: stable; train mediocre -> initial profile better from T=100.
+    BenchSpec S = intDefaults("bzip2", 11);
+    S.NearBoundaryFrac = 0.1;
+    S.TrainThetaSigma = 0.10;
+    Suite.push_back(S);
+  }
+  {
+    // Twolf: stable; train mediocre.
+    BenchSpec S = intDefaults("twolf", 12);
+    S.NearBoundaryFrac = 0.2;
+    S.TrainThetaSigma = 0.12;
+    Suite.push_back(S);
+  }
+
+  // ---------------- SPEC2000 FP (14) ----------------
+
+  {
+    // Wupwise: mismatch ~20% until very large thresholds — behaviour
+    // shifts halfway through the run.
+    BenchSpec S = fpDefaults("wupwise", 21);
+    S.NumPhases = 2;
+    S.Break1 = 6000;
+    S.ThetaPhaseCoef[0] = 1.0;
+    S.ThetaDriftMag = 0.3;
+    S.NearBoundaryFrac = 0.25;
+    S.SmoothDriftMag = 0.008;
+    Suite.push_back(S);
+  }
+  Suite.push_back(fpDefaults("swim", 22));
+  {
+    BenchSpec S = fpDefaults("mgrid", 23);
+    S.LoopTripLo = 80;
+    S.LoopTripHi = 300;
+    Suite.push_back(S);
+  }
+  Suite.push_back(fpDefaults("applu", 24));
+  {
+    // Mesa: the branchier FP benchmark.
+    BenchSpec S = fpDefaults("mesa", 25);
+    S.NumBranchKernels = 5;
+    S.NumChainKernels = 2;
+    S.NearBoundaryFrac = 0.08;
+    Suite.push_back(S);
+  }
+  {
+    BenchSpec S = fpDefaults("galgel", 26);
+    S.LoopTripLo = 20;
+    S.LoopTripHi = 80;
+    Suite.push_back(S);
+  }
+  {
+    BenchSpec S = fpDefaults("art", 27);
+    S.NearBoundaryFrac = 0.1;
+    Suite.push_back(S);
+  }
+  {
+    BenchSpec S = fpDefaults("equake", 28);
+    S.MidFrac = 0.12;
+    Suite.push_back(S);
+  }
+  Suite.push_back(fpDefaults("facerec", 29));
+  {
+    BenchSpec S = fpDefaults("ammp", 30);
+    S.SmoothDriftMag = 0.005;
+    Suite.push_back(S);
+  }
+  {
+    // Lucas: training input predicts poorly (~25% mismatch).
+    BenchSpec S = fpDefaults("lucas", 31);
+    S.TrainThetaSigma = 0.30;
+    S.TrainTripSigma = 0.5;
+    S.NearBoundaryFrac = 0.12;
+    Suite.push_back(S);
+  }
+  Suite.push_back(fpDefaults("fma3d", 32));
+  {
+    BenchSpec S = fpDefaults("sixtrack", 33);
+    S.LoopTripLo = 100;
+    S.LoopTripHi = 400;
+    S.OuterItersRef = 12000;
+    S.OuterItersTrain = 4000;
+    Suite.push_back(S);
+  }
+  {
+    // Apsi: training input predicts poorly (~20% mismatch).
+    BenchSpec S = fpDefaults("apsi", 34);
+    S.TrainThetaSigma = 0.22;
+    S.TrainTripSigma = 0.4;
+    S.NearBoundaryFrac = 0.1;
+    Suite.push_back(S);
+  }
+
+  assert(Suite.size() == 26 && "suite must have 12 INT + 14 FP entries");
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<BenchSpec> &tpdbt::workloads::spec2000Suite() {
+  static const std::vector<BenchSpec> Suite = buildSuite();
+  return Suite;
+}
+
+const BenchSpec *tpdbt::workloads::findSpec(const std::string &Name) {
+  for (const BenchSpec &S : spec2000Suite())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::vector<std::string> tpdbt::workloads::intBenchmarkNames() {
+  std::vector<std::string> Names;
+  for (const BenchSpec &S : spec2000Suite())
+    if (!S.IsFp)
+      Names.push_back(S.Name);
+  return Names;
+}
+
+std::vector<std::string> tpdbt::workloads::fpBenchmarkNames() {
+  std::vector<std::string> Names;
+  for (const BenchSpec &S : spec2000Suite())
+    if (S.IsFp)
+      Names.push_back(S.Name);
+  return Names;
+}
+
+BenchSpec tpdbt::workloads::scaledSpec(const BenchSpec &Spec, double Factor) {
+  assert(Factor > 0.0 && "scale factor must be positive");
+  BenchSpec S = Spec;
+  auto Scale = [Factor](uint64_t V) {
+    if (V == ~0ull)
+      return V;
+    double Scaled = static_cast<double>(V) * Factor;
+    return Scaled < 1.0 ? uint64_t(1) : static_cast<uint64_t>(Scaled);
+  };
+  S.OuterItersRef = Scale(S.OuterItersRef);
+  S.OuterItersTrain = Scale(S.OuterItersTrain);
+  S.Break1 = Scale(S.Break1);
+  S.Break2 = Scale(S.Break2);
+  S.LoopBreak1 = Scale(S.LoopBreak1);
+  S.LoopBreak2 = Scale(S.LoopBreak2);
+  return S;
+}

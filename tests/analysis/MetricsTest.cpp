@@ -1,0 +1,210 @@
+//===- tests/analysis/MetricsTest.cpp - Accuracy metric tests ---*- C++ -*-===//
+
+#include "analysis/Metrics.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+using namespace tpdbt::profile;
+using namespace tpdbt::region;
+
+TEST(ClassifyBpTest, PaperRanges) {
+  // [0, .3) / [.3, .7] / (.7, 1]
+  EXPECT_EQ(classifyBp(0.0), BpRange::Low);
+  EXPECT_EQ(classifyBp(0.29), BpRange::Low);
+  EXPECT_EQ(classifyBp(0.3), BpRange::Mid);
+  EXPECT_EQ(classifyBp(0.5), BpRange::Mid);
+  EXPECT_EQ(classifyBp(0.7), BpRange::Mid);
+  EXPECT_EQ(classifyBp(0.71), BpRange::High);
+  EXPECT_EQ(classifyBp(1.0), BpRange::High);
+}
+
+TEST(ClassifyBpTest, PaperExamples) {
+  // "we may consider 0.99 and 0.76 a match, while considering 0.68 and
+  // 0.78 a mismatch."
+  EXPECT_EQ(classifyBp(0.99), classifyBp(0.76));
+  EXPECT_NE(classifyBp(0.68), classifyBp(0.78));
+}
+
+TEST(ClassifyTripTest, PaperRanges) {
+  // Low < 10 trips (LP < .9), median 10..50 (.9..0.98), high > 50.
+  EXPECT_EQ(classifyTrip(0.0), TripClass::Low);
+  EXPECT_EQ(classifyTrip(0.89), TripClass::Low);
+  EXPECT_EQ(classifyTrip(0.9), TripClass::Median);
+  EXPECT_EQ(classifyTrip(0.98), TripClass::Median);
+  EXPECT_EQ(classifyTrip(0.981), TripClass::High);
+  EXPECT_EQ(classifyTrip(1.0), TripClass::High);
+}
+
+namespace {
+
+/// Two-branch program for the block-level metrics: b0 and b1 are
+/// conditional, b2 halts.
+struct MetricsFixture {
+  Program P;
+  std::unique_ptr<cfg::Cfg> G;
+  ProfileSnapshot Pred, Avep;
+
+  MetricsFixture() {
+    ProgramBuilder PB("metrics");
+    BlockId B0 = PB.createBlock();
+    BlockId B1 = PB.createBlock();
+    BlockId B2 = PB.createBlock();
+    PB.setEntry(B0);
+    PB.switchTo(B0);
+    PB.branchImm(CondKind::LtI, 1, 5, B1, B2);
+    PB.switchTo(B1);
+    PB.branchImm(CondKind::LtI, 2, 5, B2, B0);
+    PB.switchTo(B2);
+    PB.halt();
+    P = PB.build();
+    G = std::make_unique<cfg::Cfg>(P);
+
+    Pred.Blocks.resize(3);
+    Avep.Blocks.resize(3);
+  }
+
+  void setBlock(size_t B, uint64_t PredUse, double PredProb,
+                uint64_t AvepUse, double AvepProb) {
+    Pred.Blocks[B].Use = PredUse;
+    Pred.Blocks[B].Taken =
+        static_cast<uint64_t>(PredProb * static_cast<double>(PredUse));
+    Avep.Blocks[B].Use = AvepUse;
+    Avep.Blocks[B].Taken =
+        static_cast<uint64_t>(AvepProb * static_cast<double>(AvepUse));
+  }
+};
+
+} // namespace
+
+TEST(SdBranchProbTest, HandComputedValue) {
+  MetricsFixture F;
+  F.setBlock(0, 1000, 0.8, 10000, 0.6);  // diff 0.2, weight 10000
+  F.setBlock(1, 1000, 0.5, 30000, 0.5);  // exact
+  double Expected = std::sqrt(0.2 * 0.2 * 10000 / 40000.0);
+  EXPECT_NEAR(sdBranchProb(F.Pred, F.Avep, *F.G), Expected, 1e-9);
+}
+
+TEST(SdBranchProbTest, SkipsBlocksMissingFromEitherProfile) {
+  MetricsFixture F;
+  F.setBlock(0, 1000, 0.9, 10000, 0.1); // huge diff...
+  F.Pred.Blocks[0].Use = 0;             // ...but never executed in Pred
+  F.setBlock(1, 100, 0.5, 1000, 0.5);
+  EXPECT_EQ(sdBranchProb(F.Pred, F.Avep, *F.G), 0.0);
+}
+
+TEST(SdBranchProbTest, IgnoresNonBranchBlocks) {
+  MetricsFixture F;
+  // Block 2 is a halt block; even with counters it must not contribute.
+  F.setBlock(2, 1000, 1.0, 1000, 0.0);
+  EXPECT_EQ(sdBranchProb(F.Pred, F.Avep, *F.G), 0.0);
+}
+
+TEST(BpMismatchRateTest, WeightedByAvepUse) {
+  MetricsFixture F;
+  F.setBlock(0, 1000, 0.99, 1000, 0.76); // same range: match
+  F.setBlock(1, 1000, 0.68, 3000, 0.78); // different ranges: mismatch
+  EXPECT_NEAR(bpMismatchRate(F.Pred, F.Avep, *F.G), 0.75, 1e-9);
+}
+
+namespace {
+
+/// Snapshot with one non-loop region (Figure 6 shape) and one loop region
+/// over the same 4-block program.
+struct RegionMetricsFixture {
+  Program P;
+  std::unique_ptr<cfg::Cfg> G;
+  ProfileSnapshot Inip, Avep;
+
+  RegionMetricsFixture() {
+    ProgramBuilder PB("regions");
+    BlockId B0 = PB.createBlock();
+    BlockId B1 = PB.createBlock();
+    BlockId B2 = PB.createBlock();
+    BlockId B3 = PB.createBlock();
+    PB.setEntry(B0);
+    PB.switchTo(B0);
+    PB.branchImm(CondKind::LtI, 1, 5, B1, B2);
+    PB.switchTo(B1);
+    PB.branchImm(CondKind::LtI, 2, 5, B3, B2);
+    PB.switchTo(B2);
+    PB.branchImm(CondKind::LtI, 3, 5, B2, B3); // self loop
+    PB.switchTo(B3);
+    PB.halt();
+    P = PB.build();
+    G = std::make_unique<cfg::Cfg>(P);
+
+    Inip.Blocks.resize(4);
+    Avep.Blocks.resize(4);
+    setProb(Inip, 0, 0.9);
+    setProb(Inip, 1, 0.8);
+    setProb(Inip, 2, 0.99);
+    setProb(Avep, 0, 0.6);
+    setProb(Avep, 1, 0.8);
+    setProb(Avep, 2, 0.9);
+
+    // Non-loop region: b0 -> b1, last node b1.
+    Region Trace;
+    Trace.Kind = RegionKind::NonLoop;
+    Trace.Nodes.push_back({0, true, 1, ExitSucc});
+    Trace.Nodes.push_back({1, true, ExitSucc, ExitSucc});
+    Trace.LastNode = 1;
+    Inip.Regions.push_back(Trace);
+
+    // Loop region: b2 self loop.
+    Region Loop;
+    Loop.Kind = RegionKind::Loop;
+    Loop.Nodes.push_back({2, true, BackEdgeSucc, ExitSucc});
+    Inip.Regions.push_back(Loop);
+  }
+
+  static void setProb(ProfileSnapshot &S, size_t B, double Prob) {
+    S.Blocks[B].Use = 10000;
+    S.Blocks[B].Taken = static_cast<uint64_t>(Prob * 10000);
+  }
+};
+
+} // namespace
+
+TEST(SdCompletionProbTest, HandComputedValue) {
+  RegionMetricsFixture F;
+  // CT = P(b0 taken) = 0.9; CM = 0.6; weight = AVEP use of b0 = 10000.
+  EXPECT_NEAR(sdCompletionProb(F.Inip, F.Avep, *F.G), 0.3, 1e-9);
+}
+
+TEST(SdLoopBackProbTest, HandComputedValue) {
+  RegionMetricsFixture F;
+  // LT = 0.99, LM = 0.9.
+  EXPECT_NEAR(sdLoopBackProb(F.Inip, F.Avep, *F.G), 0.09, 1e-9);
+}
+
+TEST(LpMismatchRateTest, ClassFlip) {
+  RegionMetricsFixture F;
+  // LT = 0.99 -> High; LM = 0.9 -> Median: mismatch rate 1.
+  EXPECT_NEAR(lpMismatchRate(F.Inip, F.Avep, *F.G), 1.0, 1e-12);
+  // Align the classes and the mismatch disappears.
+  RegionMetricsFixture F2;
+  RegionMetricsFixture::setProb(F2.Avep, 2, 0.99);
+  EXPECT_EQ(lpMismatchRate(F2.Inip, F2.Avep, *F2.G), 0.0);
+}
+
+TEST(CountRegionsTest, ByKind) {
+  RegionMetricsFixture F;
+  EXPECT_EQ(countRegions(F.Inip, RegionKind::NonLoop), 1u);
+  EXPECT_EQ(countRegions(F.Inip, RegionKind::Loop), 1u);
+  EXPECT_EQ(countRegions(F.Avep, RegionKind::Loop), 0u);
+}
+
+TEST(SdMetricsTest, NoRegionsMeansZero) {
+  RegionMetricsFixture F;
+  F.Inip.Regions.clear();
+  EXPECT_EQ(sdCompletionProb(F.Inip, F.Avep, *F.G), 0.0);
+  EXPECT_EQ(sdLoopBackProb(F.Inip, F.Avep, *F.G), 0.0);
+  EXPECT_EQ(lpMismatchRate(F.Inip, F.Avep, *F.G), 0.0);
+}

@@ -1,0 +1,166 @@
+//===- tests/analysis/MispredictTest.cpp - Characterization tests -*- C++ -*-===//
+
+#include "analysis/Mispredict.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+using namespace tpdbt::profile;
+
+namespace {
+
+/// Four conditional branches (b0..b3) plus a halt block.
+struct Fixture {
+  Program P;
+  std::unique_ptr<cfg::Cfg> G;
+  ProfileSnapshot Inip, Avep;
+  std::vector<std::vector<BlockCounters>> Windows;
+
+  Fixture() {
+    ProgramBuilder PB("mp");
+    std::vector<BlockId> Bs;
+    for (int I = 0; I < 4; ++I)
+      Bs.push_back(PB.createBlock());
+    BlockId End = PB.createBlock();
+    BlockId End2 = PB.createBlock();
+    PB.setEntry(Bs[0]);
+    for (int I = 0; I < 4; ++I) {
+      PB.switchTo(Bs[I]);
+      // Distinct taken/fallthrough targets so each is a real conditional.
+      PB.branchImm(CondKind::LtI, 1, 5, I + 1 < 4 ? Bs[I + 1] : End2, End);
+    }
+    PB.switchTo(End);
+    PB.halt();
+    PB.switchTo(End2);
+    PB.halt();
+    P = PB.build();
+    G = std::make_unique<cfg::Cfg>(P);
+
+    Inip.Blocks.resize(6);
+    Avep.Blocks.resize(6);
+    Windows.assign(8, std::vector<BlockCounters>(6));
+  }
+
+  void set(BlockId B, double InipProb, double AvepProb) {
+    Inip.Blocks[B].Use = 1000;
+    Inip.Blocks[B].Taken = static_cast<uint64_t>(1000 * InipProb);
+    Avep.Blocks[B].Use = 80000;
+    Avep.Blocks[B].Taken = static_cast<uint64_t>(80000 * AvepProb);
+  }
+
+  /// Per-window probabilities for a block.
+  void windows(BlockId B, const std::vector<double> &Probs) {
+    for (size_t W = 0; W < Windows.size(); ++W) {
+      Windows[W][B].Use = 10000;
+      Windows[W][B].Taken = static_cast<uint64_t>(10000 * Probs[W]);
+    }
+  }
+};
+
+const BranchDiagnosis *find(const std::vector<BranchDiagnosis> &Ds,
+                            BlockId B) {
+  for (const auto &D : Ds)
+    if (D.Block == B)
+      return &D;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(MispredictTest, ClassifiesAllKinds) {
+  Fixture F;
+  // b0: accurate (0.85 vs 0.87, same range, stable windows).
+  F.set(0, 0.85, 0.87);
+  F.windows(0, {0.87, 0.87, 0.87, 0.87, 0.87, 0.87, 0.87, 0.87});
+  // b1: phase change (early 0.9, late 0.2; INIP froze early).
+  F.set(1, 0.9, 0.40);
+  F.windows(1, {0.9, 0.9, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2});
+  // b2: near boundary (0.67 vs 0.73, flip across 0.7, stable).
+  F.set(2, 0.67, 0.73);
+  F.windows(2, {0.73, 0.73, 0.73, 0.73, 0.73, 0.73, 0.73, 0.73});
+  // b3: unstable (oscillating windows, overall mispredicted).
+  F.set(3, 0.95, 0.55);
+  F.windows(3, {0.5, 0.7, 0.4, 0.75, 0.45, 0.65, 0.5, 0.45});
+
+  auto Ds = characterizeBranches(F.Inip, F.Avep, F.Windows, *F.G);
+  ASSERT_EQ(Ds.size(), 4u);
+  EXPECT_EQ(find(Ds, 0)->Kind, MispredictKind::Accurate);
+  EXPECT_EQ(find(Ds, 1)->Kind, MispredictKind::PhaseChange);
+  EXPECT_EQ(find(Ds, 2)->Kind, MispredictKind::NearBoundary);
+  EXPECT_EQ(find(Ds, 3)->Kind, MispredictKind::Unstable);
+}
+
+TEST(MispredictTest, ShortProfileWhenStableButWrong) {
+  Fixture F;
+  // Stable behaviour, away from boundaries, but the tiny initial profile
+  // sampled it badly: fixable by a larger threshold.
+  F.set(0, 0.99, 0.85);
+  F.windows(0, {0.85, 0.85, 0.85, 0.85, 0.85, 0.85, 0.85, 0.85});
+  auto Ds = characterizeBranches(F.Inip, F.Avep, F.Windows, *F.G);
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Kind, MispredictKind::ShortProfile);
+}
+
+TEST(MispredictTest, SortedByMispredictionMass) {
+  Fixture F;
+  F.set(0, 0.9, 0.88);  // small error
+  F.set(1, 0.9, 0.3);   // large error, same weight
+  F.windows(0, {0.88, 0.88, 0.88, 0.88, 0.88, 0.88, 0.88, 0.88});
+  F.windows(1, {0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3});
+  auto Ds = characterizeBranches(F.Inip, F.Avep, F.Windows, *F.G);
+  ASSERT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(Ds[0].Block, 1u);
+}
+
+TEST(MispredictTest, SkipsUnexecutedAndNonBranchBlocks) {
+  Fixture F;
+  F.set(0, 0.9, 0.2);
+  F.Inip.Blocks[0].Use = 0; // never profiled
+  auto Ds = characterizeBranches(F.Inip, F.Avep, F.Windows, *F.G);
+  EXPECT_TRUE(Ds.empty());
+}
+
+TEST(MispredictTest, SelectionPicksBehaviouralMispredictions) {
+  Fixture F;
+  F.set(0, 0.85, 0.87); // accurate
+  F.windows(0, {0.87, 0.87, 0.87, 0.87, 0.87, 0.87, 0.87, 0.87});
+  F.set(1, 0.9, 0.40); // phase change
+  F.windows(1, {0.9, 0.9, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2});
+  F.set(2, 0.99, 0.85); // short profile
+  F.windows(2, {0.85, 0.85, 0.85, 0.85, 0.85, 0.85, 0.85, 0.85});
+
+  auto Ds = characterizeBranches(F.Inip, F.Avep, F.Windows, *F.G);
+  auto Selected = selectForContinuousProfiling(Ds, 10);
+  ASSERT_EQ(Selected.size(), 1u);
+  EXPECT_EQ(Selected[0], 1u);
+
+  // Coverage counts the phase-change branch but not the short-profile
+  // one.
+  double Cov = mispredictionCoverage(Ds, Selected);
+  EXPECT_GT(Cov, 0.5);
+  EXPECT_LT(Cov, 1.0);
+}
+
+TEST(MispredictTest, CoverageBoundsAndEmpty) {
+  Fixture F;
+  F.set(0, 0.85, 0.87);
+  F.windows(0, {0.87, 0.87, 0.87, 0.87, 0.87, 0.87, 0.87, 0.87});
+  auto Ds = characterizeBranches(F.Inip, F.Avep, F.Windows, *F.G);
+  // All accurate: coverage of anything is 1 (no misprediction mass).
+  EXPECT_EQ(mispredictionCoverage(Ds, {}), 1.0);
+}
+
+TEST(MispredictTest, KindNamesAreStable) {
+  EXPECT_STREQ(mispredictKindName(MispredictKind::Accurate), "accurate");
+  EXPECT_STREQ(mispredictKindName(MispredictKind::PhaseChange),
+               "phase-change");
+  EXPECT_STREQ(mispredictKindName(MispredictKind::Unstable), "unstable");
+  EXPECT_STREQ(mispredictKindName(MispredictKind::NearBoundary),
+               "near-boundary");
+  EXPECT_STREQ(mispredictKindName(MispredictKind::ShortProfile),
+               "short-profile");
+}

@@ -1,0 +1,185 @@
+//===- tests/analysis/NavepTest.cpp - NAVEP normalization tests -*- C++ -*-===//
+
+#include "analysis/Navep.h"
+
+#include "analysis/Metrics.h"
+#include "dbt/DbtEngine.h"
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+using namespace tpdbt::profile;
+using namespace tpdbt::region;
+
+namespace {
+
+/// Program with a block (S) reachable from two hot paths, so two regions
+/// duplicate it: e0 -> s -> join, e1 -> s -> join, driven from a loop.
+struct DupFixture {
+  Program P;
+  std::unique_ptr<cfg::Cfg> G;
+  ProfileSnapshot Inip, Avep;
+  BlockId E0, E1, S, Join;
+
+  DupFixture() {
+    ProgramBuilder PB("dup");
+    E0 = PB.createBlock("e0");
+    E1 = PB.createBlock("e1");
+    S = PB.createBlock("s");
+    Join = PB.createBlock("join");
+    PB.setEntry(E0);
+    PB.switchTo(E0);
+    PB.branchImm(CondKind::LtI, 1, 5, S, E1); // taken -> S
+    PB.switchTo(E1);
+    PB.branchImm(CondKind::LtI, 2, 5, S, Join);
+    PB.switchTo(S);
+    PB.branchImm(CondKind::LtI, 3, 5, Join, E1);
+    PB.switchTo(Join);
+    PB.halt();
+    P = PB.build();
+    G = std::make_unique<cfg::Cfg>(P);
+
+    Inip.Blocks.resize(4);
+    Avep.Blocks.resize(4);
+    auto Set = [](ProfileSnapshot &Snap, BlockId B, uint64_t Use,
+                  double Prob) {
+      Snap.Blocks[B].Use = Use;
+      Snap.Blocks[B].Taken =
+          static_cast<uint64_t>(Prob * static_cast<double>(Use));
+    };
+    Set(Avep, E0, 10000, 0.8);
+    Set(Avep, E1, 4000, 0.5);
+    Set(Avep, S, 10000, 0.9);
+    Set(Avep, Join, 9500, 0.0);
+    Set(Inip, E0, 100, 0.9);
+    Set(Inip, E1, 100, 0.5);
+    Set(Inip, S, 150, 0.95);
+    Set(Inip, Join, 140, 0.0);
+
+    // Region 0: e0 -> s (copy 1).
+    Region R0;
+    R0.Kind = RegionKind::NonLoop;
+    R0.Nodes.push_back({E0, true, 1, ExitSucc});
+    R0.Nodes.push_back({S, true, ExitSucc, ExitSucc});
+    R0.LastNode = 1;
+    Inip.Regions.push_back(R0);
+
+    // Region 1: e1 -> s (copy 2).
+    Region R1;
+    R1.Kind = RegionKind::NonLoop;
+    R1.Nodes.push_back({E1, true, 1, ExitSucc});
+    R1.Nodes.push_back({S, true, ExitSucc, ExitSucc});
+    R1.LastNode = 1;
+    Inip.Regions.push_back(R1);
+  }
+};
+
+} // namespace
+
+TEST(NavepTest, CreatesCopiesAndResiduals) {
+  DupFixture F;
+  Navep N = buildNavep(F.Inip, F.Avep, *F.G);
+  // S is duplicated: 2 region copies + 1 residual.
+  EXPECT_EQ(N.CopiesOf[F.S].size(), 3u);
+  // Region entries have no residual copy.
+  EXPECT_EQ(N.CopiesOf[F.E0].size(), 1u);
+  EXPECT_EQ(N.CopiesOf[F.E1].size(), 1u);
+  // Join: plain residual only.
+  EXPECT_EQ(N.CopiesOf[F.Join].size(), 1u);
+  EXPECT_EQ(N.NumDuplicated, 1u);
+  EXPECT_NE(N.SolveKind, NavepSolveKind::Proportional);
+}
+
+TEST(NavepTest, SingleCopyBlocksKeepAvepFrequency) {
+  DupFixture F;
+  Navep N = buildNavep(F.Inip, F.Avep, *F.G);
+  EXPECT_DOUBLE_EQ(N.totalFreq(F.E0), 10000.0);
+  EXPECT_DOUBLE_EQ(N.totalFreq(F.E1), 4000.0);
+  EXPECT_DOUBLE_EQ(N.totalFreq(F.Join), 9500.0);
+}
+
+TEST(NavepTest, MarkovSolveSplitsDuplicatedFrequency) {
+  DupFixture F;
+  Navep N = buildNavep(F.Inip, F.Avep, *F.G);
+  // Flow into S's region-0 copy: E0 taken (0.8) * 10000 = 8000.
+  // Flow into S's region-1 copy: E1 taken (0.5) * 4000 = 2000.
+  // Residual copy: nothing routes to it.
+  double R0Copy = -1, R1Copy = -1, Residual = -1;
+  for (int32_t C : N.CopiesOf[F.S]) {
+    const NavepCopy &Copy = N.Copies[C];
+    if (Copy.Region == 0)
+      R0Copy = Copy.Freq;
+    else if (Copy.Region == 1)
+      R1Copy = Copy.Freq;
+    else
+      Residual = Copy.Freq;
+  }
+  EXPECT_NEAR(R0Copy, 8000.0, 1.0);
+  EXPECT_NEAR(R1Copy, 2000.0, 1.0);
+  EXPECT_NEAR(Residual, 0.0, 1e-6);
+  EXPECT_NEAR(N.totalFreq(F.S), 10000.0, 1.0);
+  EXPECT_LT(N.Residual, 1e-6);
+}
+
+TEST(NavepTest, SdBpOverCopiesMatchesBlockLevel) {
+  // Property from Section 3.1: because all copies of a block share BT and
+  // BM, the copy-weighted Sd.BP equals the plain block-level Sd.BP
+  // whenever copy frequencies conserve the block frequency.
+  DupFixture F;
+  Navep N = buildNavep(F.Inip, F.Avep, *F.G);
+  double ViaNavep = sdBranchProbNavep(F.Inip, F.Avep, *F.G, N);
+  double Direct = sdBranchProb(F.Inip, F.Avep, *F.G);
+  EXPECT_NEAR(ViaNavep, Direct, 1e-6);
+}
+
+TEST(NavepTest, NoRegionsMeansNoUnknowns) {
+  DupFixture F;
+  F.Inip.Regions.clear();
+  Navep N = buildNavep(F.Inip, F.Avep, *F.G);
+  EXPECT_EQ(N.SolveKind, NavepSolveKind::NoneNeeded);
+  EXPECT_EQ(N.NumDuplicated, 0u);
+  EXPECT_DOUBLE_EQ(N.totalFreq(F.S), 10000.0);
+}
+
+TEST(NavepTest, WorksOnEngineProducedSnapshots) {
+  // End-to-end: run a real program through the translator and normalize.
+  ProgramBuilder PB("endtoend");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId Mid = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.addI(1, 1, 1);
+  PB.jump(Mid);
+  PB.switchTo(Mid);
+  PB.branchImm(CondKind::LtI, 1, 50000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  Program P = PB.build();
+
+  dbt::DbtOptions Opts;
+  Opts.Threshold = 100;
+  dbt::DbtEngine Engine(P, Opts);
+  ProfileSnapshot Inip = Engine.run(10000000);
+
+  dbt::DbtOptions AvepOpts;
+  dbt::DbtEngine AvepEngine(P, AvepOpts);
+  ProfileSnapshot Avep = AvepEngine.run(10000000);
+
+  cfg::Cfg G(P);
+  Navep N = buildNavep(Inip, Avep, G);
+  // Conservation within 1% for every block that ran.
+  for (BlockId B = 0; B < P.numBlocks(); ++B) {
+    if (Avep.Blocks[B].Use == 0)
+      continue;
+    double Expected = static_cast<double>(Avep.Blocks[B].Use);
+    EXPECT_NEAR(N.totalFreq(B) / Expected, 1.0, 0.01) << "block " << B;
+  }
+}

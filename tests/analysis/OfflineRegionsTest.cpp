@@ -1,0 +1,97 @@
+//===- tests/analysis/OfflineRegionsTest.cpp - Offline regions -*- C++ -*-===//
+
+#include "analysis/OfflineRegions.h"
+
+#include "analysis/Metrics.h"
+#include "dbt/DbtEngine.h"
+#include "guest/ProgramBuilder.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::analysis;
+using namespace tpdbt::guest;
+
+namespace {
+
+/// Profiling-only snapshot of a scaled benchmark's training input.
+struct Fixture {
+  workloads::GeneratedBenchmark B;
+  std::unique_ptr<cfg::Cfg> G;
+  profile::ProfileSnapshot Train;
+
+  explicit Fixture(const char *Name = "gcc") {
+    B = workloads::generateBenchmark(
+        workloads::scaledSpec(*workloads::findSpec(Name), 0.05));
+    G = std::make_unique<cfg::Cfg>(B.Ref);
+    dbt::DbtOptions Opts; // profiling only
+    dbt::DbtEngine Engine(B.Train, Opts);
+    Train = Engine.run(500000000);
+  }
+};
+
+} // namespace
+
+TEST(OfflineRegionsTest, FormsRegionsFromHotBlocks) {
+  Fixture F;
+  auto Regions = formOfflineRegions(F.Train, *F.G,
+                                    region::FormationOptions(),
+                                    /*MinUse=*/200);
+  ASSERT_FALSE(Regions.empty());
+  // Every region verifies and every member was hot.
+  for (const auto &R : Regions) {
+    std::string Err;
+    EXPECT_TRUE(R.verify(&Err)) << Err;
+    for (const auto &N : R.Nodes)
+      EXPECT_GE(F.Train.Blocks[N.Orig].Use, 200u);
+  }
+  // Loop kernels produce loop regions offline too.
+  EXPECT_GT(std::count_if(Regions.begin(), Regions.end(),
+                          [](const region::Region &R) {
+                            return R.Kind == region::RegionKind::Loop;
+                          }),
+            0);
+}
+
+TEST(OfflineRegionsTest, HigherMinUseFormsFewerRegions) {
+  Fixture F;
+  auto Many = formOfflineRegions(F.Train, *F.G, region::FormationOptions(),
+                                 100);
+  auto Few = formOfflineRegions(F.Train, *F.G, region::FormationOptions(),
+                                100000);
+  EXPECT_GE(Many.size(), Few.size());
+}
+
+TEST(OfflineRegionsTest, WithOfflineRegionsEnablesRegionMetrics) {
+  Fixture F;
+  dbt::DbtOptions Opts;
+  dbt::DbtEngine AvepEngine(F.B.Ref, Opts);
+  profile::ProfileSnapshot Avep = AvepEngine.run(500000000);
+
+  profile::ProfileSnapshot TrainR = withOfflineRegions(
+      F.Train, *F.G, region::FormationOptions(), 200);
+  EXPECT_FALSE(TrainR.Regions.empty());
+  // Region metrics now produce finite values (the paper's future-work
+  // Sd.CP(train)/Sd.LP(train)).
+  double SdCp = sdCompletionProb(TrainR, Avep, *F.G);
+  double SdLp = sdLoopBackProb(TrainR, Avep, *F.G);
+  EXPECT_GE(SdCp, 0.0);
+  EXPECT_LE(SdCp, 1.0);
+  EXPECT_GE(SdLp, 0.0);
+  EXPECT_LE(SdLp, 1.0);
+  // The original snapshot is untouched.
+  EXPECT_TRUE(F.Train.Regions.empty());
+}
+
+TEST(OfflineRegionsTest, DeterministicSeedOrder) {
+  Fixture F;
+  auto A = formOfflineRegions(F.Train, *F.G, region::FormationOptions(),
+                              200);
+  auto B = formOfflineRegions(F.Train, *F.G, region::FormationOptions(),
+                              200);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].toString(), B[I].toString());
+}

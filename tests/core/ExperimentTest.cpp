@@ -1,0 +1,121 @@
+//===- tests/core/ExperimentTest.cpp - Experiment context tests -*- C++ -*-===//
+
+#include "core/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+
+namespace {
+
+ExperimentConfig tinyConfig(const std::string &CacheDir = "") {
+  ExperimentConfig C;
+  C.Scale = 0.01;
+  C.Thresholds = {100, 2000};
+  C.CacheDir = CacheDir;
+  return C;
+}
+
+} // namespace
+
+TEST(ThresholdListTest, MatchesPaper) {
+  const auto &T = paperThresholds();
+  ASSERT_EQ(T.size(), 13u);
+  EXPECT_EQ(T.front(), 100u);
+  EXPECT_EQ(T.back(), 4000000u);
+  const auto &P = performanceThresholds();
+  EXPECT_EQ(P.size(), 15u);
+  EXPECT_EQ(P[0], 1u);
+  EXPECT_EQ(P[1], 50u);
+}
+
+TEST(ExperimentContextTest, ProducesAllProfiles) {
+  ExperimentContext Ctx(tinyConfig());
+  const auto &Inip = Ctx.inip("eon", 100);
+  EXPECT_EQ(Inip.Threshold, 100u);
+  EXPECT_EQ(Inip.Benchmark, "eon");
+  EXPECT_EQ(Inip.Input, "ref");
+
+  const auto &Avep = Ctx.avep("eon");
+  EXPECT_TRUE(Avep.isAverage());
+  EXPECT_EQ(Avep.Input, "ref");
+
+  const auto &Train = Ctx.train("eon");
+  EXPECT_TRUE(Train.isAverage());
+  EXPECT_EQ(Train.Input, "train");
+  EXPECT_LT(Train.BlockEvents, Avep.BlockEvents);
+}
+
+TEST(ExperimentContextTest, GraphMatchesProgram) {
+  ExperimentContext Ctx(tinyConfig());
+  const auto &B = Ctx.benchmark("swim");
+  EXPECT_EQ(Ctx.graph("swim").numBlocks(), B.Ref.numBlocks());
+}
+
+TEST(ExperimentContextTest, CacheRoundTrip) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "tpdbt_experiment_cache_test")
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  ExperimentContext Ctx1(tinyConfig(Dir));
+  auto FirstOps = Ctx1.inip("art", 2000).ProfilingOps;
+  EXPECT_TRUE(std::filesystem::exists(Dir));
+  size_t Files = std::distance(std::filesystem::directory_iterator(Dir),
+                               std::filesystem::directory_iterator());
+  // 2 thresholds + AVEP + train for one benchmark.
+  EXPECT_EQ(Files, 4u);
+
+  // A fresh context must load identical data from the cache.
+  ExperimentContext Ctx2(tinyConfig(Dir));
+  EXPECT_EQ(Ctx2.inip("art", 2000).ProfilingOps, FirstOps);
+  EXPECT_EQ(profile::printSnapshot(Ctx2.avep("art")),
+            profile::printSnapshot(Ctx1.avep("art")));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ExperimentConfigTest, FingerprintSensitivity) {
+  ExperimentConfig A = tinyConfig();
+  ExperimentConfig B = tinyConfig();
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  B.Scale = 0.02;
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  ExperimentConfig C = tinyConfig();
+  C.Dbt.Formation.MinBranchProb = 0.8;
+  EXPECT_NE(A.fingerprint(), C.fingerprint());
+  ExperimentConfig D = tinyConfig();
+  D.Thresholds.push_back(777);
+  EXPECT_NE(A.fingerprint(), D.fingerprint());
+}
+
+TEST(ExperimentContextTest, WarmUpMatchesLazyPath) {
+  // Parallel warm-up must produce snapshots identical to the lazy
+  // single-threaded computation.
+  ExperimentConfig C = tinyConfig();
+  ExperimentContext Lazy(C);
+  std::string LazyText =
+      profile::printSnapshot(Lazy.inip("gzip", 2000)) +
+      profile::printSnapshot(Lazy.train("swim"));
+
+  ExperimentContext Warm(C);
+  Warm.warmUp({"gzip", "swim", "eon"}, /*Threads=*/3);
+  std::string WarmText =
+      profile::printSnapshot(Warm.inip("gzip", 2000)) +
+      profile::printSnapshot(Warm.train("swim"));
+  EXPECT_EQ(WarmText, LazyText);
+}
+
+TEST(ExperimentConfigTest, FromEnvParsesKnobs) {
+  setenv("TPDBT_SCALE", "0.5", 1);
+  setenv("TPDBT_CACHE_DIR", "off", 1);
+  ExperimentConfig C = ExperimentConfig::fromEnv();
+  EXPECT_DOUBLE_EQ(C.Scale, 0.5);
+  EXPECT_TRUE(C.CacheDir.empty());
+  setenv("TPDBT_CACHE_DIR", "/tmp/somewhere", 1);
+  EXPECT_EQ(ExperimentConfig::fromEnv().CacheDir, "/tmp/somewhere");
+  unsetenv("TPDBT_SCALE");
+  unsetenv("TPDBT_CACHE_DIR");
+}

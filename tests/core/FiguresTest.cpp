@@ -1,0 +1,94 @@
+//===- tests/core/FiguresTest.cpp - Figure series tests ---------*- C++ -*-===//
+
+#include "core/Figures.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+
+namespace {
+
+/// A context over a heavily scaled-down suite; figure *shapes* are not
+/// asserted here (EXPERIMENTS.md covers full scale), only that the series
+/// are well-formed.
+ExperimentContext &tinyCtx() {
+  static ExperimentContext Ctx = [] {
+    ExperimentConfig C;
+    C.Scale = 0.005;
+    C.CacheDir.clear();
+    return ExperimentContext(C);
+  }();
+  return Ctx;
+}
+
+} // namespace
+
+TEST(FiguresTest, MetricValuesAreProbabilityLike) {
+  for (MetricKind Kind :
+       {MetricKind::SdBp, MetricKind::BpMismatch, MetricKind::SdCp,
+        MetricKind::SdLp, MetricKind::LpMismatch}) {
+    double V = metricInip(tinyCtx(), "eon", 100, Kind);
+    EXPECT_GE(V, 0.0);
+    EXPECT_LE(V, 1.0);
+  }
+  for (MetricKind Kind :
+       {MetricKind::SdBp, MetricKind::BpMismatch, MetricKind::SdCp,
+        MetricKind::SdLp, MetricKind::LpMismatch}) {
+    double T = metricTrain(tinyCtx(), "eon", Kind);
+    EXPECT_GE(T, 0.0);
+    EXPECT_LE(T, 1.0);
+  }
+}
+
+TEST(FiguresTest, AveragesTableShape) {
+  Table T = figureAverages(tinyCtx(), MetricKind::SdBp, "t");
+  // 13 thresholds + train row.
+  EXPECT_EQ(T.numRows(), 14u);
+  std::string Csv = T.toCsv();
+  EXPECT_NE(Csv.find("threshold,int,fp"), std::string::npos);
+  EXPECT_NE(Csv.find("train,"), std::string::npos);
+  EXPECT_NE(Csv.find("4M,"), std::string::npos);
+}
+
+TEST(FiguresTest, RegionMetricsHaveTrainRowViaOfflineRegions) {
+  // The paper leaves Sd.CP(train)/Sd.LP(train) as future work; we form
+  // regions offline on the training profile, so the row exists.
+  Table T = figureAverages(tinyCtx(), MetricKind::SdCp, "t");
+  EXPECT_EQ(T.numRows(), 14u);
+  EXPECT_NE(T.toCsv().find("train"), std::string::npos);
+}
+
+TEST(FiguresTest, PerBenchTableShape) {
+  Table T = figurePerBench(tinyCtx(), MetricKind::BpMismatch,
+                           {"eon", "swim"}, "t");
+  EXPECT_EQ(T.numRows(), 14u);
+  EXPECT_NE(T.toCsv().find("threshold,eon,swim"), std::string::npos);
+}
+
+TEST(FiguresTest, PerformanceTableShape) {
+  Table T = figurePerformance(tinyCtx());
+  EXPECT_EQ(T.numRows(), 15u); // includes T=1 and T=50
+  std::string Csv = T.toCsv();
+  EXPECT_NE(Csv.find("threshold,int,int_no_perl,fp"), std::string::npos);
+  // The base row is exactly 1.0 for every group.
+  EXPECT_NE(Csv.find("1,1.000,1.000,1.000"), std::string::npos);
+}
+
+TEST(FiguresTest, ProfilingOpsTableMonotone) {
+  Table T = figureProfilingOps(tinyCtx());
+  EXPECT_EQ(T.numRows(), 14u);
+  // The "all" column is non-decreasing in the threshold: larger
+  // thresholds always profile at least as much.
+  std::string Csv = T.toCsv();
+  double Prev = -1.0;
+  size_t Pos = Csv.find('\n') + 1; // skip header
+  for (int Row = 0; Row < 13; ++Row) {
+    size_t End = Csv.find('\n', Pos);
+    std::string Line = Csv.substr(Pos, End - Pos);
+    double All = std::stod(Line.substr(Line.rfind(',') + 1));
+    EXPECT_GE(All, Prev);
+    Prev = All;
+    Pos = End + 1;
+  }
+}

@@ -1,0 +1,108 @@
+//===- tests/core/TraceTest.cpp - Trace record/replay tests -----*- C++ -*-===//
+
+#include "core/Trace.h"
+
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+
+namespace {
+
+workloads::GeneratedBenchmark smallBench(const char *Name) {
+  return workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec(Name), 0.01));
+}
+
+} // namespace
+
+TEST(TraceTest, RecordCapturesFullExecution) {
+  auto B = smallBench("vortex");
+  BlockTrace T = BlockTrace::record(B.Ref);
+  EXPECT_EQ(T.numBlocks(), B.Ref.numBlocks());
+  EXPECT_GT(T.numEvents(), 1000u);
+  EXPECT_GT(T.totalInsts(), T.numEvents()); // >= 1 inst per block
+  // First event is the entry block.
+  EXPECT_EQ(T.event(0).Block, B.Ref.Entry);
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  auto B = smallBench("art");
+  BlockTrace T = BlockTrace::record(B.Ref);
+  std::string Bytes = T.serialize();
+  // Compact encoding: a handful of bytes per event.
+  EXPECT_LT(Bytes.size(), T.numEvents() * 4 + 64);
+
+  BlockTrace Q;
+  std::string Error;
+  ASSERT_TRUE(BlockTrace::parse(Bytes, Q, &Error)) << Error;
+  ASSERT_EQ(Q.numEvents(), T.numEvents());
+  EXPECT_EQ(Q.numBlocks(), T.numBlocks());
+  EXPECT_EQ(Q.totalInsts(), T.totalInsts());
+  for (size_t I = 0; I < T.numEvents(); I += 97) {
+    EXPECT_EQ(Q.event(I).Block, T.event(I).Block);
+    EXPECT_EQ(Q.event(I).Branch, T.event(I).Branch);
+    EXPECT_EQ(Q.event(I).Insts, T.event(I).Insts);
+  }
+  // Canonical: re-serializing parses back to identical bytes.
+  EXPECT_EQ(Q.serialize(), Bytes);
+}
+
+TEST(TraceTest, ParseRejectsCorruption) {
+  auto B = smallBench("eon");
+  std::string Bytes = BlockTrace::record(B.Ref, 500).serialize();
+  BlockTrace Q;
+  EXPECT_FALSE(BlockTrace::parse("garbage", Q, nullptr));
+  EXPECT_FALSE(
+      BlockTrace::parse(Bytes.substr(0, Bytes.size() - 3), Q, nullptr));
+  std::string Extra = Bytes + "x";
+  EXPECT_FALSE(BlockTrace::parse(Extra, Q, nullptr));
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(BlockTrace::parse(BadMagic, Q, nullptr));
+  std::string BadVersion = Bytes;
+  BadVersion[4] = 9;
+  EXPECT_FALSE(BlockTrace::parse(BadVersion, Q, nullptr));
+}
+
+TEST(TraceTest, ReplayMatchesLiveSweepExactly) {
+  // The headline property: trace-driven replay produces byte-identical
+  // snapshots to the live interpreted sweep.
+  for (const char *Name : {"gzip", "swim"}) {
+    auto B = smallBench(Name);
+    std::vector<uint64_t> Thresholds = {1, 100, 2000};
+    SweepResult Live = runSweep(B.Ref, Thresholds, dbt::DbtOptions(),
+                                ~0ull);
+    BlockTrace T = BlockTrace::record(B.Ref);
+    SweepResult Replayed =
+        replaySweep(T, B.Ref, Thresholds, dbt::DbtOptions());
+
+    for (size_t I = 0; I < Thresholds.size(); ++I)
+      EXPECT_EQ(profile::printSnapshot(Replayed.PerThreshold[I]),
+                profile::printSnapshot(Live.PerThreshold[I]))
+          << Name << " T=" << Thresholds[I];
+    EXPECT_EQ(profile::printSnapshot(Replayed.Average),
+              profile::printSnapshot(Live.Average))
+        << Name;
+  }
+}
+
+TEST(TraceTest, ReplayAfterSerializationStillMatches) {
+  auto B = smallBench("lucas");
+  BlockTrace T = BlockTrace::record(B.Ref);
+  BlockTrace Q;
+  ASSERT_TRUE(BlockTrace::parse(T.serialize(), Q, nullptr));
+  SweepResult A = replaySweep(T, B.Ref, {500}, dbt::DbtOptions());
+  SweepResult C = replaySweep(Q, B.Ref, {500}, dbt::DbtOptions());
+  EXPECT_EQ(profile::printSnapshot(A.PerThreshold[0]),
+            profile::printSnapshot(C.PerThreshold[0]));
+}
+
+TEST(TraceTest, MaxBlocksTruncatesRecording) {
+  auto B = smallBench("mesa");
+  BlockTrace T = BlockTrace::record(B.Ref, 123);
+  EXPECT_EQ(T.numEvents(), 123u);
+}

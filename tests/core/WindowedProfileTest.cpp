@@ -1,0 +1,100 @@
+//===- tests/core/WindowedProfileTest.cpp - Windowed profiles --*- C++ -*-===//
+
+#include "core/WindowedProfile.h"
+
+#include "dbt/DbtEngine.h"
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+using namespace tpdbt::guest;
+
+namespace {
+
+/// Branch taken only during the first half of the run.
+Program makeHalfFlip() {
+  ProgramBuilder PB("halfflip");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.addI(1, 1, 1);
+  PB.movI(2, 5000);
+  PB.nop();
+  PB.branchImm(CondKind::LtI, 1, 10000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  return PB.build();
+}
+
+} // namespace
+
+TEST(WindowedProfileTest, WindowsSumToFullProfile) {
+  Program P = makeHalfFlip();
+  WindowedProfile WP = collectWindowedProfile(P, 4);
+  EXPECT_EQ(WP.numWindows(), 4u);
+
+  dbt::DbtOptions Opts;
+  dbt::DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot Avep = Engine.run(100000000);
+
+  for (BlockId B = 0; B < P.numBlocks(); ++B) {
+    uint64_t Use = 0, Taken = 0;
+    for (const auto &W : WP.Windows) {
+      Use += W[B].Use;
+      Taken += W[B].Taken;
+    }
+    EXPECT_EQ(Use, Avep.Blocks[B].Use) << "block " << B;
+    EXPECT_EQ(Taken, Avep.Blocks[B].Taken) << "block " << B;
+  }
+  EXPECT_EQ(WP.TotalBlockEvents, Avep.BlockEvents);
+}
+
+TEST(WindowedProfileTest, CapturesTemporalShift) {
+  // A branch whose outcome depends on the iteration number: early
+  // windows see a different probability than late ones.
+  ProgramBuilder PB("shift");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId Tail = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.branchImm(CondKind::LtI, 1, 5000, A, Tail); // true early, false late
+  PB.switchTo(A);
+  PB.nop();
+  PB.jump(Tail);
+  PB.switchTo(Tail);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 10000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  Program P = PB.build();
+
+  WindowedProfile WP = collectWindowedProfile(P, 8);
+  EXPECT_GT(WP.takenProb(0, Head), 0.9);
+  EXPECT_LT(WP.takenProb(7, Head), 0.1);
+}
+
+TEST(WindowedProfileTest, SingleWindowEqualsWholeRun) {
+  Program P = makeHalfFlip();
+  WindowedProfile WP = collectWindowedProfile(P, 1);
+  EXPECT_EQ(WP.numWindows(), 1u);
+  EXPECT_GT(WP.Windows[0][1].Use, 9000u);
+}
+
+TEST(WindowedProfileTest, RespectsMaxBlocks) {
+  Program P = makeHalfFlip();
+  WindowedProfile WP = collectWindowedProfile(P, 2, /*MaxBlocks=*/100);
+  EXPECT_EQ(WP.TotalBlockEvents, 100u);
+}

@@ -1,0 +1,231 @@
+//===- tests/dbt/AdaptiveTest.cpp - Adaptive re-optimization tests -*- C++ -*-===//
+//
+// Tests for the paper's Section 5 future-work extension: monitoring
+// region side exits (and loop trip classes, after [21]) and retranslating
+// regions whose behaviour changed, giving the changed code a fresh
+// profiling phase.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Metrics.h"
+#include "dbt/DbtEngine.h"
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::dbt;
+
+namespace {
+
+/// Branch that is taken for the first 2000 outer iterations and then
+/// flips, inside a 20000-iteration loop (the phase-change microcosm).
+Program makeFlipProgram() {
+  ProgramBuilder PB("flip");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId D = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId Tail = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.nop();
+  PB.jump(D);
+  PB.switchTo(D);
+  PB.branchImm(CondKind::LtI, 1, 2000, A, B);
+  PB.switchTo(A);
+  PB.nop();
+  PB.jump(Tail);
+  PB.switchTo(B);
+  PB.nop();
+  PB.jump(Tail);
+  PB.switchTo(Tail);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 20000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  return PB.build();
+}
+
+/// Loop whose trip count collapses from ~200 (high class) to 3 (low
+/// class) after 1000 outer iterations.
+Program makeTripFlipProgram() {
+  ProgramBuilder PB("tripflip");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId Pre = PB.createBlock();
+  BlockId SetLow = PB.createBlock();
+  BlockId Body = PB.createBlock();
+  BlockId Tail = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0); // outer counter
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.movI(2, 200); // trip limit (high phase)
+  PB.branchImm(CondKind::LtI, 1, 1000, Pre, SetLow);
+  PB.switchTo(SetLow);
+  PB.movI(2, 3); // low phase
+  PB.jump(Pre);
+  PB.switchTo(Pre);
+  PB.movI(3, 0);
+  PB.jump(Body);
+  PB.switchTo(Body);
+  PB.addI(3, 3, 1);
+  PB.branch(CondKind::Lt, 3, 2, Body, Tail);
+  PB.switchTo(Tail);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 30000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  return PB.build();
+}
+
+profile::ProfileSnapshot run(const Program &P, DbtOptions Opts,
+                             dbt::DbtEngine **Out = nullptr) {
+  static std::unique_ptr<DbtEngine> Keep;
+  Keep = std::make_unique<DbtEngine>(P, Opts);
+  auto S = Keep->run(500000000);
+  if (Out)
+    *Out = Keep.get();
+  return S;
+}
+
+DbtOptions adaptiveOpts(uint64_t T) {
+  DbtOptions Opts;
+  Opts.Threshold = T;
+  Opts.Adaptive.Enabled = true;
+  return Opts;
+}
+
+} // namespace
+
+TEST(AdaptiveTest, DisabledByDefault) {
+  Program P = makeFlipProgram();
+  DbtOptions Opts;
+  Opts.Threshold = 200;
+  DbtEngine *Engine = nullptr;
+  run(P, Opts, &Engine);
+  // Without adaptation, nothing is ever retranslated and the flipped
+  // branch keeps taking its side exit.
+  EXPECT_EQ(Engine->retranslations(), 0u);
+  EXPECT_GT(Engine->cost().SideExits, 10000u);
+}
+
+TEST(AdaptiveTest, RetranslatesMispredictedRegion) {
+  Program P = makeFlipProgram();
+  DbtEngine *Plain = nullptr;
+  run(P, [] {
+    DbtOptions O;
+    O.Threshold = 200;
+    return O;
+  }(), &Plain);
+  uint64_t PlainSideExits = Plain->cost().SideExits;
+
+  DbtEngine *Adaptive = nullptr;
+  profile::ProfileSnapshot Snap = run(P, adaptiveOpts(200), &Adaptive);
+  // The flipped branch forces a retranslation, after which the new region
+  // follows the new direction: far fewer side exits.
+  EXPECT_GE(Adaptive->retranslations(), 1u);
+  EXPECT_LT(Adaptive->cost().SideExits, PlainSideExits / 4);
+  EXPECT_GT(Snap.Cycles, 0u);
+}
+
+TEST(AdaptiveTest, SecondProfilingPhaseReflectsNewBehaviour) {
+  Program P = makeFlipProgram();
+  // Non-adaptive: the flip branch's frozen taken prob is ~1 (phase 0).
+  DbtOptions Plain;
+  Plain.Threshold = 200;
+  profile::ProfileSnapshot PlainSnap = run(P, Plain);
+  const BlockId D = 2;
+  EXPECT_GT(PlainSnap.takenProb(D), 0.95);
+
+  // Adaptive: D was re-profiled after the flip; its final counts are from
+  // the second phase where the branch is never taken.
+  profile::ProfileSnapshot AdaptSnap = run(P, adaptiveOpts(200));
+  EXPECT_LT(AdaptSnap.takenProb(D), 0.05);
+
+  // That makes the late-execution prediction far better: AVEP's taken
+  // prob is 0.1 (2000/20000).
+  DbtOptions AvepOpts;
+  profile::ProfileSnapshot Avep = run(P, AvepOpts);
+  cfg::Cfg G(P);
+  double PlainSd = analysis::sdBranchProb(PlainSnap, Avep, G);
+  double AdaptSd = analysis::sdBranchProb(AdaptSnap, Avep, G);
+  EXPECT_LT(AdaptSd, PlainSd);
+}
+
+TEST(AdaptiveTest, StableRegionsAreLeftAlone) {
+  // A steady counted loop: behaviour never changes, so adaptation must
+  // never fire and the result must equal the non-adaptive run.
+  ProgramBuilder PB("steady");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 500000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  Program P = PB.build();
+
+  DbtEngine *Adaptive = nullptr;
+  profile::ProfileSnapshot AdaptSnap = run(P, adaptiveOpts(500), &Adaptive);
+  DbtOptions Plain;
+  Plain.Threshold = 500;
+  profile::ProfileSnapshot PlainSnap = run(P, Plain);
+  EXPECT_EQ(profile::printSnapshot(AdaptSnap),
+            profile::printSnapshot(PlainSnap));
+}
+
+TEST(AdaptiveTest, LoopTripClassChangeTriggersRetranslation) {
+  Program P = makeTripFlipProgram();
+  DbtOptions Plain;
+  Plain.Threshold = 500;
+  profile::ProfileSnapshot PlainSnap = run(P, Plain);
+
+  profile::ProfileSnapshot AdaptSnap = run(P, adaptiveOpts(500));
+
+  DbtOptions AvepOpts;
+  profile::ProfileSnapshot Avep = run(P, AvepOpts);
+  cfg::Cfg G(P);
+
+  // The plain run freezes the loop body during the high-trip phase; its
+  // trip-class prediction is wrong vs the average (mostly low-trip). The
+  // adaptive run re-profiles after the class change.
+  double PlainMis = analysis::lpMismatchRate(PlainSnap, Avep, G);
+  double AdaptMis = analysis::lpMismatchRate(AdaptSnap, Avep, G);
+  EXPECT_GT(PlainMis, 0.9);
+  EXPECT_LT(AdaptMis, PlainMis);
+}
+
+TEST(AdaptiveTest, RetranslationCapRespected) {
+  Program P = makeFlipProgram();
+  DbtOptions Opts = adaptiveOpts(200);
+  Opts.Adaptive.MaxRetranslations = 1;
+  DbtEngine Engine(P, Opts);
+  Engine.run(500000000);
+  // With the cap at 1, the total across this tiny program's regions is
+  // necessarily small.
+  EXPECT_LE(Engine.retranslations(), Engine.regions().size());
+}
+
+TEST(AdaptiveTest, StableRegionRuntimeAccumulates) {
+  Program P = makeFlipProgram();
+  DbtEngine *Engine = nullptr;
+  run(P, adaptiveOpts(200), &Engine);
+  // At least one region observed entries during the run.
+  uint64_t Regions = Engine->regions().size();
+  EXPECT_GT(Regions, 0u);
+}

@@ -1,0 +1,218 @@
+//===- tests/dbt/DbtEngineTest.cpp - Two-phase engine tests -----*- C++ -*-===//
+
+#include "dbt/DbtEngine.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::dbt;
+using namespace tpdbt::region;
+
+namespace {
+
+/// Counted loop: entry; head runs Iters times (self loop via branch);
+/// exit. The head's branch is taken (Iters - 1) times.
+Program makeCountedLoop(int64_t Iters) {
+  ProgramBuilder PB("counted");
+  BlockId Entry = PB.createBlock("entry");
+  BlockId Head = PB.createBlock("head");
+  BlockId Exit = PB.createBlock("exit");
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, Iters, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  return PB.build();
+}
+
+profile::ProfileSnapshot runWith(const Program &P, uint64_t Threshold,
+                                 DbtEngine **EngineOut = nullptr) {
+  static std::unique_ptr<DbtEngine> Keep;
+  DbtOptions Opts;
+  Opts.Threshold = Threshold;
+  Keep = std::make_unique<DbtEngine>(P, Opts);
+  auto S = Keep->run(/*MaxBlocks=*/50000000);
+  if (EngineOut)
+    *EngineOut = Keep.get();
+  return S;
+}
+
+} // namespace
+
+TEST(DbtEngineTest, AvepCountsExactly) {
+  Program P = makeCountedLoop(1000);
+  profile::ProfileSnapshot S = runWith(P, 0);
+
+  EXPECT_TRUE(S.isAverage());
+  EXPECT_TRUE(S.Regions.empty());
+  // entry once, head 1000 times, exit once.
+  EXPECT_EQ(S.Blocks[0].Use, 1u);
+  EXPECT_EQ(S.Blocks[1].Use, 1000u);
+  EXPECT_EQ(S.Blocks[1].Taken, 999u);
+  EXPECT_EQ(S.Blocks[2].Use, 1u);
+  EXPECT_EQ(S.BlockEvents, 1002u);
+  // Profiling ops = one use per event + one per taken branch.
+  EXPECT_EQ(S.ProfilingOps, 1002u + 999u);
+}
+
+TEST(DbtEngineTest, InipFreezesCountersInThresholdWindow) {
+  Program P = makeCountedLoop(100000);
+  profile::ProfileSnapshot S = runWith(P, 500);
+
+  // The hot head was optimized; its counts froze between T and 2T
+  // (inclusive: the registered-twice trigger fires at exactly 2T).
+  EXPECT_GE(S.Blocks[1].Use, 500u);
+  EXPECT_LE(S.Blocks[1].Use, 1000u);
+  // Its taken prob at freeze time is ~1 (it almost always loops back).
+  EXPECT_GT(S.takenProb(1), 0.99);
+  ASSERT_FALSE(S.Regions.empty());
+  EXPECT_EQ(S.Regions[0].Kind, RegionKind::Loop);
+  EXPECT_EQ(S.Regions[0].entryBlock(), 1u);
+}
+
+TEST(DbtEngineTest, RegisteredTwiceTriggersOptimization) {
+  // Only the head gets hot; the pool never reaches PoolLimit, so the
+  // optimization must fire via the registered-twice rule at use == 2T.
+  Program P = makeCountedLoop(100000);
+  DbtEngine *Engine = nullptr;
+  profile::ProfileSnapshot S = runWith(P, 1000, &Engine);
+  EXPECT_GE(Engine->optimizationRounds(), 1u);
+  EXPECT_EQ(S.Blocks[1].Use, 2000u); // froze exactly at 2T
+}
+
+TEST(DbtEngineTest, ColdBlocksKeepCountingToProgramEnd) {
+  Program P = makeCountedLoop(100000);
+  profile::ProfileSnapshot S = runWith(P, 500);
+  // Entry and exit executed once; far below T, never optimized, so their
+  // end-of-run counts appear in INIP (paper Section 2).
+  EXPECT_EQ(S.Blocks[0].Use, 1u);
+  EXPECT_EQ(S.Blocks[2].Use, 1u);
+}
+
+TEST(DbtEngineTest, ThresholdLargerThanRunMeansNoRegions) {
+  Program P = makeCountedLoop(1000);
+  DbtEngine *Engine = nullptr;
+  profile::ProfileSnapshot S = runWith(P, 4000000, &Engine);
+  EXPECT_TRUE(S.Regions.empty());
+  EXPECT_EQ(Engine->optimizationRounds(), 0u);
+  // INIP == AVEP in this case.
+  EXPECT_EQ(S.Blocks[1].Use, 1000u);
+}
+
+TEST(DbtEngineTest, ProfilingOpsShrinkWithSmallerThreshold) {
+  Program P = makeCountedLoop(100000);
+  uint64_t Ops500 = runWith(P, 500).ProfilingOps;
+  uint64_t Ops5000 = runWith(P, 5000).ProfilingOps;
+  uint64_t OpsAvep = runWith(P, 0).ProfilingOps;
+  EXPECT_LT(Ops500, Ops5000);
+  EXPECT_LT(Ops5000, OpsAvep);
+}
+
+TEST(DbtEngineTest, CostModelChargesOptimizedExecutionLess) {
+  Program P = makeCountedLoop(1000000);
+  DbtEngine *Engine = nullptr;
+  runWith(P, 500, &Engine);
+  const CostAccount &Optimized = Engine->cost();
+  EXPECT_GT(Optimized.OptInsts, 0u);
+  EXPECT_GT(Optimized.OptimizeCycles, 0u);
+  uint64_t OptimizedCycles = Optimized.Cycles;
+
+  runWith(P, 0, &Engine);
+  uint64_t ProfiledCycles = Engine->cost().Cycles;
+  // The profiling-only run of a hot loop is much slower than the
+  // optimized one.
+  EXPECT_GT(ProfiledCycles, OptimizedCycles);
+}
+
+TEST(DbtEngineTest, PoolLimitTriggersRound) {
+  // Many equally-warm blocks: a straight chain of blocks executed in a
+  // loop, so the pool fills before anything reaches 2T.
+  ProgramBuilder PB("wide");
+  const int N = 30;
+  std::vector<BlockId> Chain;
+  BlockId Entry = PB.createBlock();
+  for (int I = 0; I < N; ++I)
+    Chain.push_back(PB.createBlock());
+  BlockId Tail = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Chain[0]);
+  for (int I = 0; I < N; ++I) {
+    PB.switchTo(Chain[I]);
+    PB.nop();
+    PB.jump(I + 1 < N ? Chain[I + 1] : Tail);
+  }
+  PB.switchTo(Tail);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 1000, Chain[0], Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  Program P = PB.build();
+
+  DbtOptions Opts;
+  Opts.Threshold = 100;
+  Opts.PoolLimit = 8;
+  Opts.Formation.MaxRegionBlocks = 4; // keep regions from absorbing all
+  DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot S = Engine.run(50000000);
+  // All chain blocks hit T=100 on the same iteration; the pool limit of 8
+  // forces multiple rounds instead of waiting for 2T.
+  EXPECT_GE(Engine.optimizationRounds(), 2u);
+  // Every chain block froze within the [T/2, 2T] window (members may be
+  // absorbed warm).
+  for (int I = 0; I < N; ++I) {
+    EXPECT_GE(S.Blocks[Chain[I]].Use, 50u);
+    EXPECT_LE(S.Blocks[Chain[I]].Use, 200u);
+  }
+}
+
+TEST(DbtEngineTest, SideExitsAccountedForMispredictedRegions) {
+  // A branch that is taken for the first 2T executions and then flips:
+  // the region follows the early direction, and later execution leaves
+  // through the side exit every time.
+  ProgramBuilder PB("flip");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId D = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId Tail = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.nop();
+  PB.jump(D);
+  PB.switchTo(D);
+  PB.branchImm(CondKind::LtI, 1, 2000, A, B); // flips at iteration 2000
+  PB.switchTo(A);
+  PB.nop();
+  PB.jump(Tail);
+  PB.switchTo(B);
+  PB.nop();
+  PB.jump(Tail);
+  PB.switchTo(Tail);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 20000, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  Program P = PB.build();
+
+  DbtOptions Opts;
+  Opts.Threshold = 200;
+  DbtEngine Engine(P, Opts);
+  Engine.run(50000000);
+  // After the flip, every pass through the D-region takes the side exit.
+  EXPECT_GT(Engine.cost().SideExits, 10000u);
+}

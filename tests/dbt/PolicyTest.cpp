@@ -1,0 +1,190 @@
+//===- tests/dbt/PolicyTest.cpp - Translation-policy unit tests -*- C++ -*-===//
+
+#include "dbt/Policy.h"
+
+#include "dbt/DbtEngine.h"
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::dbt;
+using namespace tpdbt::region;
+
+namespace {
+
+/// Balanced diamond in a counted loop: head -> d -> {a,b} -> m -> head.
+Program makeDiamondLoop(int64_t Iters) {
+  ProgramBuilder PB("dloop");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId D = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId M = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.movI(5, 12345);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  // xorshift for a ~50/50 branch
+  PB.shlI(4, 5, 13);
+  PB.xorR(5, 5, 4);
+  PB.shrI(4, 5, 7);
+  PB.xorR(5, 5, 4);
+  PB.jump(D);
+  PB.switchTo(D);
+  PB.andI(4, 5, 1);
+  PB.branchImm(CondKind::EqI, 4, 0, A, B);
+  PB.switchTo(A);
+  PB.nop();
+  PB.jump(M);
+  PB.switchTo(B);
+  PB.nop();
+  PB.jump(M);
+  PB.switchTo(M);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, Iters, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  return PB.build();
+}
+
+} // namespace
+
+TEST(PolicyTest, WarmMembersAreAbsorbedAndFrozen) {
+  // The diamond arms run at ~half the seed's rate; with warm-member
+  // growth they must still end up inside a region, frozen in [T/2, 2T].
+  Program P = makeDiamondLoop(100000);
+  const uint64_t T = 1000;
+  DbtOptions Opts;
+  Opts.Threshold = T;
+  DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot S = Engine.run(~0ull);
+
+  const BlockId A = 3, B = 4;
+  bool ArmInRegion = false;
+  for (const Region &R : S.Regions)
+    ArmInRegion |= R.containsBlock(A) || R.containsBlock(B);
+  ASSERT_TRUE(ArmInRegion) << "diamond arm not absorbed into any region";
+  for (BlockId Arm : {A, B}) {
+    if (S.Blocks[Arm].Use == 0)
+      continue;
+    bool InSomeRegion = false;
+    for (const Region &R : S.Regions)
+      InSomeRegion |= R.containsBlock(Arm);
+    if (!InSomeRegion)
+      continue;
+    EXPECT_GE(S.Blocks[Arm].Use, T / 2);
+    EXPECT_LE(S.Blocks[Arm].Use, 2 * T);
+  }
+}
+
+TEST(PolicyTest, DiamondAbsorbedIntoOneRegion) {
+  // With a good profile the balanced diamond becomes a Figure 6-style
+  // DAG region: some region node has two intra-region successors.
+  Program P = makeDiamondLoop(100000);
+  DbtOptions Opts;
+  Opts.Threshold = 1000;
+  DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot S = Engine.run(~0ull);
+
+  bool FoundDiamond = false;
+  for (const Region &R : S.Regions) {
+    std::vector<int> In(R.Nodes.size(), 0);
+    for (const RegionNode &N : R.Nodes) {
+      if (N.TakenSucc >= 0)
+        ++In[N.TakenSucc];
+      if (N.HasCondBranch && N.FallSucc >= 0)
+        ++In[N.FallSucc];
+    }
+    for (int C : In)
+      FoundDiamond |= C > 1;
+  }
+  EXPECT_TRUE(FoundDiamond);
+}
+
+TEST(PolicyTest, ColdProgramNeverOptimizes) {
+  Program P = makeDiamondLoop(50); // far below any threshold
+  DbtOptions Opts;
+  Opts.Threshold = 1000;
+  DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot S = Engine.run(~0ull);
+  EXPECT_TRUE(S.Regions.empty());
+  EXPECT_EQ(Engine.cost().OptInsts, 0u);
+  EXPECT_GT(Engine.cost().ColdInsts, 0u);
+}
+
+TEST(PolicyTest, CostCyclesDecomposeConsistently) {
+  Program P = makeDiamondLoop(50000);
+  DbtOptions Opts;
+  Opts.Threshold = 500;
+  DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot S = Engine.run(~0ull);
+  const CostAccount &C = Engine.cost();
+
+  // Every executed instruction was charged in exactly one category.
+  EXPECT_EQ(C.ColdInsts + C.OptInsts + C.OffTraceInsts, S.InstsExecuted);
+  // Reconstruct the cycle total from the account.
+  const CostParams &Params = Opts.Cost;
+  uint64_t ColdBlocks = 0;
+  // Profiling overhead is charged per cold block event; infer it.
+  uint64_t Expected = C.ColdInsts * Params.ColdPerInst +
+                      C.OptInsts * Params.OptPerInst +
+                      C.OffTraceInsts * Params.OptOffTracePerInst +
+                      C.SideExits * Params.SideExitPenalty +
+                      C.LoopExits * Params.LoopExitPenalty +
+                      C.OptimizeCycles;
+  uint64_t Remainder = S.Cycles - Expected;
+  EXPECT_EQ(Remainder % Params.ProfilePerBlock, 0u);
+  ColdBlocks = Remainder / Params.ProfilePerBlock;
+  EXPECT_LE(ColdBlocks, S.BlockEvents);
+  EXPECT_GT(ColdBlocks, 0u);
+}
+
+TEST(PolicyTest, SnapshotCyclesMatchAccount) {
+  Program P = makeDiamondLoop(20000);
+  DbtOptions Opts;
+  Opts.Threshold = 200;
+  DbtEngine Engine(P, Opts);
+  profile::ProfileSnapshot S = Engine.run(~0ull);
+  EXPECT_EQ(S.Cycles, Engine.cost().Cycles);
+}
+
+TEST(PolicyTest, RegionRuntimeObservationsAccumulate) {
+  Program P = makeDiamondLoop(100000);
+  cfg::Cfg G(P);
+  DbtOptions Opts;
+  Opts.Threshold = 500;
+  TranslationPolicy Policy(P, G, Opts);
+
+  std::vector<profile::BlockCounters> Shared(P.numBlocks());
+  vm::Interpreter I(P);
+  vm::Machine M;
+  M.reset(P);
+  BlockId Cur = P.Entry;
+  while (true) {
+    vm::BlockResult R = I.executeBlock(Cur, M);
+    auto &C = Shared[Cur];
+    ++C.Use;
+    if (R.IsCondBranch && R.Taken)
+      ++C.Taken;
+    Policy.onBlockEvent(Cur, R, Shared);
+    if (R.Reason != vm::StopReason::Running)
+      break;
+    Cur = R.Next;
+  }
+  ASSERT_FALSE(Policy.regions().empty());
+  // The hot loop forms one region that is entered once and then iterates
+  // via its back edge: entries stay tiny, back-edge traversals dominate.
+  uint64_t TotalEntries = 0, TotalBackEdges = 0;
+  for (const auto &RT : Policy.regionRuntime()) {
+    TotalEntries += RT.Entries;
+    TotalBackEdges += RT.BackEdges;
+  }
+  EXPECT_GE(TotalEntries, 1u);
+  EXPECT_GT(TotalBackEdges, 10000u);
+}

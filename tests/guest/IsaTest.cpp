@@ -1,0 +1,88 @@
+//===- tests/guest/IsaTest.cpp - ISA metadata unit tests --------*- C++ -*-===//
+
+#include "guest/Isa.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace tpdbt::guest;
+
+namespace {
+
+const Opcode AllOpcodes[] = {
+    Opcode::Add,    Opcode::Sub,    Opcode::Mul,    Opcode::Divs,
+    Opcode::Rems,   Opcode::And,    Opcode::Or,     Opcode::Xor,
+    Opcode::Shl,    Opcode::Shr,    Opcode::Sar,    Opcode::AddI,
+    Opcode::MulI,   Opcode::AndI,   Opcode::OrI,    Opcode::XorI,
+    Opcode::ShlI,   Opcode::ShrI,   Opcode::CmpEq,  Opcode::CmpLt,
+    Opcode::CmpLtU, Opcode::CmpEqI, Opcode::CmpLtI, Opcode::CmpLtUI,
+    Opcode::MovI,   Opcode::Mov,    Opcode::Load,   Opcode::Store,
+    Opcode::FAdd,   Opcode::FSub,   Opcode::FMul,   Opcode::FDiv,
+    Opcode::FConst, Opcode::FCmpLt, Opcode::IToF,   Opcode::FToI,
+    Opcode::Nop};
+
+const CondKind AllConds[] = {CondKind::Eq,  CondKind::Ne,  CondKind::Lt,
+                             CondKind::Ge,  CondKind::LtU, CondKind::GeU,
+                             CondKind::EqI, CondKind::NeI, CondKind::LtI,
+                             CondKind::GeI};
+
+} // namespace
+
+TEST(IsaTest, OpcodeNamesUnique) {
+  std::set<std::string> Names;
+  for (Opcode Op : AllOpcodes)
+    EXPECT_TRUE(Names.insert(opcodeName(Op)).second)
+        << "duplicate mnemonic " << opcodeName(Op);
+}
+
+TEST(IsaTest, CondNamesUnique) {
+  std::set<std::string> Names;
+  for (CondKind CK : AllConds)
+    EXPECT_TRUE(Names.insert(condKindName(CK)).second);
+}
+
+TEST(IsaTest, ImmediateOpcodeClassification) {
+  EXPECT_TRUE(opcodeUsesImm(Opcode::AddI));
+  EXPECT_TRUE(opcodeUsesImm(Opcode::MovI));
+  EXPECT_TRUE(opcodeUsesImm(Opcode::Load));
+  EXPECT_TRUE(opcodeUsesImm(Opcode::Store));
+  EXPECT_FALSE(opcodeUsesImm(Opcode::Add));
+  EXPECT_FALSE(opcodeUsesImm(Opcode::Mov));
+}
+
+TEST(IsaTest, RegisterUseClassification) {
+  EXPECT_FALSE(opcodeReadsRa(Opcode::MovI));
+  EXPECT_TRUE(opcodeReadsRa(Opcode::Mov));
+  EXPECT_TRUE(opcodeReadsRb(Opcode::Store));
+  EXPECT_FALSE(opcodeReadsRb(Opcode::Load));
+  EXPECT_FALSE(opcodeWritesRd(Opcode::Store));
+  EXPECT_FALSE(opcodeWritesRd(Opcode::Nop));
+  EXPECT_TRUE(opcodeWritesRd(Opcode::Load));
+}
+
+TEST(IsaTest, CondImmClassification) {
+  EXPECT_TRUE(condUsesImm(CondKind::EqI));
+  EXPECT_TRUE(condUsesImm(CondKind::GeI));
+  EXPECT_FALSE(condUsesImm(CondKind::Eq));
+  EXPECT_FALSE(condUsesImm(CondKind::GeU));
+}
+
+TEST(TerminatorTest, Factories) {
+  Terminator J = Terminator::jump(7);
+  EXPECT_EQ(J.Kind, TermKind::Jump);
+  EXPECT_EQ(J.Taken, 7u);
+
+  Terminator H = Terminator::halt();
+  EXPECT_EQ(H.Kind, TermKind::Halt);
+
+  Terminator B = Terminator::branch(CondKind::Lt, 1, 2, 3, 4);
+  EXPECT_EQ(B.Kind, TermKind::Branch);
+  EXPECT_EQ(B.Cond, CondKind::Lt);
+  EXPECT_EQ(B.Taken, 3u);
+  EXPECT_EQ(B.Fallthrough, 4u);
+
+  Terminator BI = Terminator::branchImm(CondKind::LtI, 1, -5, 3, 4);
+  EXPECT_EQ(BI.Imm, -5);
+}

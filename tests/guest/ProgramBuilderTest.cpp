@@ -1,0 +1,100 @@
+//===- tests/guest/ProgramBuilderTest.cpp - Builder unit tests --*- C++ -*-===//
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt::guest;
+
+TEST(ProgramBuilderTest, BuildsSimpleLoop) {
+  ProgramBuilder PB("loop");
+  BlockId Entry = PB.createBlock("entry");
+  BlockId Body = PB.createBlock("body");
+  BlockId Exit = PB.createBlock("exit");
+  PB.setEntry(Entry);
+
+  PB.switchTo(Entry);
+  PB.movI(1, 0);
+  PB.jump(Body);
+
+  PB.switchTo(Body);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 10, Body, Exit);
+
+  PB.switchTo(Exit);
+  PB.halt();
+
+  Program P = PB.build();
+  EXPECT_EQ(P.Name, "loop");
+  EXPECT_EQ(P.numBlocks(), 3u);
+  EXPECT_EQ(P.Entry, Entry);
+  EXPECT_EQ(P.Blocks[Body].Term.Kind, TermKind::Branch);
+  EXPECT_EQ(P.Blocks[Body].Term.Taken, Body);
+  EXPECT_TRUE(verifyProgram(P, nullptr));
+}
+
+TEST(ProgramBuilderTest, MemoryManagement) {
+  ProgramBuilder PB("mem");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  PB.halt();
+
+  EXPECT_EQ(PB.appendMemWord(11), 0u);
+  EXPECT_EQ(PB.appendMemWord(22), 1u);
+  PB.setMemWords(10);
+
+  Program P = PB.build();
+  EXPECT_EQ(P.MemWords, 10u);
+  ASSERT_EQ(P.InitialMem.size(), 2u);
+  EXPECT_EQ(P.InitialMem[0], 11);
+  EXPECT_EQ(P.InitialMem[1], 22);
+}
+
+TEST(ProgramBuilderTest, MemWordsGrowsWithInitialMem) {
+  ProgramBuilder PB("mem2");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  PB.halt();
+  PB.setInitialMem({1, 2, 3});
+  Program P = PB.build();
+  EXPECT_GE(P.MemWords, 3u);
+}
+
+TEST(ProgramBuilderTest, StaticInstCountIncludesTerminators) {
+  ProgramBuilder PB("count");
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  PB.setEntry(A);
+  PB.switchTo(A);
+  PB.nop();
+  PB.nop();
+  PB.jump(B);
+  PB.switchTo(B);
+  PB.halt();
+  Program P = PB.build();
+  // 2 nops + jump + halt
+  EXPECT_EQ(P.staticInstCount(), 4u);
+}
+
+TEST(ProgramBuilderTest, EmittersEncodeOperands) {
+  ProgramBuilder PB("ops");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  PB.load(3, 4, 100);
+  PB.store(5, 6, 200);
+  PB.halt();
+  Program P = PB.build();
+  const Inst &Ld = P.Blocks[B].Insts[0];
+  EXPECT_EQ(Ld.Op, Opcode::Load);
+  EXPECT_EQ(Ld.Rd, 3);
+  EXPECT_EQ(Ld.Ra, 4);
+  EXPECT_EQ(Ld.Imm, 100);
+  const Inst &St = P.Blocks[B].Insts[1];
+  EXPECT_EQ(St.Op, Opcode::Store);
+  EXPECT_EQ(St.Rb, 5);
+  EXPECT_EQ(St.Ra, 6);
+  EXPECT_EQ(St.Imm, 200);
+}

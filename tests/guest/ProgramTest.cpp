@@ -1,0 +1,133 @@
+//===- tests/guest/ProgramTest.cpp - Program container tests ----*- C++ -*-===//
+
+#include "guest/Program.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt::guest;
+
+namespace {
+
+/// A small representative program exercising every serialization case.
+Program makeSample() {
+  ProgramBuilder PB("sample");
+  BlockId A = PB.createBlock("start");
+  BlockId B = PB.createBlock();
+  BlockId C = PB.createBlock("done");
+  PB.setEntry(A);
+
+  PB.switchTo(A);
+  PB.movI(1, -7);
+  PB.load(2, 0, 3);
+  PB.branch(CondKind::LtU, 1, 2, B, C);
+
+  PB.switchTo(B);
+  PB.store(1, 0, 4);
+  PB.jump(C);
+
+  PB.switchTo(C);
+  PB.halt();
+
+  PB.setMemWords(16);
+  PB.setInitialMem({5, -6, 7});
+  return PB.build();
+}
+
+} // namespace
+
+TEST(VerifyProgramTest, AcceptsWellFormed) {
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyProgram(makeSample(), &Errors));
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST(VerifyProgramTest, RejectsEmptyProgram) {
+  Program P;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(P, &Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(VerifyProgramTest, RejectsBadEntry) {
+  Program P = makeSample();
+  P.Entry = 99;
+  EXPECT_FALSE(verifyProgram(P, nullptr));
+}
+
+TEST(VerifyProgramTest, RejectsBadBranchTarget) {
+  Program P = makeSample();
+  P.Blocks[0].Term.Taken = 99;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(P, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("target"), std::string::npos);
+}
+
+TEST(VerifyProgramTest, RejectsBadRegister) {
+  Program P = makeSample();
+  P.Blocks[0].Insts[0].Rd = NumRegs; // out of range dest
+  EXPECT_FALSE(verifyProgram(P, nullptr));
+}
+
+TEST(VerifyProgramTest, RejectsOversizedInitialMem) {
+  Program P = makeSample();
+  P.MemWords = 1;
+  EXPECT_FALSE(verifyProgram(P, nullptr));
+}
+
+TEST(DisassembleTest, MentionsEveryBlock) {
+  std::string Text = disassemble(makeSample());
+  EXPECT_NE(Text.find("b0 start:"), std::string::npos);
+  EXPECT_NE(Text.find("b1:"), std::string::npos);
+  EXPECT_NE(Text.find("b2 done:"), std::string::npos);
+  EXPECT_NE(Text.find("halt"), std::string::npos);
+  EXPECT_NE(Text.find("br.ltu"), std::string::npos);
+}
+
+TEST(SerializationTest, RoundTripsExactly) {
+  Program P = makeSample();
+  std::string Text = printProgram(P);
+  Program Q;
+  std::string Error;
+  ASSERT_TRUE(parseProgram(Text, Q, &Error)) << Error;
+
+  EXPECT_EQ(Q.Name, P.Name);
+  EXPECT_EQ(Q.Entry, P.Entry);
+  EXPECT_EQ(Q.MemWords, P.MemWords);
+  EXPECT_EQ(Q.InitialMem, P.InitialMem);
+  ASSERT_EQ(Q.numBlocks(), P.numBlocks());
+  for (size_t I = 0; I < P.numBlocks(); ++I) {
+    ASSERT_EQ(Q.Blocks[I].Insts.size(), P.Blocks[I].Insts.size());
+    for (size_t J = 0; J < P.Blocks[I].Insts.size(); ++J) {
+      EXPECT_EQ(Q.Blocks[I].Insts[J].Op, P.Blocks[I].Insts[J].Op);
+      EXPECT_EQ(Q.Blocks[I].Insts[J].Imm, P.Blocks[I].Insts[J].Imm);
+    }
+    EXPECT_EQ(Q.Blocks[I].Term.Kind, P.Blocks[I].Term.Kind);
+    EXPECT_EQ(Q.Blocks[I].Term.Taken, P.Blocks[I].Term.Taken);
+  }
+  // And the round-tripped program prints identically.
+  EXPECT_EQ(printProgram(Q), Text);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  Program Q;
+  std::string Error;
+  EXPECT_FALSE(parseProgram("not a program", Q, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(SerializationTest, RejectsTruncated) {
+  std::string Text = printProgram(makeSample());
+  Program Q;
+  EXPECT_FALSE(parseProgram(Text.substr(0, Text.size() / 2), Q, nullptr));
+}
+
+TEST(SerializationTest, RejectsWrongVersion) {
+  std::string Text = printProgram(makeSample());
+  size_t Pos = Text.find("v1");
+  Text.replace(Pos, 2, "v9");
+  Program Q;
+  EXPECT_FALSE(parseProgram(Text, Q, nullptr));
+}

@@ -1,0 +1,142 @@
+//===- tests/numeric/MatrixTest.cpp - Linear algebra tests ------*- C++ -*-===//
+
+#include "numeric/Matrix.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace tpdbt;
+using namespace tpdbt::numeric;
+
+TEST(DenseMatrixTest, IdentityAndApply) {
+  DenseMatrix I = DenseMatrix::identity(3);
+  std::vector<double> V = {1, 2, 3};
+  EXPECT_EQ(I.apply(V), V);
+
+  DenseMatrix M(2, 3, 0.0);
+  M.at(0, 0) = 1;
+  M.at(0, 2) = 2;
+  M.at(1, 1) = -1;
+  std::vector<double> Out = M.apply({1, 2, 3});
+  EXPECT_DOUBLE_EQ(Out[0], 7.0);
+  EXPECT_DOUBLE_EQ(Out[1], -2.0);
+}
+
+TEST(SolveLuTest, Solves2x2) {
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 2;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = 3;
+  std::vector<double> X;
+  ASSERT_TRUE(solveLu(A, {5, 10}, X));
+  EXPECT_NEAR(X[0], 1.0, 1e-12);
+  EXPECT_NEAR(X[1], 3.0, 1e-12);
+}
+
+TEST(SolveLuTest, NeedsPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 0;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = 0;
+  std::vector<double> X;
+  ASSERT_TRUE(solveLu(A, {3, 4}, X));
+  EXPECT_NEAR(X[0], 4.0, 1e-12);
+  EXPECT_NEAR(X[1], 3.0, 1e-12);
+}
+
+TEST(SolveLuTest, DetectsSingular) {
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 4;
+  std::vector<double> X;
+  EXPECT_FALSE(solveLu(A, {1, 2}, X));
+}
+
+TEST(SolveLuTest, RandomSystemsHaveSmallResiduals) {
+  // Property: for random well-conditioned systems, A * x ~= b.
+  Rng R(99);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    size_t N = 1 + R.nextBelow(12);
+    DenseMatrix A(N, N);
+    for (size_t I = 0; I < N; ++I) {
+      for (size_t J = 0; J < N; ++J)
+        A.at(I, J) = R.nextDouble() - 0.5;
+      A.at(I, I) += static_cast<double>(N); // diagonally dominant
+    }
+    std::vector<double> B(N);
+    for (auto &V : B)
+      V = R.nextDouble() * 10.0 - 5.0;
+    std::vector<double> X;
+    ASSERT_TRUE(solveLu(A, B, X));
+    EXPECT_LT(residualNorm(A, X, B), 1e-9);
+  }
+}
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, 4.0}, {1, 1, 1.0}});
+  std::vector<double> Out = M.apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(Out[0], 3.0);
+  EXPECT_DOUBLE_EQ(Out[1], 5.0);
+}
+
+TEST(SparseMatrixTest, ForEachInRow) {
+  SparseMatrix M =
+      SparseMatrix::fromTriplets(3, {{1, 0, 2.0}, {1, 2, 3.0}});
+  double Sum = 0;
+  size_t Count = 0;
+  M.forEachInRow(1, [&](size_t C, double V) {
+    Sum += V;
+    ++Count;
+  });
+  EXPECT_EQ(Count, 2u);
+  EXPECT_DOUBLE_EQ(Sum, 5.0);
+  M.forEachInRow(0, [&](size_t, double) { FAIL() << "row 0 is empty"; });
+}
+
+TEST(GaussSeidelTest, MatchesDenseSolve) {
+  Rng R(7);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    size_t N = 2 + R.nextBelow(10);
+    DenseMatrix A(N, N);
+    std::vector<SparseMatrix::Triplet> Trips;
+    for (size_t I = 0; I < N; ++I) {
+      for (size_t J = 0; J < N; ++J) {
+        double V = (R.nextDouble() - 0.5) * 0.3;
+        if (I == J)
+          V += 2.0; // ensure convergence (diagonally dominant)
+        A.at(I, J) = V;
+        Trips.push_back({I, J, V});
+      }
+    }
+    SparseMatrix S = SparseMatrix::fromTriplets(N, Trips);
+    std::vector<double> B(N);
+    for (auto &V : B)
+      V = R.nextDouble();
+    std::vector<double> XDense, XIter;
+    ASSERT_TRUE(solveLu(A, B, XDense));
+    ASSERT_TRUE(gaussSeidel(S, B, XIter, 10000, 1e-13));
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_NEAR(XIter[I], XDense[I], 1e-8);
+  }
+}
+
+TEST(GaussSeidelTest, RejectsZeroDiagonal) {
+  SparseMatrix S = SparseMatrix::fromTriplets(2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  std::vector<double> X;
+  EXPECT_FALSE(gaussSeidel(S, {1, 1}, X));
+}
+
+TEST(ResidualNormTest, ExactSolutionIsZero) {
+  DenseMatrix A = DenseMatrix::identity(2);
+  EXPECT_DOUBLE_EQ(residualNorm(A, {3, 4}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(residualNorm(A, {3, 4}, {3, 5}), 1.0);
+}

@@ -1,0 +1,112 @@
+//===- tests/profile/ProfileTest.cpp - Profile snapshot tests ---*- C++ -*-===//
+
+#include "profile/Profile.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::profile;
+using namespace tpdbt::region;
+
+namespace {
+
+ProfileSnapshot makeSample() {
+  ProfileSnapshot S;
+  S.Benchmark = "demo";
+  S.Input = "ref";
+  S.Threshold = 500;
+  S.Blocks = {{100, 30}, {250, 0}, {0, 0}};
+  S.ProfilingOps = 380;
+  S.BlockEvents = 350;
+  S.InstsExecuted = 2000;
+  S.Cycles = 12345;
+
+  Region Loop;
+  Loop.Kind = RegionKind::Loop;
+  Loop.Nodes.push_back({1, true, BackEdgeSucc, ExitSucc});
+  S.Regions.push_back(Loop);
+
+  Region Trace;
+  Trace.Kind = RegionKind::NonLoop;
+  Trace.Nodes.push_back({0, true, 1, ExitSucc});
+  Trace.Nodes.push_back({2, false, HaltSucc, ExitSucc});
+  Trace.LastNode = 1;
+  S.Regions.push_back(Trace);
+  return S;
+}
+
+} // namespace
+
+TEST(BlockCountersTest, TakenProb) {
+  BlockCounters C;
+  EXPECT_EQ(C.takenProb(), 0.0);
+  C.Use = 10;
+  C.Taken = 4;
+  EXPECT_DOUBLE_EQ(C.takenProb(), 0.4);
+}
+
+TEST(ProfileSnapshotTest, IsAverage) {
+  ProfileSnapshot S;
+  EXPECT_TRUE(S.isAverage());
+  S.Threshold = 100;
+  EXPECT_FALSE(S.isAverage());
+}
+
+TEST(ProfileSnapshotTest, RoundTrip) {
+  ProfileSnapshot S = makeSample();
+  std::string Text = printSnapshot(S);
+  ProfileSnapshot Q;
+  std::string Error;
+  ASSERT_TRUE(parseSnapshot(Text, Q, &Error)) << Error;
+
+  EXPECT_EQ(Q.Benchmark, "demo");
+  EXPECT_EQ(Q.Input, "ref");
+  EXPECT_EQ(Q.Threshold, 500u);
+  EXPECT_EQ(Q.ProfilingOps, 380u);
+  EXPECT_EQ(Q.BlockEvents, 350u);
+  EXPECT_EQ(Q.InstsExecuted, 2000u);
+  EXPECT_EQ(Q.Cycles, 12345u);
+  ASSERT_EQ(Q.Blocks.size(), 3u);
+  EXPECT_EQ(Q.Blocks[0].Use, 100u);
+  EXPECT_EQ(Q.Blocks[0].Taken, 30u);
+  ASSERT_EQ(Q.Regions.size(), 2u);
+  EXPECT_EQ(Q.Regions[0].Kind, RegionKind::Loop);
+  EXPECT_EQ(Q.Regions[1].Kind, RegionKind::NonLoop);
+  EXPECT_EQ(Q.Regions[1].Nodes.size(), 2u);
+  EXPECT_EQ(Q.Regions[1].Nodes[1].TakenSucc, HaltSucc);
+  // Round-tripped snapshot serializes identically.
+  EXPECT_EQ(printSnapshot(Q), Text);
+}
+
+TEST(ProfileSnapshotTest, EmptyMetadataRoundTrips) {
+  ProfileSnapshot S;
+  S.Blocks = {{1, 1}};
+  ProfileSnapshot Q;
+  ASSERT_TRUE(parseSnapshot(printSnapshot(S), Q, nullptr));
+  EXPECT_TRUE(Q.Benchmark.empty());
+  EXPECT_TRUE(Q.Input.empty());
+}
+
+TEST(ProfileSnapshotTest, ParseRejectsGarbage) {
+  ProfileSnapshot Q;
+  std::string Error;
+  EXPECT_FALSE(parseSnapshot("bogus", Q, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ProfileSnapshotTest, ParseRejectsTruncated) {
+  std::string Text = printSnapshot(makeSample());
+  ProfileSnapshot Q;
+  EXPECT_FALSE(parseSnapshot(Text.substr(0, Text.size() - 20), Q, nullptr));
+}
+
+TEST(ProfileSnapshotTest, ParseRejectsMalformedRegion) {
+  ProfileSnapshot S = makeSample();
+  std::string Text = printSnapshot(S);
+  // Corrupt a region kind keyword.
+  size_t Pos = Text.find("nonloop");
+  ASSERT_NE(Pos, std::string::npos);
+  Text.replace(Pos, 7, "bogus12");
+  ProfileSnapshot Q;
+  EXPECT_FALSE(parseSnapshot(Text, Q, nullptr));
+}

@@ -1,0 +1,177 @@
+//===- tests/region/RegionFormerPropertyTest.cpp - Random CFG sweep -------===//
+//
+// Property tests running the region former over seeded random CFGs with
+// random branch probabilities and candidate sets: every formed region
+// must verify, every seed must be covered, intra-region edges must be
+// consistent with the CFG, and the AllowDuplication=false mode must never
+// duplicate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/RegionFormer.h"
+
+#include "guest/ProgramBuilder.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::region;
+
+namespace {
+
+/// Random CFG: N blocks, each ending in a jump, a conditional branch to
+/// two random targets, or (rarely) a halt. Block 0 is the entry.
+Program makeRandomProgram(uint64_t Seed, size_t N) {
+  Rng R(Seed);
+  ProgramBuilder PB("random");
+  std::vector<BlockId> Bs;
+  for (size_t I = 0; I < N; ++I)
+    Bs.push_back(PB.createBlock());
+  PB.setEntry(Bs[0]);
+  for (size_t I = 0; I < N; ++I) {
+    PB.switchTo(Bs[I]);
+    for (uint64_t K = R.nextBelow(3); K > 0; --K)
+      PB.nop();
+    double U = R.nextDouble();
+    if (U < 0.1 && I + 1 == N) {
+      PB.halt();
+    } else if (U < 0.35) {
+      PB.jump(Bs[R.nextBelow(N)]);
+    } else if (U < 0.95) {
+      BlockId T1 = Bs[R.nextBelow(N)];
+      BlockId T2 = Bs[R.nextBelow(N)];
+      PB.branchImm(CondKind::LtI, 1, 5, T1, T2);
+    } else {
+      PB.halt();
+    }
+  }
+  return PB.build();
+}
+
+struct Instance {
+  Program P;
+  std::unique_ptr<cfg::Cfg> G;
+  std::vector<BlockId> Seeds;
+  std::vector<double> TakenProb;
+  std::vector<bool> Eligible;
+
+  explicit Instance(uint64_t Seed) {
+    Rng R(combineSeeds(Seed, 0xcf9));
+    size_t N = 6 + R.nextBelow(40);
+    P = makeRandomProgram(Seed, N);
+    G = std::make_unique<cfg::Cfg>(P);
+    TakenProb.resize(N);
+    Eligible.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      TakenProb[I] = R.nextDouble();
+      Eligible[I] = R.nextBool(0.7);
+    }
+    for (size_t I = 0; I < N; ++I)
+      if (Eligible[I] && G->isReachable(static_cast<BlockId>(I)) &&
+          R.nextBool(0.5))
+        Seeds.push_back(static_cast<BlockId>(I));
+  }
+};
+
+/// Checks that each node's intra-region successors are consistent with
+/// the original block's CFG targets.
+void checkEdgeConsistency(const Region &R, const cfg::Cfg &G) {
+  for (size_t I = 0; I < R.Nodes.size(); ++I) {
+    const RegionNode &N = R.Nodes[I];
+    auto Target = [&](int32_t Succ) -> BlockId {
+      if (Succ >= 0)
+        return R.Nodes[Succ].Orig;
+      if (Succ == BackEdgeSucc)
+        return R.Nodes[0].Orig;
+      return guest::InvalidBlock;
+    };
+    if (N.HasCondBranch) {
+      ASSERT_TRUE(G.hasCondBranch(N.Orig));
+      BlockId T = Target(N.TakenSucc);
+      if (T != guest::InvalidBlock) {
+        EXPECT_EQ(T, G.takenTarget(N.Orig));
+      }
+      BlockId F = Target(N.FallSucc);
+      if (F != guest::InvalidBlock) {
+        EXPECT_EQ(F, G.fallthroughTarget(N.Orig));
+      }
+    } else if (N.TakenSucc != HaltSucc) {
+      BlockId T = Target(N.TakenSucc);
+      if (T != guest::InvalidBlock) {
+        ASSERT_EQ(G.successors(N.Orig).size(), 1u);
+        EXPECT_EQ(T, G.successors(N.Orig)[0]);
+      }
+    } else {
+      EXPECT_TRUE(G.successors(N.Orig).empty());
+    }
+  }
+}
+
+} // namespace
+
+class RegionFormerPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionFormerPropertyTest, FormedRegionsAreWellFormed) {
+  Instance I(GetParam());
+  RegionFormer Former(*I.G, FormationOptions());
+  auto Regions = Former.form(I.Seeds, I.TakenProb, I.Eligible);
+
+  // Every seed is covered by some region.
+  std::map<BlockId, int> Copies;
+  for (const Region &R : Regions) {
+    std::string Err;
+    EXPECT_TRUE(R.verify(&Err)) << Err << "\n" << R.toString();
+    checkEdgeConsistency(R, *I.G);
+    for (const RegionNode &N : R.Nodes) {
+      EXPECT_TRUE(I.Eligible[N.Orig]) << "ineligible block in region";
+      ++Copies[N.Orig];
+    }
+  }
+  for (BlockId Seed : I.Seeds)
+    EXPECT_GT(Copies[Seed], 0) << "uncovered seed " << Seed;
+
+  // Entries are unique.
+  std::map<BlockId, int> Entries;
+  for (const Region &R : Regions)
+    EXPECT_EQ(++Entries[R.entryBlock()], 1);
+}
+
+TEST_P(RegionFormerPropertyTest, NoDuplicationModeNeverDuplicates) {
+  Instance I(GetParam());
+  FormationOptions Opts;
+  Opts.AllowDuplication = false;
+  RegionFormer Former(*I.G, Opts);
+  auto Regions = Former.form(I.Seeds, I.TakenProb, I.Eligible);
+  std::map<BlockId, int> Copies;
+  for (const Region &R : Regions)
+    for (const RegionNode &N : R.Nodes)
+      EXPECT_EQ(++Copies[N.Orig], 1)
+          << "block " << N.Orig << " duplicated with duplication disabled";
+}
+
+TEST_P(RegionFormerPropertyTest, MaxRegionBlocksRespected) {
+  Instance I(GetParam());
+  FormationOptions Opts;
+  Opts.MaxRegionBlocks = 5;
+  RegionFormer Former(*I.G, Opts);
+  for (const Region &R : Former.form(I.Seeds, I.TakenProb, I.Eligible))
+    EXPECT_LE(R.Nodes.size(), 5u);
+}
+
+TEST_P(RegionFormerPropertyTest, DeterministicForSameInputs) {
+  Instance I(GetParam());
+  RegionFormer Former(*I.G, FormationOptions());
+  auto A = Former.form(I.Seeds, I.TakenProb, I.Eligible);
+  auto B = Former.form(I.Seeds, I.TakenProb, I.Eligible);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t R = 0; R < A.size(); ++R)
+    EXPECT_EQ(A[R].toString(), B[R].toString());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCfgs, RegionFormerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));

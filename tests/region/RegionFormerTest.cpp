@@ -1,0 +1,338 @@
+//===- tests/region/RegionFormerTest.cpp - Region formation tests -*- C++ -*-===//
+
+#include "region/RegionFormer.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::region;
+
+namespace {
+
+/// Fixture helpers: build a CFG, run the former with given probabilities.
+struct FormerFixture {
+  Program P;
+  std::unique_ptr<cfg::Cfg> G;
+
+  explicit FormerFixture(Program Prog) : P(std::move(Prog)) {
+    G = std::make_unique<cfg::Cfg>(P);
+  }
+
+  std::vector<Region> form(const std::vector<BlockId> &Seeds,
+                           std::vector<double> TakenProb,
+                           FormationOptions Opts = FormationOptions()) {
+    TakenProb.resize(P.numBlocks(), 0.0);
+    std::vector<bool> Eligible(P.numBlocks(), true);
+    RegionFormer Former(*G, Opts);
+    return Former.form(Seeds, TakenProb, Eligible);
+  }
+};
+
+/// Straight chain with conditional branches: c0 -> c1 -> c2 -> end,
+/// each fallthrough goes to end.
+FormerFixture makeChain() {
+  ProgramBuilder PB("chain");
+  BlockId C0 = PB.createBlock();
+  BlockId C1 = PB.createBlock();
+  BlockId C2 = PB.createBlock();
+  BlockId End = PB.createBlock();
+  PB.setEntry(C0);
+  PB.switchTo(C0);
+  PB.branchImm(CondKind::LtI, 1, 5, C1, End);
+  PB.switchTo(C1);
+  PB.branchImm(CondKind::LtI, 2, 5, C2, End);
+  PB.switchTo(C2);
+  PB.branchImm(CondKind::LtI, 3, 5, End, End);
+  PB.switchTo(End);
+  PB.halt();
+  return FormerFixture(PB.build());
+}
+
+} // namespace
+
+TEST(RegionFormerTest, GrowsLikelyTrace) {
+  FormerFixture F = makeChain();
+  auto Regions = F.form({0}, {0.9, 0.9, 0.9});
+  ASSERT_EQ(Regions.size(), 1u);
+  const Region &R = Regions[0];
+  EXPECT_EQ(R.Kind, RegionKind::NonLoop);
+  // c0 -> c1 -> c2, then c2's certain edge absorbs End as well.
+  ASSERT_EQ(R.Nodes.size(), 4u);
+  EXPECT_EQ(R.Nodes[0].Orig, 0u);
+  EXPECT_EQ(R.Nodes[1].Orig, 1u);
+  EXPECT_EQ(R.Nodes[2].Orig, 2u);
+  EXPECT_EQ(R.Nodes[3].Orig, 3u);
+  // Taken edges continue the trace, fallthroughs are side exits.
+  EXPECT_EQ(R.Nodes[0].TakenSucc, 1);
+  EXPECT_EQ(R.Nodes[0].FallSucc, ExitSucc);
+  EXPECT_EQ(R.LastNode, 3);
+}
+
+TEST(RegionFormerTest, FollowsFallthroughWhenLikely) {
+  FormerFixture F = makeChain();
+  // c0's branch is rarely taken -> trace follows the fallthrough (End).
+  auto Regions = F.form({0}, {0.1, 0.9, 0.9});
+  ASSERT_EQ(Regions.size(), 1u);
+  const Region &R = Regions[0];
+  ASSERT_EQ(R.Nodes.size(), 2u);
+  EXPECT_EQ(R.Nodes[1].Orig, 3u); // End
+  EXPECT_EQ(R.Nodes[0].FallSucc, 1);
+  EXPECT_EQ(R.Nodes[0].TakenSucc, ExitSucc);
+}
+
+TEST(RegionFormerTest, StopsBelowMinBranchProb) {
+  FormerFixture F = makeChain();
+  FormationOptions Opts;
+  Opts.EnableDiamonds = false;
+  auto Regions = F.form({0}, {0.9, 0.6, 0.9}, Opts);
+  ASSERT_EQ(Regions.size(), 1u);
+  // Growth reaches c1 but stops there (0.6 < 0.7).
+  EXPECT_EQ(Regions[0].Nodes.size(), 2u);
+  EXPECT_EQ(Regions[0].LastNode, 1);
+}
+
+TEST(RegionFormerTest, RespectsMaxRegionBlocks) {
+  FormerFixture F = makeChain();
+  FormationOptions Opts;
+  Opts.MaxRegionBlocks = 2;
+  auto Regions = F.form({0}, {0.9, 0.9, 0.9}, Opts);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(Regions[0].Nodes.size(), 2u);
+}
+
+TEST(RegionFormerTest, SelfLoopBecomesLoopRegion) {
+  ProgramBuilder PB("selfloop");
+  BlockId Pre = PB.createBlock();
+  BlockId Body = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Pre);
+  PB.switchTo(Pre);
+  PB.jump(Body);
+  PB.switchTo(Body);
+  PB.branchImm(CondKind::LtI, 1, 9, Body, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({Body}, {0.0, 0.95, 0.0});
+  ASSERT_EQ(Regions.size(), 1u);
+  const Region &R = Regions[0];
+  EXPECT_EQ(R.Kind, RegionKind::Loop);
+  ASSERT_EQ(R.Nodes.size(), 1u);
+  EXPECT_EQ(R.Nodes[0].TakenSucc, BackEdgeSucc);
+  EXPECT_EQ(R.Nodes[0].FallSucc, ExitSucc);
+}
+
+TEST(RegionFormerTest, MultiBlockLoopRegion) {
+  // head -> tail -> head (back edge likely).
+  ProgramBuilder PB("loop2");
+  BlockId Entry = PB.createBlock();
+  BlockId Head = PB.createBlock();
+  BlockId Tail = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.jump(Head);
+  PB.switchTo(Head);
+  PB.nop();
+  PB.jump(Tail);
+  PB.switchTo(Tail);
+  PB.branchImm(CondKind::LtI, 1, 9, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({Head}, {0.0, 0.0, 0.9, 0.0});
+  ASSERT_EQ(Regions.size(), 1u);
+  const Region &R = Regions[0];
+  EXPECT_EQ(R.Kind, RegionKind::Loop);
+  ASSERT_EQ(R.Nodes.size(), 2u);
+  EXPECT_EQ(R.Nodes[0].Orig, Head);
+  EXPECT_EQ(R.Nodes[1].Orig, Tail);
+  EXPECT_EQ(R.Nodes[1].TakenSucc, BackEdgeSucc);
+}
+
+TEST(RegionFormerTest, AbsorbsBalancedDiamond) {
+  // d -> {a, b} -> m, balanced branch at d.
+  ProgramBuilder PB("diamond");
+  BlockId D = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId M = PB.createBlock();
+  BlockId End = PB.createBlock();
+  PB.setEntry(D);
+  PB.switchTo(D);
+  PB.branchImm(CondKind::LtI, 1, 5, A, B);
+  PB.switchTo(A);
+  PB.jump(M);
+  PB.switchTo(B);
+  PB.jump(M);
+  PB.switchTo(M);
+  PB.jump(End);
+  PB.switchTo(End);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({D}, {0.5, 0, 0, 0, 0});
+  ASSERT_EQ(Regions.size(), 1u);
+  const Region &R = Regions[0];
+  // d, a, b, m (+ possibly End absorbed afterwards).
+  ASSERT_GE(R.Nodes.size(), 4u);
+  EXPECT_EQ(R.Nodes[0].Orig, D);
+  EXPECT_EQ(R.Nodes[0].TakenSucc, 1);
+  EXPECT_EQ(R.Nodes[0].FallSucc, 2);
+  EXPECT_EQ(R.Nodes[1].TakenSucc, 3);
+  EXPECT_EQ(R.Nodes[2].TakenSucc, 3);
+}
+
+TEST(RegionFormerTest, DiamondDisabledStopsGrowth) {
+  ProgramBuilder PB("diamond2");
+  BlockId D = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId M = PB.createBlock();
+  PB.setEntry(D);
+  PB.switchTo(D);
+  PB.branchImm(CondKind::LtI, 1, 5, A, B);
+  PB.switchTo(A);
+  PB.jump(M);
+  PB.switchTo(B);
+  PB.jump(M);
+  PB.switchTo(M);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  FormationOptions Opts;
+  Opts.EnableDiamonds = false;
+  auto Regions = F.form({D}, {0.5, 0, 0, 0}, Opts);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(Regions[0].Nodes.size(), 1u);
+}
+
+TEST(RegionFormerTest, FigureSevenTwoBackEdgeLoop) {
+  // Balanced diamond whose arms both jump back to the entry: the
+  // Figure 7 shape with two back edges.
+  ProgramBuilder PB("fig7");
+  BlockId H = PB.createBlock();
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  PB.setEntry(H);
+  PB.switchTo(H);
+  PB.branchImm(CondKind::LtI, 1, 5, A, B);
+  PB.switchTo(A);
+  PB.jump(H);
+  PB.switchTo(B);
+  PB.jump(H);
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({H}, {0.4, 0, 0});
+  ASSERT_EQ(Regions.size(), 1u);
+  const Region &R = Regions[0];
+  EXPECT_EQ(R.Kind, RegionKind::Loop);
+  ASSERT_EQ(R.Nodes.size(), 3u);
+  EXPECT_EQ(R.Nodes[1].TakenSucc, BackEdgeSucc);
+  EXPECT_EQ(R.Nodes[2].TakenSucc, BackEdgeSucc);
+}
+
+TEST(RegionFormerTest, DuplicatesBlockAcrossRegions) {
+  // Two seeds whose traces both run through the same block S.
+  ProgramBuilder PB("dup");
+  BlockId E1 = PB.createBlock();
+  BlockId E2 = PB.createBlock();
+  BlockId S = PB.createBlock();
+  BlockId End = PB.createBlock();
+  PB.setEntry(E1);
+  PB.switchTo(E1);
+  PB.branchImm(CondKind::LtI, 1, 5, S, E2);
+  PB.switchTo(E2);
+  PB.branchImm(CondKind::LtI, 2, 5, S, End);
+  PB.switchTo(S);
+  PB.jump(End);
+  PB.switchTo(End);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({E1, E2}, {0.95, 0.95, 0, 0});
+  ASSERT_EQ(Regions.size(), 2u);
+  EXPECT_TRUE(Regions[0].containsBlock(S));
+  EXPECT_TRUE(Regions[1].containsBlock(S));
+}
+
+TEST(RegionFormerTest, NoDuplicationWhenDisabled) {
+  ProgramBuilder PB("nodup");
+  BlockId E1 = PB.createBlock();
+  BlockId E2 = PB.createBlock();
+  BlockId S = PB.createBlock();
+  BlockId End = PB.createBlock();
+  PB.setEntry(E1);
+  PB.switchTo(E1);
+  PB.branchImm(CondKind::LtI, 1, 5, S, E2);
+  PB.switchTo(E2);
+  PB.branchImm(CondKind::LtI, 2, 5, S, End);
+  PB.switchTo(S);
+  PB.jump(End);
+  PB.switchTo(End);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  FormationOptions Opts;
+  Opts.AllowDuplication = false;
+  auto Regions = F.form({E1, E2}, {0.95, 0.95, 0, 0}, Opts);
+  ASSERT_EQ(Regions.size(), 2u);
+  int CopiesOfS = 0;
+  for (const Region &R : Regions)
+    CopiesOfS += R.containsBlock(S);
+  EXPECT_EQ(CopiesOfS, 1);
+}
+
+TEST(RegionFormerTest, SeedsCoveredByEarlierRegionsAreSkipped) {
+  FormerFixture F = makeChain();
+  // Seed 0 absorbs 1 and 2; they must not seed their own regions.
+  auto Regions = F.form({0, 1, 2}, {0.9, 0.9, 0.9});
+  EXPECT_EQ(Regions.size(), 1u);
+}
+
+TEST(RegionFormerTest, GrowthStopsAtLoopHeaders) {
+  // pre -> header (self loop): a trace seeded at pre must not absorb the
+  // loop header; the header seeds its own loop region.
+  ProgramBuilder PB("barrier");
+  BlockId Pre = PB.createBlock();
+  BlockId Header = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Pre);
+  PB.switchTo(Pre);
+  PB.nop();
+  PB.jump(Header);
+  PB.switchTo(Header);
+  PB.branchImm(CondKind::LtI, 1, 9, Header, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({Pre, Header}, {0.0, 0.97, 0.0});
+  ASSERT_EQ(Regions.size(), 2u);
+  EXPECT_EQ(Regions[0].Kind, RegionKind::NonLoop);
+  EXPECT_EQ(Regions[0].Nodes.size(), 1u); // pre alone
+  EXPECT_EQ(Regions[1].Kind, RegionKind::Loop);
+  EXPECT_EQ(Regions[1].entryBlock(), Header);
+}
+
+TEST(RegionFormerTest, HaltBlockEndsRegion) {
+  ProgramBuilder PB("halt");
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  PB.setEntry(A);
+  PB.switchTo(A);
+  PB.jump(B);
+  PB.switchTo(B);
+  PB.halt();
+  FormerFixture F(PB.build());
+
+  auto Regions = F.form({A}, {0, 0});
+  ASSERT_EQ(Regions.size(), 1u);
+  ASSERT_EQ(Regions[0].Nodes.size(), 2u);
+  EXPECT_EQ(Regions[0].Nodes[1].TakenSucc, HaltSucc);
+}

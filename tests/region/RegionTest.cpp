@@ -1,0 +1,104 @@
+//===- tests/region/RegionTest.cpp - Region IR unit tests -------*- C++ -*-===//
+
+#include "region/Region.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt::region;
+
+namespace {
+
+Region makeTrace() {
+  // b5 -> b6 -> b7, side exits from b5/b6, last node 2.
+  Region R;
+  R.Kind = RegionKind::NonLoop;
+  R.Nodes.push_back({5, true, 1, ExitSucc});
+  R.Nodes.push_back({6, true, 2, ExitSucc});
+  R.Nodes.push_back({7, true, ExitSucc, ExitSucc});
+  R.LastNode = 2;
+  return R;
+}
+
+Region makeLoop() {
+  Region R;
+  R.Kind = RegionKind::Loop;
+  R.Nodes.push_back({3, true, BackEdgeSucc, ExitSucc});
+  return R;
+}
+
+} // namespace
+
+TEST(RegionTest, VerifyAcceptsTraceAndLoop) {
+  std::string Err;
+  EXPECT_TRUE(makeTrace().verify(&Err)) << Err;
+  EXPECT_TRUE(makeLoop().verify(&Err)) << Err;
+}
+
+TEST(RegionTest, VerifyRejectsEmpty) {
+  Region R;
+  EXPECT_FALSE(R.verify(nullptr));
+}
+
+TEST(RegionTest, VerifyRejectsOutOfRangeSucc) {
+  Region R = makeTrace();
+  R.Nodes[0].TakenSucc = 17;
+  std::string Err;
+  EXPECT_FALSE(R.verify(&Err));
+  EXPECT_NE(Err.find("successor"), std::string::npos);
+}
+
+TEST(RegionTest, VerifyRejectsBackEdgeInNonLoop) {
+  Region R = makeTrace();
+  R.Nodes[2].TakenSucc = BackEdgeSucc;
+  EXPECT_FALSE(R.verify(nullptr));
+}
+
+TEST(RegionTest, VerifyRejectsLoopWithoutBackEdge) {
+  Region R = makeLoop();
+  R.Nodes[0].TakenSucc = ExitSucc;
+  EXPECT_FALSE(R.verify(nullptr));
+}
+
+TEST(RegionTest, VerifyRejectsSelfEdge) {
+  Region R = makeTrace();
+  R.Nodes[1].TakenSucc = 1;
+  EXPECT_FALSE(R.verify(nullptr));
+}
+
+TEST(RegionTest, VerifyRejectsUnreachableNode) {
+  Region R = makeTrace();
+  R.Nodes[1].TakenSucc = ExitSucc; // node 2 now unreachable
+  EXPECT_FALSE(R.verify(nullptr));
+}
+
+TEST(RegionTest, VerifyRejectsBadLastNode) {
+  Region R = makeTrace();
+  R.LastNode = 9;
+  EXPECT_FALSE(R.verify(nullptr));
+}
+
+TEST(RegionTest, ContainsBlockAndEntry) {
+  Region R = makeTrace();
+  EXPECT_EQ(R.entryBlock(), 5u);
+  EXPECT_TRUE(R.containsBlock(6));
+  EXPECT_FALSE(R.containsBlock(4));
+  EXPECT_EQ(R.size(), 3u);
+}
+
+TEST(RegionTest, ToDotRendersEdges) {
+  std::string Dot = makeTrace().toDot("t");
+  EXPECT_NE(Dot.find("digraph t {"), std::string::npos);
+  EXPECT_NE(Dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(Dot.find("exit"), std::string::npos);
+  EXPECT_NE(Dot.find("(last)"), std::string::npos);
+
+  std::string LoopDot = makeLoop().toDot();
+  EXPECT_NE(LoopDot.find("style=dashed"), std::string::npos); // back edge
+}
+
+TEST(RegionTest, ToStringMentionsStructure) {
+  std::string S = makeLoop().toString();
+  EXPECT_NE(S.find("loop region"), std::string::npos);
+  EXPECT_NE(S.find("b3"), std::string::npos);
+  EXPECT_NE(S.find("back"), std::string::npos);
+}

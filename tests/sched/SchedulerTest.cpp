@@ -1,0 +1,212 @@
+//===- tests/sched/SchedulerTest.cpp - Scheduler unit tests -----*- C++ -*-===//
+
+#include "sched/RegionIlp.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::sched;
+
+namespace {
+
+Inst mk(Opcode Op, uint8_t Rd, uint8_t Ra = 0, uint8_t Rb = 0,
+        int64_t Imm = 0) {
+  return {Op, Rd, Ra, Rb, Imm};
+}
+
+} // namespace
+
+TEST(MachineModelTest, UnitClassification) {
+  EXPECT_EQ(unitFor(Opcode::Add), UnitKind::Int);
+  EXPECT_EQ(unitFor(Opcode::Load), UnitKind::Mem);
+  EXPECT_EQ(unitFor(Opcode::Store), UnitKind::Mem);
+  EXPECT_EQ(unitFor(Opcode::FMul), UnitKind::Fp);
+  EXPECT_EQ(unitFor(Opcode::IToF), UnitKind::Fp);
+}
+
+TEST(MachineModelTest, Latencies) {
+  EXPECT_EQ(latencyOf(Opcode::Add), 1u);
+  EXPECT_EQ(latencyOf(Opcode::Mul), 4u);
+  EXPECT_EQ(latencyOf(Opcode::Load), 3u);
+  EXPECT_GT(latencyOf(Opcode::FDiv), latencyOf(Opcode::FMul));
+}
+
+TEST(DepGraphTest, RawDependenceCarriesLatency) {
+  DepGraph G;
+  G.addInst(mk(Opcode::MulI, 1, 2, 0, 3)); // r1 = r2 * 3  (lat 4)
+  G.addInst(mk(Opcode::AddI, 3, 1, 0, 1)); // r3 = r1 + 1  RAW on r1
+  ASSERT_EQ(G.size(), 2u);
+  ASSERT_EQ(G.node(1).Preds.size(), 1u);
+  EXPECT_EQ(G.node(1).Preds[0].first, 0u);
+  EXPECT_EQ(G.node(1).Preds[0].second, 4u);
+  // mul(4) then dependent add(1): critical path 5.
+  EXPECT_EQ(G.criticalPathLength(), 5u);
+}
+
+TEST(DepGraphTest, IndependentInstsHaveNoEdges) {
+  DepGraph G;
+  G.addInst(mk(Opcode::AddI, 1, 2, 0, 1));
+  G.addInst(mk(Opcode::AddI, 3, 4, 0, 1));
+  EXPECT_TRUE(G.node(1).Preds.empty());
+  EXPECT_EQ(G.criticalPathLength(), 1u);
+}
+
+TEST(DepGraphTest, WarAndWawOrdering) {
+  DepGraph G;
+  G.addInst(mk(Opcode::AddI, 1, 2, 0, 1)); // def r1
+  G.addInst(mk(Opcode::AddI, 3, 1, 0, 1)); // read r1
+  G.addInst(mk(Opcode::AddI, 1, 4, 0, 1)); // redefine r1: WAW vs 0, WAR vs 1
+  const auto &Preds = G.node(2).Preds;
+  bool HasWar = false, HasWaw = false;
+  for (auto [Pred, Lat] : Preds) {
+    HasWar |= Pred == 1;
+    HasWaw |= Pred == 0;
+  }
+  EXPECT_TRUE(HasWar);
+  EXPECT_TRUE(HasWaw);
+}
+
+TEST(DepGraphTest, MemoryOrdering) {
+  DepGraph G;
+  G.addInst(mk(Opcode::Load, 1, 2, 0, 0));  // load A
+  G.addInst(mk(Opcode::Load, 3, 4, 0, 0));  // load B: independent of A
+  G.addInst(mk(Opcode::Store, 0, 5, 6, 0)); // store orders after both loads
+  G.addInst(mk(Opcode::Load, 7, 8, 0, 0));  // load after store: ordered
+  EXPECT_TRUE(G.node(1).Preds.empty());
+  bool StoreAfterLoads = false;
+  for (auto [Pred, Lat] : G.node(2).Preds)
+    StoreAfterLoads |= Pred == 0 || Pred == 1;
+  EXPECT_TRUE(StoreAfterLoads);
+  bool LoadAfterStore = false;
+  for (auto [Pred, Lat] : G.node(3).Preds)
+    LoadAfterStore |= Pred == 2;
+  EXPECT_TRUE(LoadAfterStore);
+}
+
+TEST(DepGraphTest, NothingMovesAboveBranches) {
+  DepGraph G;
+  G.addInst(mk(Opcode::AddI, 1, 1, 0, 1));
+  G.addTerminator(Terminator::branchImm(CondKind::LtI, 1, 5, 0, 1));
+  G.addInst(mk(Opcode::AddI, 2, 3, 0, 1)); // next block's instruction
+  bool OrderedAfterBranch = false;
+  for (auto [Pred, Lat] : G.node(2).Preds)
+    OrderedAfterBranch |= Pred == 1;
+  EXPECT_TRUE(OrderedAfterBranch);
+}
+
+TEST(ListSchedulerTest, ScalarMachineSerializes) {
+  DepGraph G;
+  for (int I = 0; I < 5; ++I)
+    G.addInst(mk(Opcode::AddI, static_cast<uint8_t>(I + 1),
+                 static_cast<uint8_t>(I + 10), 0, 1));
+  Schedule S = listSchedule(G, MachineModel::scalar());
+  std::string Err;
+  EXPECT_TRUE(S.verify(G, MachineModel::scalar(), &Err)) << Err;
+  EXPECT_EQ(S.Length, 5u); // one per cycle, latency 1
+}
+
+TEST(ListSchedulerTest, WideMachineExploitsIlp) {
+  DepGraph G;
+  for (int I = 0; I < 6; ++I)
+    G.addInst(mk(Opcode::AddI, static_cast<uint8_t>(I + 1),
+                 static_cast<uint8_t>(I + 10), 0, 1));
+  MachineModel M = MachineModel::itanium2Like();
+  Schedule S = listSchedule(G, M);
+  std::string Err;
+  EXPECT_TRUE(S.verify(G, M, &Err)) << Err;
+  EXPECT_EQ(S.Length, 1u); // all six issue together
+}
+
+TEST(ListSchedulerTest, RespectsUnitLimits) {
+  // Ten independent loads on a machine with 4 memory ports.
+  DepGraph G;
+  for (int I = 0; I < 10; ++I)
+    G.addInst(mk(Opcode::Load, static_cast<uint8_t>(I + 1), 0, 0, I));
+  MachineModel M = MachineModel::itanium2Like();
+  Schedule S = listSchedule(G, M);
+  std::string Err;
+  EXPECT_TRUE(S.verify(G, M, &Err)) << Err;
+  // ceil(10/4) issue cycles + load latency - 1.
+  EXPECT_EQ(S.Length, 3u + latencyOf(Opcode::Load) - 1);
+}
+
+TEST(ListSchedulerTest, NeverBeatsCriticalPath) {
+  DepGraph G;
+  G.addInst(mk(Opcode::Load, 1, 0, 0, 0));
+  G.addInst(mk(Opcode::Mul, 2, 1, 1, 0));
+  G.addInst(mk(Opcode::AddI, 3, 2, 0, 1));
+  MachineModel M = MachineModel::itanium2Like();
+  Schedule S = listSchedule(G, M);
+  EXPECT_GE(S.Length, G.criticalPathLength());
+  EXPECT_EQ(S.Length, G.criticalPathLength()); // pure chain: equal
+}
+
+TEST(ListSchedulerTest, PrioritizesCriticalChain) {
+  // A long latency chain plus filler: the chain must not be starved.
+  DepGraph G;
+  G.addInst(mk(Opcode::Mul, 1, 2, 3, 0));
+  G.addInst(mk(Opcode::Mul, 4, 1, 1, 0));
+  G.addInst(mk(Opcode::Mul, 5, 4, 4, 0));
+  for (int I = 0; I < 20; ++I)
+    G.addInst(mk(Opcode::AddI, static_cast<uint8_t>(10 + I % 8),
+                 static_cast<uint8_t>(20 + I % 4), 0, 1));
+  MachineModel M = MachineModel::itanium2Like();
+  Schedule S = listSchedule(G, M);
+  std::string Err;
+  ASSERT_TRUE(S.verify(G, M, &Err)) << Err;
+  // Chain: 3 muls at 4 cycles = 12; fillers fit in the shadow. A couple
+  // of WAW edges in the filler can add slack, but not much.
+  EXPECT_LE(S.Length, 14u);
+}
+
+TEST(RegionIlpTest, StraightLineRegion) {
+  ProgramBuilder PB("ilp");
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  PB.setEntry(A);
+  PB.switchTo(A);
+  // Independent work: high ILP.
+  for (int I = 0; I < 6; ++I)
+    PB.addI(static_cast<uint8_t>(I + 1), static_cast<uint8_t>(I + 10), 1);
+  PB.jump(B);
+  PB.switchTo(B);
+  PB.halt();
+  Program P = PB.build();
+
+  region::Region R;
+  R.Kind = region::RegionKind::NonLoop;
+  R.Nodes.push_back({A, false, 1, region::ExitSucc});
+  R.Nodes.push_back({B, false, region::HaltSucc, region::ExitSucc});
+  R.LastNode = 1;
+
+  RegionIlpReport Rep =
+      analyzeRegionIlp(R, P, MachineModel::itanium2Like());
+  EXPECT_EQ(Rep.Insts, 8u); // 6 adds + jump + halt
+  EXPECT_GT(Rep.Ilp, 2.0);
+  EXPECT_GT(Rep.SpeedupVsScalar, 1.5);
+  EXPECT_GE(Rep.ScheduleLength, Rep.CriticalPath);
+}
+
+TEST(RegionIlpTest, DependenceChainHasLowIlp) {
+  ProgramBuilder PB("chainilp");
+  BlockId A = PB.createBlock();
+  PB.setEntry(A);
+  PB.switchTo(A);
+  for (int I = 0; I < 6; ++I)
+    PB.mulI(1, 1, 3); // serial multiply chain
+  PB.halt();
+  Program P = PB.build();
+
+  region::Region R;
+  R.Kind = region::RegionKind::NonLoop;
+  R.Nodes.push_back({A, false, region::HaltSucc, region::ExitSucc});
+  R.LastNode = 0;
+
+  RegionIlpReport Rep =
+      analyzeRegionIlp(R, P, MachineModel::itanium2Like());
+  EXPECT_LT(Rep.Ilp, 0.5);
+  EXPECT_NEAR(Rep.SpeedupVsScalar, 1.0, 0.3);
+}

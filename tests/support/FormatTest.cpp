@@ -1,0 +1,58 @@
+//===- tests/support/FormatTest.cpp - Format unit tests ---------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+
+TEST(FormatStringTest, Basic) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(formatString("%s", ""), "");
+}
+
+TEST(FormatStringTest, LongOutput) {
+  std::string Long(3000, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()), Long);
+}
+
+TEST(ThresholdLabelTest, PaperAxisLabels) {
+  EXPECT_EQ(thresholdLabel(100), "100");
+  EXPECT_EQ(thresholdLabel(500), "500");
+  EXPECT_EQ(thresholdLabel(1000), "1k");
+  EXPECT_EQ(thresholdLabel(2000), "2k");
+  EXPECT_EQ(thresholdLabel(160000), "160k");
+  EXPECT_EQ(thresholdLabel(1000000), "1M");
+  EXPECT_EQ(thresholdLabel(4000000), "4M");
+}
+
+TEST(ThresholdLabelTest, NonCleanValuesFallBack) {
+  EXPECT_EQ(thresholdLabel(1500), "1500");
+  EXPECT_EQ(thresholdLabel(1), "1");
+  EXPECT_EQ(thresholdLabel(0), "0");
+}
+
+TEST(ParseThresholdLabelTest, RoundTrips) {
+  for (uint64_t V : {1ull, 100ull, 500ull, 1000ull, 2000ull, 160000ull,
+                     1000000ull, 4000000ull})
+    EXPECT_EQ(parseThresholdLabel(thresholdLabel(V)), V);
+}
+
+TEST(ParseThresholdLabelTest, RejectsMalformed) {
+  EXPECT_EQ(parseThresholdLabel(""), 0u);
+  EXPECT_EQ(parseThresholdLabel("k"), 0u);
+  EXPECT_EQ(parseThresholdLabel("1x0"), 0u);
+  EXPECT_EQ(parseThresholdLabel("-5"), 0u);
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(formatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(formatDouble(0.125, 1), "0.1");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}

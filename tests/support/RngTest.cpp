@@ -1,0 +1,122 @@
+//===- tests/support/RngTest.cpp - Rng unit tests ---------------*- C++ -*-===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace tpdbt;
+
+TEST(SplitMix64Test, IsDeterministic) {
+  EXPECT_EQ(splitMix64(42), splitMix64(42));
+  EXPECT_NE(splitMix64(42), splitMix64(43));
+}
+
+TEST(SplitMix64Test, MixesNearbyInputs) {
+  // Adjacent inputs must produce wildly different outputs.
+  uint64_t A = splitMix64(1), B = splitMix64(2);
+  int DifferingBits = __builtin_popcountll(A ^ B);
+  EXPECT_GT(DifferingBits, 16);
+}
+
+TEST(CombineSeedsTest, OrderSensitive) {
+  EXPECT_NE(combineSeeds(1, 2), combineSeeds(2, 1));
+  EXPECT_EQ(combineSeeds(7, 9), combineSeeds(7, 9));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 100; ++I)
+    Equal += A.next() == B.next();
+  EXPECT_LT(Equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(77);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(77);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng R(13);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.nextDouble();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng R(17);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng R(19);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+    EXPECT_FALSE(R.nextBool(-1.0));
+    EXPECT_TRUE(R.nextBool(2.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(23);
+  const int N = 20000;
+  double Sum = 0, SumSq = 0;
+  for (int I = 0; I < N; ++I) {
+    double V = R.nextGaussian(10.0, 2.0);
+    Sum += V;
+    SumSq += V * V;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 10.0, 0.1);
+  EXPECT_NEAR(Var, 4.0, 0.3);
+}

@@ -1,0 +1,100 @@
+//===- tests/support/StatisticsTest.cpp - Statistics unit tests -*- C++ -*-===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace tpdbt;
+
+TEST(WeightedDeviationTest, EmptyIsZero) {
+  WeightedDeviation D;
+  EXPECT_EQ(D.deviation(), 0.0);
+  EXPECT_EQ(D.count(), 0u);
+}
+
+TEST(WeightedDeviationTest, SingleSample) {
+  WeightedDeviation D;
+  D.add(0.8, 0.5, 10.0);
+  EXPECT_NEAR(D.deviation(), 0.3, 1e-12);
+}
+
+TEST(WeightedDeviationTest, PerfectPredictionIsZero) {
+  WeightedDeviation D;
+  D.add(0.25, 0.25, 3.0);
+  D.add(0.9, 0.9, 100.0);
+  EXPECT_EQ(D.deviation(), 0.0);
+}
+
+TEST(WeightedDeviationTest, MatchesPaperFigure5SdBp) {
+  // The worked Sd.BP example from Figure 5 of the paper:
+  // sqrt((.88-.65)^2*1000 + (.977-.90)^2*44000 + (.88-.70)^2*43000 +
+  //      (.88-.20)^2*6000) / (1000+1000+6000+44000+43000+6000)) = ~0.21
+  WeightedDeviation D;
+  D.add(0.88, 0.65, 1000);
+  D.add(0.977, 0.90, 44000);
+  D.add(0.88, 0.70, 43000);
+  D.add(0.88, 0.20, 6000);
+  // Two more blocks predicted exactly (their weights still count).
+  D.add(0.5, 0.5, 1000);
+  D.add(0.4, 0.4, 6000);
+  EXPECT_NEAR(D.deviation(), 0.21, 0.01);
+}
+
+TEST(WeightedDeviationTest, ZeroWeightIgnored) {
+  WeightedDeviation D;
+  D.add(1.0, 0.0, 0.0);
+  EXPECT_EQ(D.deviation(), 0.0);
+  D.add(0.6, 0.4, 5.0);
+  EXPECT_NEAR(D.deviation(), 0.2, 1e-12);
+}
+
+TEST(WeightedMismatchTest, EmptyIsZero) {
+  WeightedMismatch M;
+  EXPECT_EQ(M.rate(), 0.0);
+}
+
+TEST(WeightedMismatchTest, RateIsWeightFraction) {
+  WeightedMismatch M;
+  M.add(true, 1.0);
+  M.add(false, 3.0);
+  EXPECT_NEAR(M.rate(), 0.25, 1e-12);
+}
+
+TEST(WeightedMismatchTest, AllMismatch) {
+  WeightedMismatch M;
+  M.add(true, 2.0);
+  M.add(true, 8.0);
+  EXPECT_EQ(M.rate(), 1.0);
+}
+
+TEST(RunningStatsTest, Basics) {
+  RunningStats S;
+  for (double V : {1.0, 2.0, 3.0, 4.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_NEAR(S.mean(), 2.5, 1e-12);
+  EXPECT_EQ(S.min(), 1.0);
+  EXPECT_EQ(S.max(), 4.0);
+  EXPECT_NEAR(S.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+  EXPECT_EQ(S.min(), 0.0);
+  EXPECT_EQ(S.max(), 0.0);
+}
+
+TEST(MeanTest, Values) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_NEAR(mean({2.0, 4.0}), 3.0, 1e-12);
+}
+
+TEST(GeomeanTest, Values) {
+  EXPECT_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({4.0, 9.0}), 6.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}

@@ -1,0 +1,50 @@
+//===- tests/support/TableTest.cpp - Table unit tests -----------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace tpdbt;
+
+TEST(TableTest, TextAlignsColumns) {
+  Table T("title");
+  T.setHeader({"name", "value"});
+  T.addRow();
+  T.addCell("short");
+  T.addCell(1.5, 2);
+  T.addRow();
+  T.addCell("much-longer-name");
+  T.addCell(uint64_t(42));
+
+  std::string Text = T.toText();
+  EXPECT_NE(Text.find("title\n"), std::string::npos);
+  EXPECT_NE(Text.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(Text.find("1.50"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(Text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table T;
+  T.setHeader({"a", "b"});
+  T.addRow();
+  T.addCell("x");
+  T.addCell(uint64_t(7));
+  EXPECT_EQ(T.toCsv(), "a,b\nx,7\n");
+}
+
+TEST(TableTest, NoHeaderNoSeparator) {
+  Table T;
+  T.addRow();
+  T.addCell("only");
+  EXPECT_EQ(T.toText(), "only\n");
+  EXPECT_EQ(T.toCsv(), "only\n");
+}
+
+TEST(TableTest, NumRows) {
+  Table T;
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow();
+  T.addRow();
+  EXPECT_EQ(T.numRows(), 2u);
+}

@@ -1,0 +1,50 @@
+//===- tests/support/TextFileTest.cpp - TextFile unit tests -----*- C++ -*-===//
+
+#include "support/TextFile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace tpdbt;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("tpdbt_textfile_test_") + Name))
+      .string();
+}
+
+} // namespace
+
+TEST(TextFileTest, WriteReadRoundTrip) {
+  std::string Path = tempPath("roundtrip");
+  ASSERT_TRUE(writeTextFile(Path, "hello\nworld\n"));
+  auto Read = readTextFile(Path);
+  ASSERT_TRUE(Read.has_value());
+  EXPECT_EQ(*Read, "hello\nworld\n");
+  std::remove(Path.c_str());
+}
+
+TEST(TextFileTest, ReadMissingFileFails) {
+  EXPECT_FALSE(readTextFile("/nonexistent/definitely/missing").has_value());
+}
+
+TEST(TextFileTest, OverwriteTruncates) {
+  std::string Path = tempPath("truncate");
+  ASSERT_TRUE(writeTextFile(Path, "a much longer original content"));
+  ASSERT_TRUE(writeTextFile(Path, "short"));
+  EXPECT_EQ(*readTextFile(Path), "short");
+  std::remove(Path.c_str());
+}
+
+TEST(TextFileTest, EnsureDirectoryCreatesNested) {
+  std::string Dir = tempPath("dir/nested/deep");
+  EXPECT_TRUE(ensureDirectory(Dir));
+  EXPECT_TRUE(std::filesystem::exists(Dir));
+  // Idempotent.
+  EXPECT_TRUE(ensureDirectory(Dir));
+  std::filesystem::remove_all(tempPath("dir"));
+}

@@ -1,0 +1,270 @@
+//===- tests/vm/InterpreterTest.cpp - Interpreter unit tests ----*- C++ -*-===//
+
+#include "vm/Interpreter.h"
+
+#include "guest/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+using namespace tpdbt;
+using namespace tpdbt::guest;
+using namespace tpdbt::vm;
+
+namespace {
+
+/// Builds a one-block program that runs \p Body and halts, executes it,
+/// and returns the machine for inspection.
+template <typename BodyFn> Machine runStraightLine(BodyFn &&Body) {
+  ProgramBuilder PB("straight");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  Body(PB);
+  PB.halt();
+  PB.setMemWords(64);
+  Program P = PB.build();
+
+  Machine M;
+  M.reset(P);
+  Interpreter I(P);
+  BlockResult R = I.executeBlock(P.Entry, M);
+  EXPECT_EQ(R.Reason, StopReason::Halted);
+  return M;
+}
+
+} // namespace
+
+TEST(InterpreterTest, IntegerAlu) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, 10);
+    PB.movI(2, 3);
+    PB.add(3, 1, 2);  // 13
+    PB.sub(4, 1, 2);  // 7
+    PB.mul(5, 1, 2);  // 30
+    PB.emit({Opcode::Divs, 6, 1, 2, 0}); // 3
+    PB.emit({Opcode::Rems, 7, 1, 2, 0}); // 1
+  });
+  EXPECT_EQ(M.Regs[3], 13);
+  EXPECT_EQ(M.Regs[4], 7);
+  EXPECT_EQ(M.Regs[5], 30);
+  EXPECT_EQ(M.Regs[6], 3);
+  EXPECT_EQ(M.Regs[7], 1);
+}
+
+TEST(InterpreterTest, DivisionByZeroIsZero) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, 10);
+    PB.movI(2, 0);
+    PB.emit({Opcode::Divs, 3, 1, 2, 0});
+    PB.emit({Opcode::Rems, 4, 1, 2, 0});
+  });
+  EXPECT_EQ(M.Regs[3], 0);
+  EXPECT_EQ(M.Regs[4], 0);
+}
+
+TEST(InterpreterTest, DivisionOverflowIsZero) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, INT64_MIN);
+    PB.movI(2, -1);
+    PB.emit({Opcode::Divs, 3, 1, 2, 0});
+    PB.emit({Opcode::Rems, 4, 1, 2, 0});
+  });
+  EXPECT_EQ(M.Regs[3], 0);
+  EXPECT_EQ(M.Regs[4], 0);
+}
+
+TEST(InterpreterTest, MultiplyWrapsLikeUnsigned) {
+  // The workload LCGs rely on wrap-around multiply.
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, 0x123456789abcdefLL);
+    PB.mulI(2, 1, 6364136223846793005LL);
+  });
+  uint64_t Expected = 0x123456789abcdefULL * 6364136223846793005ULL;
+  EXPECT_EQ(static_cast<uint64_t>(M.Regs[2]), Expected);
+}
+
+TEST(InterpreterTest, LogicAndShifts) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, 0b1100);
+    PB.movI(2, 0b1010);
+    PB.emit({Opcode::And, 3, 1, 2, 0});
+    PB.emit({Opcode::Or, 4, 1, 2, 0});
+    PB.xorR(5, 1, 2);
+    PB.shlI(6, 1, 2);   // 0b110000
+    PB.shrI(7, 1, 2);   // 0b11
+    PB.movI(8, -8);
+    PB.emit({Opcode::Sar, 9, 8, 2, 0}); // uses r2 = 0b1010 & 63 = 10
+  });
+  EXPECT_EQ(M.Regs[3], 0b1000);
+  EXPECT_EQ(M.Regs[4], 0b1110);
+  EXPECT_EQ(M.Regs[5], 0b0110);
+  EXPECT_EQ(M.Regs[6], 0b110000);
+  EXPECT_EQ(M.Regs[7], 0b11);
+  EXPECT_EQ(M.Regs[9], -8 >> 10);
+}
+
+TEST(InterpreterTest, Comparisons) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, -5);
+    PB.movI(2, 5);
+    PB.emit({Opcode::CmpEq, 3, 1, 2, 0});
+    PB.emit({Opcode::CmpLt, 4, 1, 2, 0});
+    PB.cmpLtU(5, 1, 2); // -5 unsigned is huge
+    PB.emit({Opcode::CmpEqI, 6, 1, 0, -5});
+    PB.emit({Opcode::CmpLtI, 7, 1, 0, 0});
+    PB.emit({Opcode::CmpLtUI, 8, 2, 0, 100});
+  });
+  EXPECT_EQ(M.Regs[3], 0);
+  EXPECT_EQ(M.Regs[4], 1);
+  EXPECT_EQ(M.Regs[5], 0);
+  EXPECT_EQ(M.Regs[6], 1);
+  EXPECT_EQ(M.Regs[7], 1);
+  EXPECT_EQ(M.Regs[8], 1);
+}
+
+TEST(InterpreterTest, LoadStore) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, 42);
+    PB.movI(2, 5);    // base
+    PB.store(1, 2, 3); // mem[8] = 42
+    PB.load(4, 2, 3);  // r4 = mem[8]
+  });
+  EXPECT_EQ(M.Mem[8], 42);
+  EXPECT_EQ(M.Regs[4], 42);
+}
+
+TEST(InterpreterTest, FloatingPoint) {
+  Machine M = runStraightLine([](ProgramBuilder &PB) {
+    PB.movI(1, 3);
+    PB.emit({Opcode::IToF, 2, 1, 0, 0});   // 3.0
+    PB.emit({Opcode::FConst, 3, 0, 0, std::bit_cast<int64_t>(0.5)});
+    PB.fadd(4, 2, 3);                       // 3.5
+    PB.fmul(5, 4, 3);                       // 1.75
+    PB.emit({Opcode::FSub, 6, 5, 3, 0});    // 1.25
+    PB.emit({Opcode::FDiv, 7, 6, 3, 0});    // 2.5
+    PB.emit({Opcode::FCmpLt, 8, 3, 2, 0});  // 0.5 < 3.0
+    PB.emit({Opcode::FToI, 9, 7, 0, 0});    // 2
+  });
+  EXPECT_EQ(std::bit_cast<double>(M.Regs[4]), 3.5);
+  EXPECT_EQ(std::bit_cast<double>(M.Regs[5]), 1.75);
+  EXPECT_EQ(std::bit_cast<double>(M.Regs[6]), 1.25);
+  EXPECT_EQ(std::bit_cast<double>(M.Regs[7]), 2.5);
+  EXPECT_EQ(M.Regs[8], 1);
+  EXPECT_EQ(M.Regs[9], 2);
+}
+
+TEST(InterpreterTest, MemFaultOnLoad) {
+  ProgramBuilder PB("fault");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  PB.load(1, 0, 1000);
+  PB.halt();
+  PB.setMemWords(4);
+  Program P = PB.build();
+  Machine M;
+  M.reset(P);
+  Interpreter I(P);
+  BlockResult R = I.executeBlock(P.Entry, M);
+  EXPECT_EQ(R.Reason, StopReason::MemFault);
+}
+
+TEST(InterpreterTest, MemFaultOnNegativeAddress) {
+  ProgramBuilder PB("fault2");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  PB.movI(1, -3);
+  PB.store(1, 1, 0); // address -3
+  PB.halt();
+  PB.setMemWords(4);
+  Program P = PB.build();
+  Machine M;
+  M.reset(P);
+  Interpreter I(P);
+  EXPECT_EQ(I.executeBlock(P.Entry, M).Reason, StopReason::MemFault);
+}
+
+TEST(InterpreterTest, BranchOutcomeReported) {
+  ProgramBuilder PB("br");
+  BlockId A = PB.createBlock();
+  BlockId B = PB.createBlock();
+  BlockId C = PB.createBlock();
+  PB.setEntry(A);
+  PB.switchTo(A);
+  PB.movI(1, 5);
+  PB.branchImm(CondKind::LtI, 1, 10, B, C);
+  PB.switchTo(B);
+  PB.halt();
+  PB.switchTo(C);
+  PB.halt();
+  Program P = PB.build();
+  Machine M;
+  M.reset(P);
+  Interpreter I(P);
+  BlockResult R = I.executeBlock(A, M);
+  EXPECT_TRUE(R.IsCondBranch);
+  EXPECT_TRUE(R.Taken);
+  EXPECT_EQ(R.Next, B);
+  EXPECT_EQ(R.InstsExecuted, 2u); // movI + branch
+}
+
+TEST(InterpreterTest, RunLoopCountsAndHalts) {
+  ProgramBuilder PB("run");
+  BlockId Head = PB.createBlock();
+  BlockId Exit = PB.createBlock();
+  PB.setEntry(Head);
+  PB.switchTo(Head);
+  PB.addI(1, 1, 1);
+  PB.branchImm(CondKind::LtI, 1, 100, Head, Exit);
+  PB.switchTo(Exit);
+  PB.halt();
+  Program P = PB.build();
+  Machine M;
+  M.reset(P);
+  Interpreter I(P);
+  uint64_t Callbacks = 0;
+  RunOutcome Out = I.run(M, 1000000, [&](BlockId, const BlockResult &) {
+    ++Callbacks;
+  });
+  EXPECT_EQ(Out.Reason, StopReason::Halted);
+  EXPECT_EQ(Out.BlocksExecuted, 101u); // 100 head iterations + exit
+  EXPECT_EQ(Callbacks, Out.BlocksExecuted);
+  EXPECT_EQ(Out.LastBlock, Exit);
+}
+
+TEST(InterpreterTest, RunLoopHonorsBlockLimit) {
+  ProgramBuilder PB("spin");
+  BlockId Head = PB.createBlock();
+  PB.setEntry(Head);
+  PB.switchTo(Head);
+  PB.jump(Head); // infinite loop
+  Program P = PB.build();
+  Machine M;
+  M.reset(P);
+  Interpreter I(P);
+  RunOutcome Out = I.run(M, 500);
+  EXPECT_EQ(Out.Reason, StopReason::BlockLimit);
+  EXPECT_EQ(Out.BlocksExecuted, 500u);
+}
+
+TEST(MachineTest, ResetLoadsInitialMemory) {
+  ProgramBuilder PB("reset");
+  BlockId B = PB.createBlock();
+  PB.setEntry(B);
+  PB.switchTo(B);
+  PB.halt();
+  PB.setMemWords(8);
+  PB.setInitialMem({9, 8, 7});
+  Program P = PB.build();
+  Machine M;
+  M.Regs[3] = 77;
+  M.reset(P);
+  EXPECT_EQ(M.Regs[3], 0);
+  ASSERT_EQ(M.Mem.size(), 8u);
+  EXPECT_EQ(M.Mem[0], 9);
+  EXPECT_EQ(M.Mem[2], 7);
+  EXPECT_EQ(M.Mem[5], 0);
+}

@@ -1,0 +1,87 @@
+//===- tests/workloads/SuiteTest.cpp - Benchmark suite tests ----*- C++ -*-===//
+
+#include "workloads/BenchSpec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace tpdbt::workloads;
+
+TEST(SuiteTest, HasTwelveIntAndFourteenFp) {
+  const auto &Suite = spec2000Suite();
+  EXPECT_EQ(Suite.size(), 26u);
+  EXPECT_EQ(intBenchmarkNames().size(), 12u);
+  EXPECT_EQ(fpBenchmarkNames().size(), 14u);
+}
+
+TEST(SuiteTest, NamesUniqueAndFindable) {
+  std::set<std::string> Names;
+  for (const BenchSpec &S : spec2000Suite()) {
+    EXPECT_TRUE(Names.insert(S.Name).second) << "duplicate " << S.Name;
+    const BenchSpec *Found = findSpec(S.Name);
+    ASSERT_NE(Found, nullptr);
+    EXPECT_EQ(Found->Name, S.Name);
+    EXPECT_EQ(Found->Seed, S.Seed);
+  }
+  EXPECT_EQ(findSpec("no-such-benchmark"), nullptr);
+}
+
+TEST(SuiteTest, ContainsThePaperBenchmarks) {
+  for (const char *Name :
+       {"gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk",
+        "gap", "vortex", "bzip2", "twolf"}) {
+    const BenchSpec *S = findSpec(Name);
+    ASSERT_NE(S, nullptr) << Name;
+    EXPECT_FALSE(S->IsFp) << Name;
+  }
+  for (const char *Name :
+       {"wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art",
+        "equake", "facerec", "ammp", "lucas", "fma3d", "sixtrack", "apsi"}) {
+    const BenchSpec *S = findSpec(Name);
+    ASSERT_NE(S, nullptr) << Name;
+    EXPECT_TRUE(S->IsFp) << Name;
+  }
+}
+
+TEST(SuiteTest, CalibrationEncodesPaperFindings) {
+  // Spot-check the per-benchmark behaviours DESIGN.md Section 5 lists.
+  const BenchSpec *Mcf = findSpec("mcf");
+  EXPECT_EQ(Mcf->NumPhases, 3);
+  EXPECT_TRUE(Mcf->LoopLocalPhases);
+
+  const BenchSpec *Perl = findSpec("perlbmk");
+  EXPECT_GT(Perl->TrainThetaSigma, 0.3);
+
+  const BenchSpec *Crafty = findSpec("crafty");
+  EXPECT_GT(Crafty->NearBoundaryFrac, 0.4);
+
+  const BenchSpec *Gzip = findSpec("gzip");
+  EXPECT_LE(Gzip->Break1, 1000u);
+
+  const BenchSpec *Lucas = findSpec("lucas");
+  EXPECT_GT(Lucas->TrainThetaSigma, 0.2);
+}
+
+TEST(SuiteTest, TrainRunsAreShorter) {
+  for (const BenchSpec &S : spec2000Suite())
+    EXPECT_LT(S.OuterItersTrain, S.OuterItersRef) << S.Name;
+}
+
+TEST(ScaledSpecTest, ScalesLengthsAndBreaks) {
+  const BenchSpec *Gzip = findSpec("gzip");
+  BenchSpec Small = scaledSpec(*Gzip, 0.1);
+  EXPECT_EQ(Small.OuterItersRef, Gzip->OuterItersRef / 10);
+  EXPECT_EQ(Small.Break1, Gzip->Break1 / 10);
+  // Unset breaks stay unset.
+  const BenchSpec *Swim = findSpec("swim");
+  BenchSpec SmallSwim = scaledSpec(*Swim, 0.1);
+  EXPECT_EQ(SmallSwim.Break2, ~0ull);
+}
+
+TEST(ScaledSpecTest, NeverScalesToZero) {
+  const BenchSpec *S = findSpec("swim");
+  BenchSpec Tiny = scaledSpec(*S, 1e-9);
+  EXPECT_GE(Tiny.OuterItersRef, 1u);
+  EXPECT_GE(Tiny.OuterItersTrain, 1u);
+}
