@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_duplication.dir/ablation_duplication.cpp.o"
+  "CMakeFiles/ablation_duplication.dir/ablation_duplication.cpp.o.d"
+  "ablation_duplication"
+  "ablation_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

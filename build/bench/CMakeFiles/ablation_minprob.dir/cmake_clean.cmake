@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minprob.dir/ablation_minprob.cpp.o"
+  "CMakeFiles/ablation_minprob.dir/ablation_minprob.cpp.o.d"
+  "ablation_minprob"
+  "ablation_minprob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_adaptive.cpp" "bench/CMakeFiles/ext_adaptive.dir/ext_adaptive.cpp.o" "gcc" "bench/CMakeFiles/ext_adaptive.dir/ext_adaptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpdbt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tpdbt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbt/CMakeFiles/tpdbt_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tpdbt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tpdbt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/tpdbt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/tpdbt_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tpdbt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/tpdbt_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/tpdbt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/tpdbt_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tpdbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

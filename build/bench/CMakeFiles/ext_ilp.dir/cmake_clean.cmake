@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ilp.dir/ext_ilp.cpp.o"
+  "CMakeFiles/ext_ilp.dir/ext_ilp.cpp.o.d"
+  "ext_ilp"
+  "ext_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

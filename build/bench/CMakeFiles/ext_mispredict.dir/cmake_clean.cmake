@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mispredict.dir/ext_mispredict.cpp.o"
+  "CMakeFiles/ext_mispredict.dir/ext_mispredict.cpp.o.d"
+  "ext_mispredict"
+  "ext_mispredict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mispredict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

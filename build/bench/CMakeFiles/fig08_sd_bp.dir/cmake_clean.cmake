@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sd_bp.dir/fig08_sd_bp.cpp.o"
+  "CMakeFiles/fig08_sd_bp.dir/fig08_sd_bp.cpp.o.d"
+  "fig08_sd_bp"
+  "fig08_sd_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sd_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sd_bp_int.dir/fig09_sd_bp_int.cpp.o"
+  "CMakeFiles/fig09_sd_bp_int.dir/fig09_sd_bp_int.cpp.o.d"
+  "fig09_sd_bp_int"
+  "fig09_sd_bp_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sd_bp_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bp_mismatch.dir/fig10_bp_mismatch.cpp.o"
+  "CMakeFiles/fig10_bp_mismatch.dir/fig10_bp_mismatch.cpp.o.d"
+  "fig10_bp_mismatch"
+  "fig10_bp_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bp_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bp_mismatch_fp.dir/fig12_bp_mismatch_fp.cpp.o"
+  "CMakeFiles/fig12_bp_mismatch_fp.dir/fig12_bp_mismatch_fp.cpp.o.d"
+  "fig12_bp_mismatch_fp"
+  "fig12_bp_mismatch_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bp_mismatch_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_bp_mismatch_fp.
+# This may be replaced when dependencies are built.

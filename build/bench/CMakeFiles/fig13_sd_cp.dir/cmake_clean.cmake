@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sd_cp.dir/fig13_sd_cp.cpp.o"
+  "CMakeFiles/fig13_sd_cp.dir/fig13_sd_cp.cpp.o.d"
+  "fig13_sd_cp"
+  "fig13_sd_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sd_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

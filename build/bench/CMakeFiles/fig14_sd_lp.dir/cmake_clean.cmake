@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sd_lp.dir/fig14_sd_lp.cpp.o"
+  "CMakeFiles/fig14_sd_lp.dir/fig14_sd_lp.cpp.o.d"
+  "fig14_sd_lp"
+  "fig14_sd_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sd_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_lp_mismatch.dir/fig15_lp_mismatch.cpp.o"
+  "CMakeFiles/fig15_lp_mismatch.dir/fig15_lp_mismatch.cpp.o.d"
+  "fig15_lp_mismatch"
+  "fig15_lp_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_lp_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_lp_mismatch_int.dir/fig16_lp_mismatch_int.cpp.o"
+  "CMakeFiles/fig16_lp_mismatch_int.dir/fig16_lp_mismatch_int.cpp.o.d"
+  "fig16_lp_mismatch_int"
+  "fig16_lp_mismatch_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_lp_mismatch_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_performance.dir/fig17_performance.cpp.o"
+  "CMakeFiles/fig17_performance.dir/fig17_performance.cpp.o.d"
+  "fig17_performance"
+  "fig17_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_profiling_ops.dir/fig18_profiling_ops.cpp.o"
+  "CMakeFiles/fig18_profiling_ops.dir/fig18_profiling_ops.cpp.o.d"
+  "fig18_profiling_ops"
+  "fig18_profiling_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_profiling_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

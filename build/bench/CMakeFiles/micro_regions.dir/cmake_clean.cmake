@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_regions.dir/micro_regions.cpp.o"
+  "CMakeFiles/micro_regions.dir/micro_regions.cpp.o.d"
+  "micro_regions"
+  "micro_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_tuner.dir/threshold_tuner.cpp.o"
+  "CMakeFiles/threshold_tuner.dir/threshold_tuner.cpp.o.d"
+  "threshold_tuner"
+  "threshold_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

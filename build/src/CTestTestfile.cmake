@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("guest")
+subdirs("vm")
+subdirs("cfg")
+subdirs("numeric")
+subdirs("profile")
+subdirs("region")
+subdirs("sched")
+subdirs("dbt")
+subdirs("analysis")
+subdirs("workloads")
+subdirs("core")

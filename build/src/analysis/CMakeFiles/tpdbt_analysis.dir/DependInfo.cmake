@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Metrics.cpp" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Metrics.cpp.o.d"
+  "/root/repo/src/analysis/Mispredict.cpp" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Mispredict.cpp.o" "gcc" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Mispredict.cpp.o.d"
+  "/root/repo/src/analysis/Navep.cpp" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Navep.cpp.o" "gcc" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Navep.cpp.o.d"
+  "/root/repo/src/analysis/OfflineRegions.cpp" "src/analysis/CMakeFiles/tpdbt_analysis.dir/OfflineRegions.cpp.o" "gcc" "src/analysis/CMakeFiles/tpdbt_analysis.dir/OfflineRegions.cpp.o.d"
+  "/root/repo/src/analysis/Phases.cpp" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Phases.cpp.o" "gcc" "src/analysis/CMakeFiles/tpdbt_analysis.dir/Phases.cpp.o.d"
+  "/root/repo/src/analysis/RegionProb.cpp" "src/analysis/CMakeFiles/tpdbt_analysis.dir/RegionProb.cpp.o" "gcc" "src/analysis/CMakeFiles/tpdbt_analysis.dir/RegionProb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/tpdbt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/tpdbt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/tpdbt_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tpdbt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/tpdbt_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/tpdbt_guest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_analysis.dir/Metrics.cpp.o"
+  "CMakeFiles/tpdbt_analysis.dir/Metrics.cpp.o.d"
+  "CMakeFiles/tpdbt_analysis.dir/Mispredict.cpp.o"
+  "CMakeFiles/tpdbt_analysis.dir/Mispredict.cpp.o.d"
+  "CMakeFiles/tpdbt_analysis.dir/Navep.cpp.o"
+  "CMakeFiles/tpdbt_analysis.dir/Navep.cpp.o.d"
+  "CMakeFiles/tpdbt_analysis.dir/OfflineRegions.cpp.o"
+  "CMakeFiles/tpdbt_analysis.dir/OfflineRegions.cpp.o.d"
+  "CMakeFiles/tpdbt_analysis.dir/Phases.cpp.o"
+  "CMakeFiles/tpdbt_analysis.dir/Phases.cpp.o.d"
+  "CMakeFiles/tpdbt_analysis.dir/RegionProb.cpp.o"
+  "CMakeFiles/tpdbt_analysis.dir/RegionProb.cpp.o.d"
+  "libtpdbt_analysis.a"
+  "libtpdbt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

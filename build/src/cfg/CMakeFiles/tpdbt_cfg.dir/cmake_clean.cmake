@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/tpdbt_cfg.dir/Cfg.cpp.o.d"
+  "libtpdbt_cfg.a"
+  "libtpdbt_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

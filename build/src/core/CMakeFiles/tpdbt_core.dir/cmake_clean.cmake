@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_core.dir/Experiment.cpp.o"
+  "CMakeFiles/tpdbt_core.dir/Experiment.cpp.o.d"
+  "CMakeFiles/tpdbt_core.dir/Figures.cpp.o"
+  "CMakeFiles/tpdbt_core.dir/Figures.cpp.o.d"
+  "CMakeFiles/tpdbt_core.dir/Runner.cpp.o"
+  "CMakeFiles/tpdbt_core.dir/Runner.cpp.o.d"
+  "CMakeFiles/tpdbt_core.dir/Trace.cpp.o"
+  "CMakeFiles/tpdbt_core.dir/Trace.cpp.o.d"
+  "CMakeFiles/tpdbt_core.dir/WindowedProfile.cpp.o"
+  "CMakeFiles/tpdbt_core.dir/WindowedProfile.cpp.o.d"
+  "libtpdbt_core.a"
+  "libtpdbt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

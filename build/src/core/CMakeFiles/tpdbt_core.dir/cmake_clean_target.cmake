@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpdbt_core.a"
+)

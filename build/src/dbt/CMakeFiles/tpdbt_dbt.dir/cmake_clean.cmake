@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_dbt.dir/DbtEngine.cpp.o"
+  "CMakeFiles/tpdbt_dbt.dir/DbtEngine.cpp.o.d"
+  "CMakeFiles/tpdbt_dbt.dir/Policy.cpp.o"
+  "CMakeFiles/tpdbt_dbt.dir/Policy.cpp.o.d"
+  "libtpdbt_dbt.a"
+  "libtpdbt_dbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

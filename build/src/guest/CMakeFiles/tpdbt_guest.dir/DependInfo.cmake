@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/Assembler.cpp" "src/guest/CMakeFiles/tpdbt_guest.dir/Assembler.cpp.o" "gcc" "src/guest/CMakeFiles/tpdbt_guest.dir/Assembler.cpp.o.d"
+  "/root/repo/src/guest/Isa.cpp" "src/guest/CMakeFiles/tpdbt_guest.dir/Isa.cpp.o" "gcc" "src/guest/CMakeFiles/tpdbt_guest.dir/Isa.cpp.o.d"
+  "/root/repo/src/guest/Program.cpp" "src/guest/CMakeFiles/tpdbt_guest.dir/Program.cpp.o" "gcc" "src/guest/CMakeFiles/tpdbt_guest.dir/Program.cpp.o.d"
+  "/root/repo/src/guest/ProgramBuilder.cpp" "src/guest/CMakeFiles/tpdbt_guest.dir/ProgramBuilder.cpp.o" "gcc" "src/guest/CMakeFiles/tpdbt_guest.dir/ProgramBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tpdbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_guest.dir/Assembler.cpp.o"
+  "CMakeFiles/tpdbt_guest.dir/Assembler.cpp.o.d"
+  "CMakeFiles/tpdbt_guest.dir/Isa.cpp.o"
+  "CMakeFiles/tpdbt_guest.dir/Isa.cpp.o.d"
+  "CMakeFiles/tpdbt_guest.dir/Program.cpp.o"
+  "CMakeFiles/tpdbt_guest.dir/Program.cpp.o.d"
+  "CMakeFiles/tpdbt_guest.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/tpdbt_guest.dir/ProgramBuilder.cpp.o.d"
+  "libtpdbt_guest.a"
+  "libtpdbt_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_numeric.dir/Matrix.cpp.o"
+  "CMakeFiles/tpdbt_numeric.dir/Matrix.cpp.o.d"
+  "libtpdbt_numeric.a"
+  "libtpdbt_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

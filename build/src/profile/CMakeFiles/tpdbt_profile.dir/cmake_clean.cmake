@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_profile.dir/Profile.cpp.o"
+  "CMakeFiles/tpdbt_profile.dir/Profile.cpp.o.d"
+  "libtpdbt_profile.a"
+  "libtpdbt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_region.dir/Region.cpp.o"
+  "CMakeFiles/tpdbt_region.dir/Region.cpp.o.d"
+  "CMakeFiles/tpdbt_region.dir/RegionFormer.cpp.o"
+  "CMakeFiles/tpdbt_region.dir/RegionFormer.cpp.o.d"
+  "libtpdbt_region.a"
+  "libtpdbt_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/DepGraph.cpp" "src/sched/CMakeFiles/tpdbt_sched.dir/DepGraph.cpp.o" "gcc" "src/sched/CMakeFiles/tpdbt_sched.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/sched/ListScheduler.cpp" "src/sched/CMakeFiles/tpdbt_sched.dir/ListScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/tpdbt_sched.dir/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/MachineModel.cpp" "src/sched/CMakeFiles/tpdbt_sched.dir/MachineModel.cpp.o" "gcc" "src/sched/CMakeFiles/tpdbt_sched.dir/MachineModel.cpp.o.d"
+  "/root/repo/src/sched/RegionIlp.cpp" "src/sched/CMakeFiles/tpdbt_sched.dir/RegionIlp.cpp.o" "gcc" "src/sched/CMakeFiles/tpdbt_sched.dir/RegionIlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/tpdbt_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/tpdbt_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tpdbt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/tpdbt_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

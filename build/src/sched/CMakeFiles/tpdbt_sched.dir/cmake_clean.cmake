@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_sched.dir/DepGraph.cpp.o"
+  "CMakeFiles/tpdbt_sched.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/tpdbt_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/tpdbt_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/tpdbt_sched.dir/MachineModel.cpp.o"
+  "CMakeFiles/tpdbt_sched.dir/MachineModel.cpp.o.d"
+  "CMakeFiles/tpdbt_sched.dir/RegionIlp.cpp.o"
+  "CMakeFiles/tpdbt_sched.dir/RegionIlp.cpp.o.d"
+  "libtpdbt_sched.a"
+  "libtpdbt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_support.dir/Format.cpp.o"
+  "CMakeFiles/tpdbt_support.dir/Format.cpp.o.d"
+  "CMakeFiles/tpdbt_support.dir/Rng.cpp.o"
+  "CMakeFiles/tpdbt_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/tpdbt_support.dir/Statistics.cpp.o"
+  "CMakeFiles/tpdbt_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/tpdbt_support.dir/Table.cpp.o"
+  "CMakeFiles/tpdbt_support.dir/Table.cpp.o.d"
+  "CMakeFiles/tpdbt_support.dir/TextFile.cpp.o"
+  "CMakeFiles/tpdbt_support.dir/TextFile.cpp.o.d"
+  "libtpdbt_support.a"
+  "libtpdbt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

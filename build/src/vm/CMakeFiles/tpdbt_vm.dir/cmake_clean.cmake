@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/tpdbt_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/tpdbt_vm.dir/Machine.cpp.o"
+  "CMakeFiles/tpdbt_vm.dir/Machine.cpp.o.d"
+  "libtpdbt_vm.a"
+  "libtpdbt_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Generator.cpp" "src/workloads/CMakeFiles/tpdbt_workloads.dir/Generator.cpp.o" "gcc" "src/workloads/CMakeFiles/tpdbt_workloads.dir/Generator.cpp.o.d"
+  "/root/repo/src/workloads/Suite.cpp" "src/workloads/CMakeFiles/tpdbt_workloads.dir/Suite.cpp.o" "gcc" "src/workloads/CMakeFiles/tpdbt_workloads.dir/Suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/tpdbt_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tpdbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

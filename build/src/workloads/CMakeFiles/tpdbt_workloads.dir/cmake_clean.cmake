@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdbt_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/tpdbt_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/tpdbt_workloads.dir/Suite.cpp.o"
+  "CMakeFiles/tpdbt_workloads.dir/Suite.cpp.o.d"
+  "libtpdbt_workloads.a"
+  "libtpdbt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdbt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/MetricsTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/MetricsTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/MispredictTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/MispredictTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/NavepTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/NavepTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/OfflineRegionsTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/OfflineRegionsTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/PaperExampleTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/PaperExampleTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/PhasesTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/PhasesTest.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/RegionProbTest.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/RegionProbTest.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

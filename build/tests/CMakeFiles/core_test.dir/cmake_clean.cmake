@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/ExperimentTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ExperimentTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/FiguresTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/FiguresTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/RunnerTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/RunnerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/TraceTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/TraceTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/WindowedProfileTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/WindowedProfileTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

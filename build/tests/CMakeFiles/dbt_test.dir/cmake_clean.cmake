@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbt_test.dir/dbt/AdaptiveTest.cpp.o"
+  "CMakeFiles/dbt_test.dir/dbt/AdaptiveTest.cpp.o.d"
+  "CMakeFiles/dbt_test.dir/dbt/DbtEngineTest.cpp.o"
+  "CMakeFiles/dbt_test.dir/dbt/DbtEngineTest.cpp.o.d"
+  "CMakeFiles/dbt_test.dir/dbt/PolicyTest.cpp.o"
+  "CMakeFiles/dbt_test.dir/dbt/PolicyTest.cpp.o.d"
+  "dbt_test"
+  "dbt_test.pdb"
+  "dbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

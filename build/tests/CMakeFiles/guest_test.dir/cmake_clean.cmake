@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_test.dir/guest/AssemblerTest.cpp.o"
+  "CMakeFiles/guest_test.dir/guest/AssemblerTest.cpp.o.d"
+  "CMakeFiles/guest_test.dir/guest/IsaTest.cpp.o"
+  "CMakeFiles/guest_test.dir/guest/IsaTest.cpp.o.d"
+  "CMakeFiles/guest_test.dir/guest/ProgramBuilderTest.cpp.o"
+  "CMakeFiles/guest_test.dir/guest/ProgramBuilderTest.cpp.o.d"
+  "CMakeFiles/guest_test.dir/guest/ProgramTest.cpp.o"
+  "CMakeFiles/guest_test.dir/guest/ProgramTest.cpp.o.d"
+  "guest_test"
+  "guest_test.pdb"
+  "guest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_test.dir/region/RegionFormerPropertyTest.cpp.o"
+  "CMakeFiles/region_test.dir/region/RegionFormerPropertyTest.cpp.o.d"
+  "CMakeFiles/region_test.dir/region/RegionFormerTest.cpp.o"
+  "CMakeFiles/region_test.dir/region/RegionFormerTest.cpp.o.d"
+  "CMakeFiles/region_test.dir/region/RegionTest.cpp.o"
+  "CMakeFiles/region_test.dir/region/RegionTest.cpp.o.d"
+  "region_test"
+  "region_test.pdb"
+  "region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
