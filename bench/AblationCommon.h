@@ -15,9 +15,11 @@
 #define TPDBT_BENCH_ABLATIONCOMMON_H
 
 #include "analysis/Metrics.h"
+#include "core/Experiment.h"
 #include "core/Runner.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "workloads/BenchSpec.h"
 #include "workloads/Generator.h"
 
@@ -46,8 +48,11 @@ struct AblationResult {
 };
 
 /// Runs the subset at threshold \p T under \p Opts (scaled by
-/// TPDBT_SCALE * 0.25, no cache). \p BaseCycles, when non-empty, provides
-/// the per-benchmark baseline cycles for the speedup column.
+/// TPDBT_SCALE * 0.25, no cache), one worker per benchmark up to
+/// TPDBT_JOBS. Results are stored per benchmark index first and reduced
+/// after the join, so they are byte-identical at any job count.
+/// \p CyclesOut, when non-null, receives the per-benchmark cycles in
+/// ablationBenchmarks() order for the speedup column.
 inline AblationResult runAblation(const dbt::DbtOptions &Opts, uint64_t T,
                                   std::vector<uint64_t> *CyclesOut) {
   double Scale = 0.25;
@@ -57,23 +62,32 @@ inline AblationResult runAblation(const dbt::DbtOptions &Opts, uint64_t T,
       Scale *= V;
   }
 
+  const std::vector<std::string> Names = ablationBenchmarks();
+  std::vector<double> SdBps(Names.size()), SdCps(Names.size()),
+      SdLps(Names.size());
+  std::vector<uint64_t> Regions(Names.size()), Cycles(Names.size());
+  parallelFor(
+      Names.size(), core::ExperimentConfig::fromEnv().effectiveJobs(),
+      [&](size_t I) {
+        auto B = workloads::generateBenchmark(
+            workloads::scaledSpec(*workloads::findSpec(Names[I]), Scale));
+        dbt::DbtOptions RunOpts = Opts;
+        core::SweepResult Sweep = core::runSweep(B.Ref, {T}, RunOpts, ~0ull);
+        const profile::ProfileSnapshot &Inip = Sweep.PerThreshold[0];
+        const profile::ProfileSnapshot &Avep = Sweep.Average;
+        cfg::Cfg G(B.Ref);
+        SdBps[I] = analysis::sdBranchProb(Inip, Avep, G);
+        SdCps[I] = analysis::sdCompletionProb(Inip, Avep, G);
+        SdLps[I] = analysis::sdLoopBackProb(Inip, Avep, G);
+        Regions[I] = Inip.Regions.size();
+        Cycles[I] = Inip.Cycles;
+      });
+
   AblationResult Out;
-  std::vector<double> SdBps, SdCps, SdLps;
-  for (const std::string &Name : ablationBenchmarks()) {
-    auto B = workloads::generateBenchmark(
-        workloads::scaledSpec(*workloads::findSpec(Name), Scale));
-    dbt::DbtOptions RunOpts = Opts;
-    core::SweepResult Sweep =
-        core::runSweep(B.Ref, {T}, RunOpts, ~0ull);
-    const profile::ProfileSnapshot &Inip = Sweep.PerThreshold[0];
-    const profile::ProfileSnapshot &Avep = Sweep.Average;
-    cfg::Cfg G(B.Ref);
-    SdBps.push_back(analysis::sdBranchProb(Inip, Avep, G));
-    SdCps.push_back(analysis::sdCompletionProb(Inip, Avep, G));
-    SdLps.push_back(analysis::sdLoopBackProb(Inip, Avep, G));
-    Out.Regions += Inip.Regions.size();
+  for (size_t I = 0; I < Names.size(); ++I) {
+    Out.Regions += Regions[I];
     if (CyclesOut)
-      CyclesOut->push_back(Inip.Cycles);
+      CyclesOut->push_back(Cycles[I]);
   }
   Out.SdBp = tpdbt::mean(SdBps);
   Out.SdCp = tpdbt::mean(SdCps);

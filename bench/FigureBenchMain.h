@@ -35,15 +35,21 @@ inline int
 runFigureBench(const std::string &CsvName,
                const std::function<Table(core::ExperimentContext &)> &Build) {
   core::ExperimentConfig Config = core::ExperimentConfig::fromEnv();
-  std::printf("tpdbt figure bench: scale=%.3f cache=%s\n", Config.Scale,
-              Config.CacheDir.empty() ? "off" : Config.CacheDir.c_str());
+  std::printf("tpdbt figure bench: scale=%.3f cache=%s jobs=%u\n",
+              Config.Scale,
+              Config.CacheDir.empty() ? "off" : Config.CacheDir.c_str(),
+              Config.effectiveJobs());
   core::ExperimentContext Ctx(std::move(Config));
 
-  // Pay the one-time suite interpretation across all cores.
+  // Pay the one-time suite interpretation across TPDBT_JOBS workers.
   std::vector<std::string> All = workloads::intBenchmarkNames();
   for (const std::string &N : workloads::fpBenchmarkNames())
     All.push_back(N);
+  auto WarmStart = std::chrono::steady_clock::now();
   Ctx.warmUp(All);
+  auto WarmEnd = std::chrono::steady_clock::now();
+  double WarmSecs =
+      std::chrono::duration<double>(WarmEnd - WarmStart).count();
 
   auto Start = std::chrono::steady_clock::now();
   Table T = Build(Ctx);
@@ -51,6 +57,8 @@ runFigureBench(const std::string &CsvName,
   double Secs = std::chrono::duration<double>(End - Start).count();
 
   std::printf("%s", T.toText().c_str());
+  std::printf("tpdbt sweeps: %s, warm-up wall %.1fs\n",
+              Ctx.statsSummary().c_str(), WarmSecs);
   std::printf("(computed in %.1fs)\n", Secs);
 
   if (ensureDirectory("tpdbt_results"))

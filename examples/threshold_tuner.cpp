@@ -32,8 +32,16 @@ using namespace tpdbt::core;
 int main(int argc, char **argv) {
   ExperimentConfig Config;
   Config.Scale = argc > 1 ? std::atof(argv[1]) : 0.25;
-  Config.CacheDir.clear(); // self-contained run
+  Config.CacheDir.clear();                          // self-contained run
+  Config.Jobs = ExperimentConfig::fromEnv().Jobs;   // honor TPDBT_JOBS
   ExperimentContext Ctx(std::move(Config));
+
+  // Interpret the whole suite up front, one worker per benchmark.
+  std::vector<std::string> AllNames;
+  for (const auto &Spec : workloads::spec2000Suite())
+    AllNames.push_back(Spec.Name);
+  Ctx.warmUp(AllNames);
+  std::printf("tpdbt sweeps: %s\n", Ctx.statsSummary().c_str());
 
   const std::vector<uint64_t> &Candidates = performanceThresholds();
 

@@ -5,13 +5,13 @@
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "support/TextFile.h"
+#include "support/ThreadPool.h"
 #include "workloads/BenchSpec.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
-#include <thread>
 
 using namespace tpdbt;
 using namespace tpdbt::core;
@@ -50,10 +50,21 @@ ExperimentConfig ExperimentConfig::fromEnv() {
     else
       C.CacheDir = Dir;
   }
+  if (const char *Jobs = std::getenv("TPDBT_JOBS")) {
+    int V = std::atoi(Jobs);
+    if (V > 0)
+      C.Jobs = static_cast<unsigned>(V);
+  }
   return C;
 }
 
+unsigned ExperimentConfig::effectiveJobs() const {
+  return Jobs ? Jobs : ThreadPool::defaultThreads();
+}
+
 uint64_t ExperimentConfig::fingerprint() const {
+  // Jobs is deliberately excluded: the job count never changes results,
+  // so caches stay valid across TPDBT_JOBS settings.
   uint64_t H = 0x7bd7u; // format version salt; bump on layout changes
   uint64_t ScaleBits;
   static_assert(sizeof(double) == sizeof(uint64_t));
@@ -83,16 +94,21 @@ ExperimentContext::ExperimentContext(ExperimentConfig Config)
 
 ExperimentContext::BenchData &
 ExperimentContext::data(const std::string &Name) {
-  BenchData &D = Data[Name];
-  if (!D.Bench) {
+  BenchData *D;
+  {
+    std::lock_guard<std::mutex> Guard(DataLock);
+    D = &Data[Name];
+  }
+  std::lock_guard<std::mutex> Guard(D->Lock);
+  if (!D->Bench) {
     const BenchSpec *Spec = findSpec(Name);
     assert(Spec && "unknown benchmark name");
     BenchSpec Scaled =
         Config.Scale == 1.0 ? *Spec : scaledSpec(*Spec, Config.Scale);
-    D.Bench = std::make_unique<GeneratedBenchmark>(generateBenchmark(Scaled));
-    D.Graph = std::make_unique<cfg::Cfg>(D.Bench->Ref);
+    D->Bench = std::make_unique<GeneratedBenchmark>(generateBenchmark(Scaled));
+    D->Graph = std::make_unique<cfg::Cfg>(D->Bench->Ref);
   }
-  return D;
+  return *D;
 }
 
 const GeneratedBenchmark &
@@ -148,12 +164,10 @@ static uint64_t specFingerprint(const BenchSpec &S) {
 }
 
 std::string ExperimentContext::cachePath(const std::string &Name,
+                                         uint64_t SpecFp,
                                          const std::string &Input,
                                          uint64_t Threshold) const {
-  uint64_t Fp = Config.fingerprint();
-  auto It = Data.find(Name);
-  if (It != Data.end() && It->second.Bench)
-    Fp = combineSeeds(Fp, specFingerprint(It->second.Bench->Spec));
+  uint64_t Fp = combineSeeds(Config.fingerprint(), SpecFp);
   return formatString("%s/%s.%s.T%llu.%016llx.prof", Config.CacheDir.c_str(),
                       Name.c_str(), Input.c_str(),
                       static_cast<unsigned long long>(Threshold),
@@ -163,24 +177,39 @@ std::string ExperimentContext::cachePath(const std::string &Name,
 bool ExperimentContext::loadCached(const std::string &Name, BenchData &D) {
   if (Config.CacheDir.empty())
     return false;
+  uint64_t SpecFp = specFingerprint(D.Bench->Spec);
   auto LoadOne = [&](const std::string &Input, uint64_t T,
                      profile::ProfileSnapshot &Out) {
-    auto Text = readTextFile(cachePath(Name, Input, T));
+    auto Text = readTextFile(cachePath(Name, SpecFp, Input, T));
     if (!Text)
       return false;
-    return profile::parseSnapshot(*Text, Out, nullptr);
-  };
-  for (uint64_t T : Config.Thresholds) {
-    profile::ProfileSnapshot S;
-    if (!LoadOne("ref", T, S))
+    if (!profile::parseSnapshot(*Text, Out, nullptr)) {
+      // Torn or corrupt entry: count it and recompute instead of failing.
+      Stats.CorruptEntries.fetch_add(1, std::memory_order_relaxed);
       return false;
-    D.Inips[T] = std::move(S);
-  }
-  if (!LoadOne("ref", 0, D.Avep))
-    return false;
-  if (!LoadOne("train", 0, D.Train))
-    return false;
-  return true;
+    }
+    return true;
+  };
+  auto LoadAll = [&] {
+    for (uint64_t T : Config.Thresholds) {
+      profile::ProfileSnapshot S;
+      if (!LoadOne("ref", T, S))
+        return false;
+      D.Inips[T] = std::move(S);
+    }
+    if (!LoadOne("ref", 0, D.Avep))
+      return false;
+    if (!LoadOne("train", 0, D.Train))
+      return false;
+    return true;
+  };
+  if (LoadAll())
+    return true;
+  // Leave no partially-loaded state behind for the recomputation path.
+  D.Inips.clear();
+  D.Avep = profile::ProfileSnapshot();
+  D.Train = profile::ProfileSnapshot();
+  return false;
 }
 
 void ExperimentContext::storeCached(const std::string &Name,
@@ -189,24 +218,33 @@ void ExperimentContext::storeCached(const std::string &Name,
     return;
   if (!ensureDirectory(Config.CacheDir))
     return;
+  uint64_t SpecFp = specFingerprint(D.Bench->Spec);
   for (const auto &[T, S] : D.Inips)
-    writeTextFile(cachePath(Name, "ref", T), profile::printSnapshot(S));
-  writeTextFile(cachePath(Name, "ref", 0), profile::printSnapshot(D.Avep));
-  writeTextFile(cachePath(Name, "train", 0),
-                profile::printSnapshot(D.Train));
+    writeTextFileAtomic(cachePath(Name, SpecFp, "ref", T),
+                        profile::printSnapshot(S));
+  writeTextFileAtomic(cachePath(Name, SpecFp, "ref", 0),
+                      profile::printSnapshot(D.Avep));
+  writeTextFileAtomic(cachePath(Name, SpecFp, "train", 0),
+                      profile::printSnapshot(D.Train));
 }
 
 void ExperimentContext::ensureProfiles(const std::string &Name,
                                        BenchData &D) {
-  if (D.ProfilesReady)
+  if (D.ProfilesReady.load(std::memory_order_acquire))
     return;
+  std::lock_guard<std::mutex> Guard(D.Lock);
+  if (D.ProfilesReady.load(std::memory_order_relaxed))
+    return; // another worker finished while we waited on the lock
   if (loadCached(Name, D)) {
-    D.ProfilesReady = true;
+    Stats.CacheHits.fetch_add(1, std::memory_order_relaxed);
+    D.ProfilesReady.store(true, std::memory_order_release);
     return;
   }
+  Stats.CacheMisses.fetch_add(1, std::memory_order_relaxed);
 
   const GeneratedBenchmark &B = *D.Bench;
   uint64_t MaxBlocks = B.Spec.MaxBlockEvents;
+  auto Start = std::chrono::steady_clock::now();
 
   SweepResult RefSweep =
       runSweep(B.Ref, Config.Thresholds, Config.Dbt, MaxBlocks);
@@ -225,8 +263,15 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   TrainSweep.Average.Input = "train";
   D.Train = std::move(TrainSweep.Average);
 
+  auto End = std::chrono::steady_clock::now();
+  Stats.SweepsRun.fetch_add(2, std::memory_order_relaxed);
+  Stats.SweepMicros.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count(),
+      std::memory_order_relaxed);
+
   storeCached(Name, D);
-  D.ProfilesReady = true;
+  D.ProfilesReady.store(true, std::memory_order_release);
 }
 
 const profile::ProfileSnapshot &
@@ -256,30 +301,26 @@ ExperimentContext::train(const std::string &Name) {
 void ExperimentContext::warmUp(const std::vector<std::string> &Names,
                                unsigned Threads) {
   if (Threads == 0)
-    Threads = std::max(1u, std::thread::hardware_concurrency());
-  // Instantiate every BenchData entry up front so the map never rehashes
-  // while workers fill disjoint entries.
-  std::vector<std::pair<std::string, BenchData *>> Work;
-  for (const std::string &Name : Names)
-    Work.emplace_back(Name, &data(Name));
+    Threads = Config.effectiveJobs();
+  parallelFor(Names.size(), Threads, [&](size_t I) {
+    BenchData &D = data(Names[I]);
+    ensureProfiles(Names[I], D);
+  });
+}
 
-  std::mutex NextLock;
-  size_t Next = 0;
-  auto Worker = [&] {
-    while (true) {
-      size_t Mine;
-      {
-        std::lock_guard<std::mutex> Guard(NextLock);
-        if (Next >= Work.size())
-          return;
-        Mine = Next++;
-      }
-      ensureProfiles(Work[Mine].first, *Work[Mine].second);
-    }
-  };
-  std::vector<std::thread> Pool;
-  for (unsigned I = 0; I < Threads && I < Work.size(); ++I)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
+std::string ExperimentContext::statsSummary() const {
+  return formatString(
+      "jobs=%u cache %llu hit / %llu miss (%llu corrupt), %llu sweeps, "
+      "%.1fs interpreting",
+      Config.effectiveJobs(),
+      static_cast<unsigned long long>(
+          Stats.CacheHits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          Stats.CacheMisses.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          Stats.CorruptEntries.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          Stats.SweepsRun.load(std::memory_order_relaxed)),
+      static_cast<double>(Stats.SweepMicros.load(std::memory_order_relaxed)) /
+          1e6);
 }

@@ -12,11 +12,20 @@
 /// training-input profiling run (INIP(train)), and memoizes everything on
 /// disk so the eleven figure binaries pay the interpretation cost once.
 ///
+/// The context is thread-safe: accessors may be called from any number of
+/// threads, a per-benchmark guard ensures each sweep is interpreted at
+/// most once per process, and cache snapshots are written atomically
+/// (write-then-rename) so concurrent processes sharing TPDBT_CACHE_DIR
+/// never observe torn files (see docs/CACHE_FORMAT.md). A corrupt or torn
+/// cache entry falls back to recomputation instead of failing.
+///
 /// Environment knobs (read by ExperimentConfig::fromEnv):
 ///   TPDBT_SCALE      workload scale factor (default 1.0; e.g. 0.05 for a
 ///                    quick smoke run — figure shapes degrade below ~0.2)
 ///   TPDBT_CACHE_DIR  snapshot cache directory (default ./tpdbt_cache;
 ///                    set to "off" to disable caching)
+///   TPDBT_JOBS       worker threads for per-benchmark sweeps (default:
+///                    hardware concurrency; 1 restores the serial path)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,8 +37,10 @@
 #include "profile/Profile.h"
 #include "workloads/Generator.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,15 +62,40 @@ struct ExperimentConfig {
   std::vector<uint64_t> Thresholds;
   dbt::DbtOptions Dbt;
   std::string CacheDir = "tpdbt_cache";
+  /// Worker threads for parallel sweeps; 0 = hardware concurrency,
+  /// 1 = serial. Never part of the cache fingerprint — results are
+  /// identical at any job count.
+  unsigned Jobs = 0;
 
   ExperimentConfig();
 
-  /// Applies TPDBT_SCALE / TPDBT_CACHE_DIR.
+  /// Applies TPDBT_SCALE / TPDBT_CACHE_DIR / TPDBT_JOBS.
   static ExperimentConfig fromEnv();
+
+  /// The job count actually used (resolves Jobs == 0).
+  unsigned effectiveJobs() const;
 
   /// Stable fingerprint of everything that affects results; part of the
   /// cache key.
   uint64_t fingerprint() const;
+};
+
+/// Counters the context threads through its cache and sweep machinery so
+/// the figure binaries can report where their wall clock went. All fields
+/// are updated atomically and may be read while workers are running.
+struct ExperimentStats {
+  /// Benchmarks whose full profile set was loaded from the disk cache.
+  std::atomic<uint64_t> CacheHits{0};
+  /// Benchmarks that had to be interpreted (no usable cache entry).
+  std::atomic<uint64_t> CacheMisses{0};
+  /// Cache files that existed but failed to parse (torn/corrupt/stale
+  /// format); each one downgrades its benchmark to a miss.
+  std::atomic<uint64_t> CorruptEntries{0};
+  /// runSweep invocations (two per missed benchmark: ref + train).
+  std::atomic<uint64_t> SweepsRun{0};
+  /// Total wall-clock microseconds spent inside runSweep, summed over
+  /// workers (can exceed elapsed time when sweeps run concurrently).
+  std::atomic<uint64_t> SweepMicros{0};
 };
 
 /// Lazily-computed, disk-cached profiles for the whole suite.
@@ -90,8 +126,16 @@ public:
   /// to \p Threads worker threads. Results are identical to the lazy
   /// single-threaded path — each benchmark's sweep is independent and
   /// deterministic; this only shortens the wall clock of the first figure
-  /// binary. Pass 0 to use the hardware concurrency.
+  /// binary. Pass 0 to use config().effectiveJobs().
   void warmUp(const std::vector<std::string> &Names, unsigned Threads = 0);
+
+  /// Cache and sweep counters accumulated so far.
+  const ExperimentStats &stats() const { return Stats; }
+
+  /// One-line human-readable rendering of stats() for the bench banners,
+  /// e.g. "jobs=8 cache 20 hit / 6 miss (0 corrupt), 12 sweeps, 3.1s
+  /// interpreting".
+  std::string statsSummary() const;
 
 private:
   struct BenchData {
@@ -100,18 +144,28 @@ private:
     std::map<uint64_t, profile::ProfileSnapshot> Inips;
     profile::ProfileSnapshot Avep;
     profile::ProfileSnapshot Train;
-    bool ProfilesReady = false;
+    /// Per-benchmark guard: generation and the sweep run under this lock,
+    /// so two workers never interpret the same benchmark twice.
+    std::mutex Lock;
+    /// Set (with release order) once Inips/Avep/Train are final; readers
+    /// that observe it true may touch the profiles without the lock.
+    std::atomic<bool> ProfilesReady{false};
   };
 
   BenchData &data(const std::string &Name);
   void ensureProfiles(const std::string &Name, BenchData &D);
-  std::string cachePath(const std::string &Name, const std::string &Input,
-                        uint64_t Threshold) const;
+  std::string cachePath(const std::string &Name, uint64_t SpecFp,
+                        const std::string &Input, uint64_t Threshold) const;
   bool loadCached(const std::string &Name, BenchData &D);
   void storeCached(const std::string &Name, const BenchData &D) const;
 
   ExperimentConfig Config;
+  /// Guards the Data map structure only; per-entry state is guarded by
+  /// BenchData::Lock (std::map nodes are address-stable, so holding a
+  /// BenchData& across an insertion of another key is safe).
+  std::mutex DataLock;
   std::map<std::string, BenchData> Data;
+  ExperimentStats Stats;
 };
 
 } // namespace core

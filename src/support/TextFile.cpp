@@ -2,9 +2,11 @@
 
 #include "support/TextFile.h"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <unistd.h>
 
 using namespace tpdbt;
 
@@ -30,6 +32,27 @@ bool tpdbt::writeTextFile(const std::string &Path,
   bool Ok = Written == Contents.size();
   Ok &= std::fclose(F) == 0;
   return Ok;
+}
+
+bool tpdbt::writeTextFileAtomic(const std::string &Path,
+                                const std::string &Contents) {
+  // Unique per process and per call, so concurrent writers (even of the
+  // same destination) never collide on the temporary name.
+  static std::atomic<uint64_t> Counter{0};
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(Counter.fetch_add(1, std::memory_order_relaxed));
+  if (!writeTextFile(Tmp, Contents)) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool tpdbt::ensureDirectory(const std::string &Path) {

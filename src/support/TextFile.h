@@ -24,6 +24,14 @@ std::optional<std::string> readTextFile(const std::string &Path);
 /// Writes (truncating) the whole file; returns false on failure.
 bool writeTextFile(const std::string &Path, const std::string &Contents);
 
+/// Writes the whole file atomically: the contents land in a unique
+/// temporary sibling which is then renamed over \p Path, so concurrent
+/// readers see either the old file or the complete new one, never a torn
+/// write. Concurrent writers of the same path are safe — last rename wins.
+/// Returns false (leaving no temporary behind) on failure.
+bool writeTextFileAtomic(const std::string &Path,
+                         const std::string &Contents);
+
 /// Creates a directory (and parents); returns false on failure other than
 /// "already exists".
 bool ensureDirectory(const std::string &Path);

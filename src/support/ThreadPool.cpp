@@ -1,0 +1,82 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ---------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace tpdbt;
+
+unsigned ThreadPool::defaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultThreads();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Queue.push_back(std::move(Task));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  AllDone.wait(Guard, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  while (true) {
+    WorkAvailable.wait(Guard,
+                       [this] { return Stopping || !Queue.empty(); });
+    // Drain remaining tasks even when stopping, so the destructor never
+    // abandons submitted work.
+    if (Queue.empty()) {
+      if (Stopping)
+        return;
+      continue;
+    }
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    Guard.unlock();
+    Task();
+    Guard.lock();
+    if (--InFlight == 0)
+      AllDone.notify_all();
+  }
+}
+
+void tpdbt::parallelFor(size_t Count, unsigned Threads,
+                        const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  if (Threads == 0)
+    Threads = ThreadPool::defaultThreads();
+  if (Threads <= 1 || Count == 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+  ThreadPool Pool(std::min<size_t>(Threads, Count));
+  for (size_t I = 0; I < Count; ++I)
+    Pool.submit([&Body, I] { Body(I); });
+  Pool.wait();
+}

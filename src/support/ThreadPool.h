@@ -1,0 +1,77 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a single shared FIFO queue (no work
+/// stealing — tasks here are coarse benchmark sweeps, so a central queue
+/// is contention-free in practice). Used by core::ExperimentContext to run
+/// per-benchmark sweeps concurrently and by the ablation benches.
+///
+/// The pool is deliberately minimal: submit() enqueues a task, wait()
+/// blocks until every submitted task has finished, and the destructor
+/// drains the queue before joining. Tasks must not throw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_THREADPOOL_H
+#define TPDBT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpdbt {
+
+class ThreadPool {
+public:
+  /// Creates \p Threads workers; 0 means defaultThreads().
+  explicit ThreadPool(unsigned Threads = 0);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task; it runs on some worker in FIFO order.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has completed. The pool is
+  /// reusable afterwards.
+  void wait();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned defaultThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Lock;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t InFlight = 0; ///< queued + currently-running tasks
+  bool Stopping = false;
+};
+
+/// Runs Body(0..Count-1), using up to \p Threads workers. With Threads <= 1
+/// (or Count <= 1) the calls happen inline on the caller's thread, in index
+/// order — the exact serial behaviour, no threads spawned. Blocks until
+/// every index has been processed.
+void parallelFor(size_t Count, unsigned Threads,
+                 const std::function<void(size_t)> &Body);
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_THREADPOOL_H

@@ -2,9 +2,12 @@
 
 #include "core/Experiment.h"
 
+#include "support/TextFile.h"
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
 using namespace tpdbt;
 using namespace tpdbt::core;
@@ -111,11 +114,138 @@ TEST(ExperimentContextTest, WarmUpMatchesLazyPath) {
 TEST(ExperimentConfigTest, FromEnvParsesKnobs) {
   setenv("TPDBT_SCALE", "0.5", 1);
   setenv("TPDBT_CACHE_DIR", "off", 1);
+  setenv("TPDBT_JOBS", "3", 1);
   ExperimentConfig C = ExperimentConfig::fromEnv();
   EXPECT_DOUBLE_EQ(C.Scale, 0.5);
   EXPECT_TRUE(C.CacheDir.empty());
+  EXPECT_EQ(C.Jobs, 3u);
+  EXPECT_EQ(C.effectiveJobs(), 3u);
   setenv("TPDBT_CACHE_DIR", "/tmp/somewhere", 1);
   EXPECT_EQ(ExperimentConfig::fromEnv().CacheDir, "/tmp/somewhere");
+  // Zero or garbage falls back to the hardware default.
+  setenv("TPDBT_JOBS", "0", 1);
+  EXPECT_EQ(ExperimentConfig::fromEnv().Jobs, 0u);
+  EXPECT_GE(ExperimentConfig::fromEnv().effectiveJobs(), 1u);
   unsetenv("TPDBT_SCALE");
   unsetenv("TPDBT_CACHE_DIR");
+  unsetenv("TPDBT_JOBS");
+}
+
+TEST(ExperimentConfigTest, JobsDoNotAffectFingerprint) {
+  ExperimentConfig A = tinyConfig();
+  ExperimentConfig B = tinyConfig();
+  B.Jobs = 8;
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+}
+
+// The headline determinism guarantee: a serial context (TPDBT_JOBS=1) and
+// a heavily parallel one (TPDBT_JOBS=8) must produce byte-identical
+// ProfileSnapshots for every benchmark and profile kind.
+TEST(ExperimentContextTest, JobsProduceByteIdenticalSnapshots) {
+  const std::vector<std::string> Names = {"gzip", "swim", "eon", "mcf"};
+
+  ExperimentConfig Serial = tinyConfig();
+  Serial.Jobs = 1;
+  ExperimentContext SerialCtx(Serial);
+  SerialCtx.warmUp(Names);
+
+  ExperimentConfig Parallel = tinyConfig();
+  Parallel.Jobs = 8;
+  ExperimentContext ParallelCtx(Parallel);
+  ParallelCtx.warmUp(Names);
+
+  for (const std::string &N : Names) {
+    for (uint64_t T : Serial.Thresholds)
+      EXPECT_EQ(profile::printSnapshot(SerialCtx.inip(N, T)),
+                profile::printSnapshot(ParallelCtx.inip(N, T)))
+          << N << " T=" << T;
+    EXPECT_EQ(profile::printSnapshot(SerialCtx.avep(N)),
+              profile::printSnapshot(ParallelCtx.avep(N)))
+        << N;
+    EXPECT_EQ(profile::printSnapshot(SerialCtx.train(N)),
+              profile::printSnapshot(ParallelCtx.train(N)))
+        << N;
+  }
+}
+
+// Per-key guard: many threads racing on the same benchmark must trigger
+// exactly one interpretation (two sweeps: ref + train).
+TEST(ExperimentContextTest, ConcurrentAccessorsInterpretOnce) {
+  ExperimentContext Ctx(tinyConfig());
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> OpsSum{0};
+  for (int I = 0; I < 8; ++I)
+    Threads.emplace_back([&Ctx, &OpsSum] {
+      OpsSum.fetch_add(Ctx.inip("art", 100).ProfilingOps);
+      OpsSum.fetch_add(Ctx.train("art").ProfilingOps);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Ctx.stats().SweepsRun.load(), 2u);
+  EXPECT_EQ(Ctx.stats().CacheMisses.load(), 1u);
+  EXPECT_EQ(Ctx.stats().CacheHits.load(), 0u);
+  EXPECT_GT(OpsSum.load(), 0u);
+}
+
+// Concurrent cache writers landing on the same key (two processes are
+// modeled by two contexts sharing a cache dir): both must finish, agree,
+// and leave only well-formed snapshot files behind.
+TEST(ExperimentContextTest, ConcurrentWritersSameCacheKey) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "tpdbt_concurrent_writers_test")
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  ExperimentContext A(tinyConfig(Dir));
+  ExperimentContext B(tinyConfig(Dir));
+  std::thread TA([&A] { A.warmUp({"art", "gzip"}, 2); });
+  std::thread TB([&B] { B.warmUp({"art", "gzip"}, 2); });
+  TA.join();
+  TB.join();
+
+  EXPECT_EQ(profile::printSnapshot(A.inip("art", 100)),
+            profile::printSnapshot(B.inip("art", 100)));
+
+  // Every file in the cache dir parses cleanly and no temporaries leak.
+  size_t ProfFiles = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    std::string Path = E.path().string();
+    ASSERT_EQ(E.path().extension(), ".prof") << Path;
+    auto Text = readTextFile(Path);
+    ASSERT_TRUE(Text.has_value()) << Path;
+    profile::ProfileSnapshot S;
+    std::string Err;
+    EXPECT_TRUE(profile::parseSnapshot(*Text, S, &Err)) << Path << ": " << Err;
+    ++ProfFiles;
+  }
+  // 2 thresholds + AVEP + train, for two benchmarks.
+  EXPECT_EQ(ProfFiles, 8u);
+  std::filesystem::remove_all(Dir);
+}
+
+// A torn or corrupt cache entry must be recomputed, not crash or poison
+// the results.
+TEST(ExperimentContextTest, CorruptCacheEntryFallsBackToRecompute) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "tpdbt_corrupt_cache_test")
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  ExperimentContext Warm(tinyConfig(Dir));
+  std::string Expected = profile::printSnapshot(Warm.inip("art", 2000));
+
+  // Corrupt every cached file as a torn-write stand-in.
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    ASSERT_TRUE(writeTextFile(E.path().string(), "tpdbt-profile v1 torn"));
+
+  ExperimentContext Cold(tinyConfig(Dir));
+  EXPECT_EQ(profile::printSnapshot(Cold.inip("art", 2000)), Expected);
+  EXPECT_GE(Cold.stats().CorruptEntries.load(), 1u);
+  EXPECT_EQ(Cold.stats().CacheMisses.load(), 1u);
+
+  // The recomputation must have repaired the cache for the next context.
+  ExperimentContext Repaired(tinyConfig(Dir));
+  EXPECT_EQ(profile::printSnapshot(Repaired.inip("art", 2000)), Expected);
+  EXPECT_EQ(Repaired.stats().CacheHits.load(), 1u);
+  std::filesystem::remove_all(Dir);
 }

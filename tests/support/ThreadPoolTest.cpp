@@ -1,0 +1,95 @@
+//===- tests/support/ThreadPoolTest.cpp - Thread pool tests -----*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+using namespace tpdbt;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 200; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  for (int I = 0; I < 50; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 51);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 100; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+    // No wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ConcurrencyNeverExceedsPoolSize) {
+  ThreadPool Pool(3);
+  std::atomic<int> Active{0};
+  std::atomic<int> HighWater{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&Active, &HighWater] {
+      int Now = Active.fetch_add(1) + 1;
+      int Seen = HighWater.load();
+      while (Now > Seen && !HighWater.compare_exchange_weak(Seen, Now))
+        ;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Active.fetch_sub(1);
+    });
+  Pool.wait();
+  EXPECT_LE(HighWater.load(), 3);
+  EXPECT_GE(HighWater.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+  ThreadPool Pool; // default-sized pool must construct and destruct cleanly
+  EXPECT_EQ(Pool.size(), ThreadPool::defaultThreads());
+}
+
+TEST(ParallelForTest, SingleThreadRunsInOrderInline) {
+  std::vector<size_t> Order;
+  std::thread::id Caller = std::this_thread::get_id();
+  bool AllInline = true;
+  parallelFor(10, 1, [&](size_t I) {
+    Order.push_back(I);
+    AllInline &= std::this_thread::get_id() == Caller;
+  });
+  ASSERT_EQ(Order.size(), 10u);
+  for (size_t I = 0; I < Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+  EXPECT_TRUE(AllInline);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> Hits(97);
+  parallelFor(97, 8, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ParallelForTest, HandlesZeroCount) {
+  bool Ran = false;
+  parallelFor(0, 4, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
