@@ -20,21 +20,13 @@ namespace {
 
 /// Counts duplicated blocks across the subset at T = 2000.
 uint64_t countDuplicated(const dbt::DbtOptions &Opts) {
-  double Scale = 0.25;
-  if (const char *S = std::getenv("TPDBT_SCALE")) {
-    double V = std::atof(S);
-    if (V > 0)
-      Scale *= V;
-  }
   uint64_t Total = 0;
   for (const std::string &Name : ablationBenchmarks()) {
-    auto B = workloads::generateBenchmark(
-        workloads::scaledSpec(*workloads::findSpec(Name), Scale));
+    const AblationWorkload &W = ablationWorkload(Name);
     core::SweepResult Sweep =
-        core::runSweep(B.Ref, {2000}, Opts, ~0ull);
-    cfg::Cfg G(B.Ref);
+        core::replaySweep(*W.Trace, W.Bench.Ref, {2000}, Opts);
     analysis::Navep N =
-        analysis::buildNavep(Sweep.PerThreshold[0], Sweep.Average, G);
+        analysis::buildNavep(Sweep.PerThreshold[0], Sweep.Average, *W.Graph);
     Total += N.NumDuplicated;
   }
   return Total;
@@ -79,5 +71,6 @@ int main() {
     T.addCell(tpdbt::geomean(Speedups), 3);
   }
   std::printf("%s", T.toText().c_str());
+  std::printf("\n%s\n", ablationStatsLine().c_str());
   return 0;
 }

@@ -43,5 +43,6 @@ int main() {
     T.addCell(tpdbt::geomean(Speedups), 3);
   }
   std::printf("%s", T.toText().c_str());
+  std::printf("\n%s\n", ablationStatsLine().c_str());
   return 0;
 }

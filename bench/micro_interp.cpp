@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Runner.h"
+#include "core/Trace.h"
 #include "guest/ProgramBuilder.h"
 #include "vm/Interpreter.h"
 #include "workloads/BenchSpec.h"
@@ -85,6 +86,43 @@ void BM_SweepPolicies(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(Events));
 }
 BENCHMARK(BM_SweepPolicies)->Arg(1)->Arg(4)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+/// The unavoidable cold-path pass: interpret once while appending to a
+/// BlockTrace. runSweep's cost is this plus one BM_ReplaySweep.
+void BM_RecordTrace(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("gzip"), 0.02));
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    core::BlockTrace T = core::BlockTrace::record(B.Ref, ~0ull);
+    Events += T.numEvents();
+    benchmark::DoNotOptimize(T.totalInsts());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_RecordTrace)->Unit(benchmark::kMillisecond);
+
+/// The trace-cache hit path: drive N thresholds from a recorded trace
+/// with no interpretation at all. Compare against BM_SweepPolicies at the
+/// same argument — the warm-cache speedup of the experiment driver.
+void BM_ReplaySweep(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("gzip"), 0.02));
+  core::BlockTrace T = core::BlockTrace::record(B.Ref, ~0ull);
+  std::vector<uint64_t> Thresholds;
+  for (int I = 0; I < State.range(0); ++I)
+    Thresholds.push_back(100ull << I);
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    core::SweepResult R =
+        core::replaySweep(T, B.Ref, Thresholds, dbt::DbtOptions());
+    Events += R.Average.BlockEvents;
+    benchmark::DoNotOptimize(R.Average.ProfilingOps);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_ReplaySweep)->Arg(1)->Arg(4)->Arg(15)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GenerateBenchmark(benchmark::State &State) {

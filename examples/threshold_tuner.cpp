@@ -30,10 +30,11 @@ using namespace tpdbt;
 using namespace tpdbt::core;
 
 int main(int argc, char **argv) {
-  ExperimentConfig Config;
+  // Honors TPDBT_CACHE_DIR / TPDBT_JOBS; with a warm cache every sweep
+  // below replays recorded traces instead of re-interpreting, so trying
+  // different tuner margins costs seconds, not minutes.
+  ExperimentConfig Config = ExperimentConfig::fromEnv();
   Config.Scale = argc > 1 ? std::atof(argv[1]) : 0.25;
-  Config.CacheDir.clear();                          // self-contained run
-  Config.Jobs = ExperimentConfig::fromEnv().Jobs;   // honor TPDBT_JOBS
   ExperimentContext Ctx(std::move(Config));
 
   // Interpret the whole suite up front, one worker per benchmark.

@@ -62,14 +62,16 @@ unsigned ExperimentConfig::effectiveJobs() const {
   return Jobs ? Jobs : ThreadPool::defaultThreads();
 }
 
-uint64_t ExperimentConfig::fingerprint() const {
-  // Jobs is deliberately excluded: the job count never changes results,
-  // so caches stay valid across TPDBT_JOBS settings.
-  uint64_t H = 0x7bd7u; // format version salt; bump on layout changes
+uint64_t ExperimentConfig::executionFingerprint() const {
+  uint64_t H = 0x7bd8u; // execution-layer salt; bump on trace changes
   uint64_t ScaleBits;
   static_assert(sizeof(double) == sizeof(uint64_t));
   std::memcpy(&ScaleBits, &Scale, 8);
-  H = combineSeeds(H, ScaleBits);
+  return combineSeeds(H, ScaleBits);
+}
+
+uint64_t ExperimentConfig::policyFingerprint() const {
+  uint64_t H = 0x7bd9u; // policy-layer salt; bump on snapshot changes
   for (uint64_t T : Thresholds)
     H = combineSeeds(H, T);
   H = combineSeeds(H, Dbt.PoolLimit);
@@ -86,11 +88,25 @@ uint64_t ExperimentConfig::fingerprint() const {
   H = combineSeeds(H, Dbt.Cost.SideExitPenalty);
   H = combineSeeds(H, Dbt.Cost.LoopExitPenalty);
   H = combineSeeds(H, Dbt.Cost.OptimizePerInst);
+  H = combineSeeds(H, Dbt.Adaptive.Enabled ? 1 : 0);
+  H = combineSeeds(H, Dbt.Adaptive.MinEntries);
+  uint64_t MinCompletionBits;
+  std::memcpy(&MinCompletionBits, &Dbt.Adaptive.MinCompletion, 8);
+  H = combineSeeds(H, MinCompletionBits);
+  H = combineSeeds(H, Dbt.Adaptive.MonitorLoops ? 1 : 0);
+  H = combineSeeds(H,
+                   static_cast<uint64_t>(Dbt.Adaptive.MaxRetranslations));
   return H;
 }
 
+uint64_t ExperimentConfig::fingerprint() const {
+  // Jobs is deliberately excluded: the job count never changes results,
+  // so caches stay valid across TPDBT_JOBS settings.
+  return combineSeeds(executionFingerprint(), policyFingerprint());
+}
+
 ExperimentContext::ExperimentContext(ExperimentConfig Config)
-    : Config(std::move(Config)) {}
+    : Config(std::move(Config)), Traces(this->Config.CacheDir) {}
 
 ExperimentContext::BenchData &
 ExperimentContext::data(const std::string &Name) {
@@ -118,49 +134,6 @@ ExperimentContext::benchmark(const std::string &Name) {
 
 const cfg::Cfg &ExperimentContext::graph(const std::string &Name) {
   return *data(Name).Graph;
-}
-
-/// Hash of the spec fields that affect generated behaviour, so editing a
-/// benchmark's calibration invalidates its cache entries.
-static uint64_t specFingerprint(const BenchSpec &S) {
-  uint64_t H = combineSeeds(S.Seed, S.OuterItersRef);
-  H = combineSeeds(H, S.OuterItersTrain);
-  H = combineSeeds(H, S.Break1);
-  H = combineSeeds(H, S.Break2);
-  H = combineSeeds(H, S.LoopBreak1);
-  H = combineSeeds(H, S.LoopBreak2);
-  auto MixDouble = [&H](double V) {
-    uint64_t Bits;
-    std::memcpy(&Bits, &V, 8);
-    H = combineSeeds(H, Bits);
-  };
-  for (double C : S.ThetaPhaseCoef)
-    MixDouble(C);
-  MixDouble(S.ThetaDriftMag);
-  for (double C : S.TripPhaseExp)
-    MixDouble(C);
-  MixDouble(S.TripPhaseFactor);
-  MixDouble(S.SmoothDriftMag);
-  MixDouble(S.NearBoundaryFrac);
-  MixDouble(S.MidFrac);
-  MixDouble(S.TrainThetaSigma);
-  MixDouble(S.TrainTripSigma);
-  H = combineSeeds(H, static_cast<uint64_t>(S.NumChainKernels));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NumDiamondKernels));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NumBranchKernels));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NumLoopKernels));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NumNestKernels));
-  H = combineSeeds(H, static_cast<uint64_t>(S.LoopTripLo));
-  H = combineSeeds(H, static_cast<uint64_t>(S.LoopTripHi));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NestOuterLo));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NestOuterHi));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NestInnerLo));
-  H = combineSeeds(H, static_cast<uint64_t>(S.NestInnerHi));
-  H = combineSeeds(H, S.LoopLocalPhases ? 1 : 0);
-  H = combineSeeds(H, static_cast<uint64_t>(S.TripFlipLowBaseLo));
-  H = combineSeeds(H, static_cast<uint64_t>(S.TripFlipLowBaseHi));
-  MixDouble(S.TripPhaseFrac);
-  return H;
 }
 
 std::string ExperimentContext::cachePath(const std::string &Name,
@@ -244,10 +217,31 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
 
   const GeneratedBenchmark &B = *D.Bench;
   uint64_t MaxBlocks = B.Spec.MaxBlockEvents;
+  // Trace-first: fetch (or record once) the execution's event stream, then
+  // derive every profile by replay. The trace key covers exactly what
+  // shapes the stream — spec, scale, and event budget — so re-running with
+  // different thresholds or cost knobs hits the trace layer and never
+  // re-interprets.
+  uint64_t ExecFp = combineSeeds(
+      combineSeeds(Config.executionFingerprint(), specFingerprint(B.Spec)),
+      MaxBlocks);
   auto Start = std::chrono::steady_clock::now();
 
-  SweepResult RefSweep =
-      runSweep(B.Ref, Config.Thresholds, Config.Dbt, MaxBlocks);
+  auto timedReplay = [&](const BlockTrace &Trace, const guest::Program &P,
+                         const std::vector<uint64_t> &Thresholds) {
+    auto T0 = std::chrono::steady_clock::now();
+    SweepResult R = replaySweep(Trace, P, Thresholds, Config.Dbt);
+    auto T1 = std::chrono::steady_clock::now();
+    Stats.ReplayMicros.fetch_add(
+        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+            .count(),
+        std::memory_order_relaxed);
+    return R;
+  };
+
+  std::shared_ptr<const BlockTrace> RefTrace =
+      Traces.get(Name, "ref", ExecFp, B.Ref, MaxBlocks);
+  SweepResult RefSweep = timedReplay(*RefTrace, B.Ref, Config.Thresholds);
   for (size_t I = 0; I < Config.Thresholds.size(); ++I) {
     profile::ProfileSnapshot &S = RefSweep.PerThreshold[I];
     S.Benchmark = Name;
@@ -258,17 +252,19 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   RefSweep.Average.Input = "ref";
   D.Avep = std::move(RefSweep.Average);
 
-  SweepResult TrainSweep = runSweep(B.Train, {}, Config.Dbt, MaxBlocks);
+  std::shared_ptr<const BlockTrace> TrainTrace =
+      Traces.get(Name, "train", ExecFp, B.Train, MaxBlocks);
+  SweepResult TrainSweep = timedReplay(*TrainTrace, B.Train, {});
   TrainSweep.Average.Benchmark = Name;
   TrainSweep.Average.Input = "train";
   D.Train = std::move(TrainSweep.Average);
 
   auto End = std::chrono::steady_clock::now();
-  Stats.SweepsRun.fetch_add(2, std::memory_order_relaxed);
-  Stats.SweepMicros.fetch_add(
+  uint64_t TotalMicros =
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-          .count(),
-      std::memory_order_relaxed);
+          .count();
+  Stats.SweepsRun.fetch_add(2, std::memory_order_relaxed);
+  Stats.SweepMicros.fetch_add(TotalMicros, std::memory_order_relaxed);
 
   storeCached(Name, D);
   D.ProfilesReady.store(true, std::memory_order_release);
@@ -309,9 +305,11 @@ void ExperimentContext::warmUp(const std::vector<std::string> &Names,
 }
 
 std::string ExperimentContext::statsSummary() const {
+  const TraceCache::Counters &TC = Traces.stats();
   return formatString(
-      "jobs=%u cache %llu hit / %llu miss (%llu corrupt), %llu sweeps, "
-      "%.1fs interpreting",
+      "jobs=%u prof %llu hit / %llu miss (%llu corrupt), trace %llu hit / "
+      "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
+      "%.1fs replaying",
       Config.effectiveJobs(),
       static_cast<unsigned long long>(
           Stats.CacheHits.load(std::memory_order_relaxed)),
@@ -319,8 +317,17 @@ std::string ExperimentContext::statsSummary() const {
           Stats.CacheMisses.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           Stats.CorruptEntries.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(TC.hits()),
+      static_cast<unsigned long long>(
+          TC.Misses.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.CorruptEntries.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           Stats.SweepsRun.load(std::memory_order_relaxed)),
-      static_cast<double>(Stats.SweepMicros.load(std::memory_order_relaxed)) /
+      static_cast<double>(
+          TC.RecordMicros.load(std::memory_order_relaxed)) /
+          1e6,
+      static_cast<double>(
+          Stats.ReplayMicros.load(std::memory_order_relaxed)) /
           1e6);
 }

@@ -34,6 +34,7 @@
 
 #include "cfg/Cfg.h"
 #include "core/Runner.h"
+#include "core/TraceCache.h"
 #include "profile/Profile.h"
 #include "workloads/Generator.h"
 
@@ -76,8 +77,21 @@ struct ExperimentConfig {
   unsigned effectiveJobs() const;
 
   /// Stable fingerprint of everything that affects results; part of the
-  /// cache key.
+  /// .prof cache key. Always combine(executionFingerprint(),
+  /// policyFingerprint()).
   uint64_t fingerprint() const;
+
+  /// Fingerprint of the configuration that shapes the *event stream* of a
+  /// benchmark execution (currently the workload scale; callers combine it
+  /// with the spec fingerprint and event budget). Keys the .trace cache:
+  /// configurations differing only in policy knobs share recordings.
+  uint64_t executionFingerprint() const;
+
+  /// Fingerprint of the configuration consumed during replay only:
+  /// thresholds, pool limit, region formation, cost model, and adaptive
+  /// re-optimization. Changing any of these invalidates .prof entries but
+  /// not .trace entries.
+  uint64_t policyFingerprint() const;
 };
 
 /// Counters the context threads through its cache and sweep machinery so
@@ -91,11 +105,16 @@ struct ExperimentStats {
   /// Cache files that existed but failed to parse (torn/corrupt/stale
   /// format); each one downgrades its benchmark to a miss.
   std::atomic<uint64_t> CorruptEntries{0};
-  /// runSweep invocations (two per missed benchmark: ref + train).
+  /// Sweeps computed (two per missed benchmark: ref + train).
   std::atomic<uint64_t> SweepsRun{0};
-  /// Total wall-clock microseconds spent inside runSweep, summed over
-  /// workers (can exceed elapsed time when sweeps run concurrently).
+  /// Total wall-clock microseconds spent producing profiles on the miss
+  /// path (recording plus replay), summed over workers (can exceed elapsed
+  /// time when sweeps run concurrently).
   std::atomic<uint64_t> SweepMicros{0};
+  /// Wall-clock microseconds spent replaying traces through policies; the
+  /// recording share is tracked by the trace cache (see
+  /// ExperimentContext::traceStats).
+  std::atomic<uint64_t> ReplayMicros{0};
 };
 
 /// Lazily-computed, disk-cached profiles for the whole suite.
@@ -132,9 +151,12 @@ public:
   /// Cache and sweep counters accumulated so far.
   const ExperimentStats &stats() const { return Stats; }
 
+  /// Trace-cache counters (hits, misses, recording time).
+  const TraceCache::Counters &traceStats() const { return Traces.stats(); }
+
   /// One-line human-readable rendering of stats() for the bench banners,
-  /// e.g. "jobs=8 cache 20 hit / 6 miss (0 corrupt), 12 sweeps, 3.1s
-  /// interpreting".
+  /// e.g. "jobs=8 prof 20 hit / 6 miss (0 corrupt), trace 4 hit / 2 miss,
+  /// 12 sweeps, 2.0s recording, 1.1s replaying".
   std::string statsSummary() const;
 
 private:
@@ -166,6 +188,8 @@ private:
   std::mutex DataLock;
   std::map<std::string, BenchData> Data;
   ExperimentStats Stats;
+  /// Recorded block traces, shared across inputs and (via disk) processes.
+  TraceCache Traces;
 };
 
 } // namespace core

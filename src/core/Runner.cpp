@@ -2,11 +2,9 @@
 
 #include "core/Runner.h"
 
-#include "cfg/Cfg.h"
-#include "vm/Interpreter.h"
+#include "core/Trace.h"
 
 #include <cassert>
-#include <memory>
 
 using namespace tpdbt;
 using namespace tpdbt::core;
@@ -16,53 +14,16 @@ SweepResult tpdbt::core::runSweep(const Program &P,
                                   const std::vector<uint64_t> &Thresholds,
                                   const dbt::DbtOptions &Base,
                                   uint64_t MaxBlocks) {
-  cfg::Cfg G(P);
-  vm::Interpreter Interp(P);
-
-  std::vector<std::unique_ptr<dbt::TranslationPolicy>> Policies;
-  Policies.reserve(Thresholds.size());
-  for (uint64_t T : Thresholds) {
+#ifndef NDEBUG
+  for (uint64_t T : Thresholds)
     assert(T > 0 && "sweep thresholds must be positive; the average run is "
                     "always produced");
-    dbt::DbtOptions Opts = Base;
-    Opts.Threshold = T;
-    Policies.push_back(std::make_unique<dbt::TranslationPolicy>(P, G, Opts));
-  }
-  // The profiling-only policy doubles as AVEP cost accounting.
-  dbt::DbtOptions AvgOpts = Base;
-  AvgOpts.Threshold = 0;
-  dbt::TranslationPolicy AvgPolicy(P, G, AvgOpts);
-
-  std::vector<profile::BlockCounters> Shared(P.numBlocks());
-
-  vm::Machine M;
-  M.reset(P);
-  BlockId Cur = P.Entry;
-  uint64_t Blocks = 0;
-  uint64_t Insts = 0;
-  while (Blocks < MaxBlocks) {
-    vm::BlockResult R = Interp.executeBlock(Cur, M);
-    ++Blocks;
-    Insts += R.InstsExecuted;
-
-    profile::BlockCounters &Cnt = Shared[Cur];
-    ++Cnt.Use;
-    if (R.IsCondBranch && R.Taken)
-      ++Cnt.Taken;
-
-    for (auto &Policy : Policies)
-      Policy->onBlockEvent(Cur, R, Shared);
-    AvgPolicy.onBlockEvent(Cur, R, Shared);
-
-    if (R.Reason != vm::StopReason::Running)
-      break;
-    Cur = R.Next;
-  }
-
-  SweepResult Out;
-  Out.PerThreshold.reserve(Policies.size());
-  for (auto &Policy : Policies)
-    Out.PerThreshold.push_back(Policy->finish(Shared, Blocks, Insts));
-  Out.Average = AvgPolicy.finish(Shared, Blocks, Insts);
-  return Out;
+#endif
+  // Trace-first execution: interpret once into a block-event trace (the
+  // single expensive pass), then drive every policy from the trace. The
+  // split keeps one interpretation loop in the codebase, lets replaySweep
+  // retire settled policies early, and makes the recorded trace reusable
+  // by the experiment-level trace cache.
+  BlockTrace Trace = BlockTrace::record(P, MaxBlocks);
+  return replaySweep(Trace, P, Thresholds, Base);
 }

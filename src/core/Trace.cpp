@@ -124,6 +124,18 @@ bool BlockTrace::parse(const std::string &Bytes, BlockTrace &Out,
   return true;
 }
 
+namespace {
+
+vm::BlockResult resultOf(const TraceEvent &E) {
+  vm::BlockResult R;
+  R.IsCondBranch = E.Branch != 0;
+  R.Taken = E.Branch == 2;
+  R.InstsExecuted = E.Insts;
+  return R;
+}
+
+} // namespace
+
 SweepResult tpdbt::core::replaySweep(const BlockTrace &Trace,
                                      const Program &P,
                                      const std::vector<uint64_t> &Thresholds,
@@ -131,6 +143,7 @@ SweepResult tpdbt::core::replaySweep(const BlockTrace &Trace,
   assert(Trace.numBlocks() == P.numBlocks() &&
          "trace does not match the program");
   cfg::Cfg G(P);
+  const size_t NumEvents = Trace.numEvents();
 
   std::vector<std::unique_ptr<dbt::TranslationPolicy>> Policies;
   for (uint64_t T : Thresholds) {
@@ -143,28 +156,82 @@ SweepResult tpdbt::core::replaySweep(const BlockTrace &Trace,
   AvgOpts.Threshold = 0;
   dbt::TranslationPolicy AvgPolicy(P, G, AvgOpts);
 
-  std::vector<profile::BlockCounters> Shared(P.numBlocks());
-  for (size_t I = 0; I < Trace.numEvents(); ++I) {
+  // Oracle pre-pass: the trace is fixed, so the end-of-run shared counters
+  // are computable up front. They arm per-policy settlement detection and
+  // serve directly as the final counters for finish().
+  std::vector<profile::BlockCounters> Final(P.numBlocks());
+  for (size_t I = 0; I < NumEvents; ++I) {
     const TraceEvent &E = Trace.event(I);
-    vm::BlockResult R;
-    R.IsCondBranch = E.Branch != 0;
-    R.Taken = E.Branch == 2;
-    R.InstsExecuted = E.Insts;
+    ++Final[E.Block].Use;
+    if (E.Branch == 2)
+      ++Final[E.Block].Taken;
+  }
+  for (auto &Policy : Policies)
+    Policy->beginOracle(Final);
+  AvgPolicy.beginOracle(Final);
+
+  std::vector<dbt::TranslationPolicy *> Active;
+  for (auto &Policy : Policies)
+    Active.push_back(Policy.get());
+  Active.push_back(&AvgPolicy);
+
+  // Retires a settled policy: the stream tail [NextEvent, NumEvents) no
+  // longer changes translation state, so burst it through the cheap
+  // settled path — or, when nothing was frozen (every tail event is plain
+  // profiling), fold it into one closed-form update.
+  uint64_t PrefixInsts = 0, PrefixTaken = 0;
+  auto retire = [&](dbt::TranslationPolicy *Policy, size_t NextEvent) {
+    if (!Policy->anyFrozen()) {
+      Policy->fastForwardTail(NumEvents - NextEvent,
+                              Trace.takenEvents() - PrefixTaken,
+                              Trace.totalInsts() - PrefixInsts);
+      return;
+    }
+    for (size_t J = NextEvent; J < NumEvents; ++J) {
+      const TraceEvent &E = Trace.event(J);
+      Policy->onBlockEventSettled(E.Block, resultOf(E));
+    }
+  };
+
+  // Policies with no reachable trigger at all (profiling-only, or every
+  // final count below threshold) settle before the first event.
+  for (size_t I = 0; I < Active.size();) {
+    if (Active[I]->settled()) {
+      retire(Active[I], 0);
+      Active.erase(Active.begin() + I);
+    } else {
+      ++I;
+    }
+  }
+
+  std::vector<profile::BlockCounters> Shared(P.numBlocks());
+  for (size_t I = 0; I < NumEvents && !Active.empty(); ++I) {
+    const TraceEvent &E = Trace.event(I);
+    vm::BlockResult R = resultOf(E);
 
     profile::BlockCounters &Cnt = Shared[E.Block];
     ++Cnt.Use;
     if (R.IsCondBranch && R.Taken)
       ++Cnt.Taken;
-    for (auto &Policy : Policies)
-      Policy->onBlockEvent(E.Block, R, Shared);
-    AvgPolicy.onBlockEvent(E.Block, R, Shared);
+    PrefixInsts += E.Insts;
+    if (E.Branch == 2)
+      ++PrefixTaken;
+
+    for (size_t PI = 0; PI < Active.size();) {
+      Active[PI]->onBlockEvent(E.Block, R, Shared);
+      if (Active[PI]->settled()) {
+        retire(Active[PI], I + 1);
+        Active.erase(Active.begin() + PI);
+      } else {
+        ++PI;
+      }
+    }
   }
 
   SweepResult Out;
   for (auto &Policy : Policies)
     Out.PerThreshold.push_back(
-        Policy->finish(Shared, Trace.numEvents(), Trace.totalInsts()));
-  Out.Average =
-      AvgPolicy.finish(Shared, Trace.numEvents(), Trace.totalInsts());
+        Policy->finish(Final, NumEvents, Trace.totalInsts()));
+  Out.Average = AvgPolicy.finish(Final, NumEvents, Trace.totalInsts());
   return Out;
 }

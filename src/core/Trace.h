@@ -59,11 +59,16 @@ public:
   size_t numBlocks() const { return NumBlocks; }
   const TraceEvent &event(size_t I) const { return Events[I]; }
   uint64_t totalInsts() const { return TotalInsts; }
+  /// Number of events that are taken conditional branches (supports the
+  /// closed-form policy fast-forward in replaySweep).
+  uint64_t takenEvents() const { return TakenEvents; }
 
   /// Appends one event (used by record() and tests).
   void append(const TraceEvent &E) {
     Events.push_back(E);
     TotalInsts += E.Insts;
+    if (E.Branch == 2)
+      ++TakenEvents;
   }
   void setNumBlocks(size_t N) { NumBlocks = N; }
 
@@ -71,11 +76,20 @@ private:
   std::vector<TraceEvent> Events;
   size_t NumBlocks = 0;
   uint64_t TotalInsts = 0;
+  uint64_t TakenEvents = 0;
 };
 
 /// Trace-driven twin of runSweep(): replays \p Trace through one policy
 /// per threshold (plus the profiling-only policy) and returns snapshots
 /// byte-identical to a live sweep of the same execution.
+///
+/// Because the trace's final per-block counts are known before replay
+/// starts, each policy is *retired* from the per-event dispatch set the
+/// moment no future event can change its translation state (see
+/// TranslationPolicy::beginOracle): its remaining stream is burst-replayed
+/// through the cheap settled path — or folded into one closed-form update
+/// when the policy froze nothing, which makes the profiling-only policy
+/// nearly free. Once every policy has retired the event loop exits early.
 SweepResult replaySweep(const BlockTrace &Trace, const guest::Program &P,
                         const std::vector<uint64_t> &Thresholds,
                         const dbt::DbtOptions &Base);

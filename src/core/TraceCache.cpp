@@ -1,0 +1,90 @@
+//===- core/TraceCache.cpp - Keyed block-trace record store ----------------===//
+
+#include "core/TraceCache.h"
+
+#include "support/Compression.h"
+#include "support/Format.h"
+#include "support/TextFile.h"
+
+#include <chrono>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+
+std::string TraceCache::entryPath(const std::string &Name,
+                                  const std::string &Input,
+                                  uint64_t ExecFp) const {
+  return formatString("%s/%s.%s.%016llx.trace", Dir.c_str(), Name.c_str(),
+                      Input.c_str(),
+                      static_cast<unsigned long long>(ExecFp));
+}
+
+std::shared_ptr<const BlockTrace>
+TraceCache::loadDisk(const std::string &Path, const guest::Program &Program) {
+  auto Packed = readTextFile(Path);
+  if (!Packed)
+    return nullptr;
+  std::string Raw;
+  auto Trace = std::make_shared<BlockTrace>();
+  if (!decompressBytes(*Packed, Raw, nullptr) ||
+      !BlockTrace::parse(Raw, *Trace, nullptr) ||
+      Trace->numBlocks() != Program.numBlocks()) {
+    // Torn, corrupt, or recorded for a different program shape (a stale
+    // key collision): treat as a miss and re-record.
+    Stats.CorruptEntries.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return Trace;
+}
+
+void TraceCache::storeDisk(const std::string &Path,
+                           const BlockTrace &Trace) const {
+  if (!ensureDirectory(Dir))
+    return;
+  writeTextFileAtomic(Path, compressBytes(Trace.serialize()));
+}
+
+std::shared_ptr<const BlockTrace>
+TraceCache::get(const std::string &Name, const std::string &Input,
+                uint64_t ExecFp, const guest::Program &Program,
+                uint64_t MaxBlocks) {
+  Slot *S;
+  {
+    std::string Key = formatString("%s.%s.%016llx", Name.c_str(),
+                                   Input.c_str(),
+                                   static_cast<unsigned long long>(ExecFp));
+    std::lock_guard<std::mutex> Guard(SlotsLock);
+    S = &Slots[Key];
+  }
+  // Per-slot lock: lookups of different inputs record concurrently, while
+  // racing lookups of the same input serialize and share one recording.
+  std::lock_guard<std::mutex> Guard(S->Lock);
+  if (auto Held = S->Trace.lock()) {
+    Stats.MemoryHits.fetch_add(1, std::memory_order_relaxed);
+    return Held;
+  }
+
+  std::string Path;
+  if (!Dir.empty()) {
+    Path = entryPath(Name, Input, ExecFp);
+    if (auto FromDisk = loadDisk(Path, Program)) {
+      Stats.DiskHits.fetch_add(1, std::memory_order_relaxed);
+      S->Trace = FromDisk;
+      return FromDisk;
+    }
+  }
+
+  Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+  auto Start = std::chrono::steady_clock::now();
+  auto Recorded =
+      std::make_shared<BlockTrace>(BlockTrace::record(Program, MaxBlocks));
+  auto End = std::chrono::steady_clock::now();
+  Stats.RecordMicros.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count(),
+      std::memory_order_relaxed);
+  if (!Dir.empty())
+    storeDisk(Path, *Recorded);
+  S->Trace = Recorded;
+  return Recorded;
+}

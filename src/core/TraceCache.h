@@ -1,0 +1,101 @@
+//===- core/TraceCache.h - Keyed block-trace record store -------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records each (benchmark, input) execution's BlockTrace at most once and
+/// hands out shared references to it, backed by two layers:
+///
+///  - an in-memory layer of weak references, so concurrent sweeps over the
+///    same input within one process share a single recording without the
+///    cache pinning traces past their last user, and
+///  - an on-disk layer of LZ-compressed serialized traces (see
+///    docs/CACHE_FORMAT.md) keyed by the *execution* fingerprint — the
+///    workload spec, scale, and event budget; everything that shapes the
+///    event stream and nothing that doesn't — so policy-only configuration
+///    changes replay a warm trace instead of re-interpreting.
+///
+/// A corrupt, truncated, or stale-format disk entry is counted and treated
+/// as a miss; the trace is then re-recorded and the entry rewritten
+/// atomically (write-then-rename, like the .prof snapshot cache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_CORE_TRACECACHE_H
+#define TPDBT_CORE_TRACECACHE_H
+
+#include "core/Trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tpdbt {
+namespace core {
+
+/// Thread-safe two-layer store of recorded traces.
+class TraceCache {
+public:
+  /// \p Dir is the on-disk layer's directory; empty disables it (the
+  /// in-memory layer still dedupes recordings within the process).
+  explicit TraceCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  /// Returns the trace for \p Program's execution under the given key,
+  /// recording it (up to \p MaxBlocks events) only when neither layer has
+  /// it. \p ExecFp must cover everything that shapes the event stream.
+  /// Concurrent calls with the same key record at most once per process.
+  std::shared_ptr<const BlockTrace> get(const std::string &Name,
+                                        const std::string &Input,
+                                        uint64_t ExecFp,
+                                        const guest::Program &Program,
+                                        uint64_t MaxBlocks);
+
+  /// Counters for the bench banners. Hits are split by serving layer;
+  /// every miss implies one interpretation (a record) whose wall clock is
+  /// accumulated in RecordMicros.
+  struct Counters {
+    std::atomic<uint64_t> MemoryHits{0};
+    std::atomic<uint64_t> DiskHits{0};
+    std::atomic<uint64_t> Misses{0};
+    /// Disk entries that failed to decompress or parse; each one
+    /// downgrades its lookup to a miss.
+    std::atomic<uint64_t> CorruptEntries{0};
+    std::atomic<uint64_t> RecordMicros{0};
+
+    uint64_t hits() const {
+      return MemoryHits.load(std::memory_order_relaxed) +
+             DiskHits.load(std::memory_order_relaxed);
+    }
+  };
+
+  const Counters &stats() const { return Stats; }
+
+  /// The on-disk entry path for a key (exposed for tests).
+  std::string entryPath(const std::string &Name, const std::string &Input,
+                        uint64_t ExecFp) const;
+
+private:
+  struct Slot {
+    std::mutex Lock;
+    std::weak_ptr<const BlockTrace> Trace;
+  };
+
+  std::shared_ptr<const BlockTrace> loadDisk(const std::string &Path,
+                                             const guest::Program &Program);
+  void storeDisk(const std::string &Path, const BlockTrace &Trace) const;
+
+  std::string Dir;
+  std::mutex SlotsLock; ///< guards the map structure only
+  std::map<std::string, Slot> Slots;
+  Counters Stats;
+};
+
+} // namespace core
+} // namespace tpdbt
+
+#endif // TPDBT_CORE_TRACECACHE_H

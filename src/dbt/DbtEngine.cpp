@@ -19,25 +19,16 @@ profile::ProfileSnapshot DbtEngine::run(uint64_t MaxBlocks) {
   vm::Machine M;
   M.reset(P);
 
-  BlockId Cur = P.Entry;
-  uint64_t Blocks = 0;
-  uint64_t Insts = 0;
-  while (Blocks < MaxBlocks) {
-    vm::BlockResult R = Interp.executeBlock(Cur, M);
-    ++Blocks;
-    Insts += R.InstsExecuted;
+  // Interpreter::run is the project's single event pump; the live engine
+  // couples its policy to it directly instead of owning a dispatch loop.
+  vm::RunOutcome Out =
+      Interp.run(M, MaxBlocks, [&](BlockId Cur, const vm::BlockResult &R) {
+        profile::BlockCounters &Cnt = Shared[Cur];
+        ++Cnt.Use;
+        if (R.IsCondBranch && R.Taken)
+          ++Cnt.Taken;
+        Policy->onBlockEvent(Cur, R, Shared);
+      });
 
-    profile::BlockCounters &Cnt = Shared[Cur];
-    ++Cnt.Use;
-    if (R.IsCondBranch && R.Taken)
-      ++Cnt.Taken;
-
-    Policy->onBlockEvent(Cur, R, Shared);
-
-    if (R.Reason != vm::StopReason::Running)
-      break;
-    Cur = R.Next;
-  }
-
-  return Policy->finish(Shared, Blocks, Insts);
+  return Policy->finish(Shared, Out.BlocksExecuted, Out.InstsExecuted);
 }

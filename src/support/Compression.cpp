@@ -1,0 +1,193 @@
+//===- support/Compression.cpp - Byte-oriented LZ compression --------------===//
+
+#include "support/Compression.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+using namespace tpdbt;
+
+namespace {
+
+constexpr char Magic[4] = {'T', 'P', 'D', 'Z'};
+constexpr uint8_t Version = 1;
+
+/// Minimum back-reference length; shorter matches are emitted as literals.
+constexpr size_t MinMatch = 4;
+/// Offsets are 16-bit, so matches reach at most this far back.
+constexpr size_t MaxOffset = 65535;
+/// Hash table size (power of two) for the greedy matcher.
+constexpr size_t HashBits = 15;
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(0x80 | (V & 0x7f)));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+bool getVarint(const std::string &In, size_t &Pos, uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (Pos < In.size()) {
+    uint8_t Byte = static_cast<uint8_t>(In[Pos++]);
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+    Shift += 7;
+    if (Shift > 63)
+      return false;
+  }
+  return false;
+}
+
+uint32_t hash4(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return (V * 2654435761u) >> (32 - HashBits);
+}
+
+/// Writes an LZ4-style extended length: lengths below 15 live in the
+/// token nibble; 15 means "continuation bytes follow".
+void putLength(std::string &Out, size_t Len) {
+  if (Len < 15)
+    return;
+  Len -= 15;
+  while (Len >= 255) {
+    Out.push_back(static_cast<char>(0xff));
+    Len -= 255;
+  }
+  Out.push_back(static_cast<char>(Len));
+}
+
+bool getLength(const std::string &In, size_t &Pos, size_t Nibble,
+               size_t &Len) {
+  Len = Nibble;
+  if (Nibble != 15)
+    return true;
+  while (true) {
+    if (Pos >= In.size())
+      return false;
+    uint8_t B = static_cast<uint8_t>(In[Pos++]);
+    Len += B;
+    if (B != 255)
+      return true;
+  }
+}
+
+void emitSequence(std::string &Out, const uint8_t *Lit, size_t LitLen,
+                  size_t MatchLen, size_t Offset) {
+  // MatchLen == 0 encodes a trailing literal-only sequence.
+  size_t MatchCode = MatchLen == 0 ? 0 : MatchLen - MinMatch + 1;
+  uint8_t Token = static_cast<uint8_t>((LitLen < 15 ? LitLen : 15) << 4 |
+                                       (MatchCode < 15 ? MatchCode : 15));
+  Out.push_back(static_cast<char>(Token));
+  putLength(Out, LitLen);
+  Out.append(reinterpret_cast<const char *>(Lit), LitLen);
+  if (MatchCode == 0)
+    return;
+  putLength(Out, MatchCode);
+  Out.push_back(static_cast<char>(Offset & 0xff));
+  Out.push_back(static_cast<char>(Offset >> 8));
+}
+
+} // namespace
+
+std::string tpdbt::compressBytes(const std::string &Raw) {
+  std::string Out(Magic, 4);
+  Out.push_back(static_cast<char>(Version));
+  putVarint(Out, Raw.size());
+  const uint8_t *Src = reinterpret_cast<const uint8_t *>(Raw.data());
+  const size_t N = Raw.size();
+
+  std::vector<uint32_t> Head(size_t(1) << HashBits, UINT32_MAX);
+  size_t Pos = 0;
+  size_t LitStart = 0;
+  while (N >= MinMatch && Pos + MinMatch <= N) {
+    uint32_t H = hash4(Src + Pos);
+    uint32_t Cand = Head[H];
+    Head[H] = static_cast<uint32_t>(Pos);
+    if (Cand != UINT32_MAX && Pos - Cand <= MaxOffset &&
+        std::memcmp(Src + Cand, Src + Pos, MinMatch) == 0) {
+      size_t Len = MinMatch;
+      while (Pos + Len < N && Src[Cand + Len] == Src[Pos + Len])
+        ++Len;
+      emitSequence(Out, Src + LitStart, Pos - LitStart, Len, Pos - Cand);
+      // Seed the table sparsely inside the match so long runs stay fast
+      // but future matches can still land mid-run.
+      size_t End = Pos + Len;
+      for (Pos += 1; Pos + MinMatch <= End && Pos + MinMatch <= N; Pos += 13)
+        Head[hash4(Src + Pos)] = static_cast<uint32_t>(Pos);
+      Pos = End;
+      LitStart = Pos;
+    } else {
+      ++Pos;
+    }
+  }
+  if (LitStart < N || N == 0)
+    emitSequence(Out, Src + LitStart, N - LitStart, 0, 0);
+  return Out;
+}
+
+bool tpdbt::decompressBytes(const std::string &Compressed, std::string &Out,
+                            std::string *Error) {
+  Out.clear();
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    Out.clear();
+    return false;
+  };
+  if (Compressed.size() < 5 || Compressed.compare(0, 4, Magic, 4) != 0)
+    return Fail("bad compression magic");
+  if (static_cast<uint8_t>(Compressed[4]) != Version)
+    return Fail("unsupported compression version");
+  size_t Pos = 5;
+  uint64_t RawSize = 0;
+  if (!getVarint(Compressed, Pos, RawSize))
+    return Fail("truncated compression header");
+  // Guard against absurd declared sizes before reserving memory: the
+  // stream cannot legally expand by more than ~256x per byte.
+  if (RawSize > (Compressed.size() - Pos + 1) * 270 + 64)
+    return Fail("declared raw size implausibly large");
+  Out.reserve(RawSize);
+
+  while (Pos < Compressed.size()) {
+    uint8_t Token = static_cast<uint8_t>(Compressed[Pos++]);
+    size_t LitLen = 0, MatchCode = 0;
+    if (!getLength(Compressed, Pos, Token >> 4, LitLen))
+      return Fail("truncated literal length");
+    if (LitLen > Compressed.size() - Pos)
+      return Fail("literal run past end of stream");
+    if (Out.size() + LitLen > RawSize)
+      return Fail("output exceeds declared raw size");
+    Out.append(Compressed, Pos, LitLen);
+    Pos += LitLen;
+    if (!getLength(Compressed, Pos, Token & 0xf, MatchCode))
+      return Fail("truncated match length");
+    if (MatchCode == 0)
+      continue; // literal-only sequence (stream tail)
+    if (Pos + 2 > Compressed.size())
+      return Fail("truncated match offset");
+    size_t Offset = static_cast<uint8_t>(Compressed[Pos]) |
+                    static_cast<size_t>(
+                        static_cast<uint8_t>(Compressed[Pos + 1]))
+                        << 8;
+    Pos += 2;
+    size_t MatchLen = MatchCode + MinMatch - 1;
+    if (Offset == 0 || Offset > Out.size())
+      return Fail("match offset before start of output");
+    if (Out.size() + MatchLen > RawSize)
+      return Fail("output exceeds declared raw size");
+    // Overlapping copies are legal (offset < length replicates runs), so
+    // copy bytewise from the already-produced output.
+    size_t From = Out.size() - Offset;
+    for (size_t I = 0; I < MatchLen; ++I)
+      Out.push_back(Out[From + I]);
+  }
+  if (Out.size() != RawSize)
+    return Fail("output shorter than declared raw size");
+  return true;
+}

@@ -2,231 +2,91 @@
 
 #include "vm/Interpreter.h"
 
-#include <bit>
-#include <cassert>
-#include <cmath>
 #include <cstdint>
 
 using namespace tpdbt;
 using namespace tpdbt::vm;
 using namespace tpdbt::guest;
 
-static inline double asDouble(int64_t Bits) {
-  return std::bit_cast<double>(Bits);
+/// True for comparison opcodes that can fuse into a terminator branch
+/// testing their 0/1 result.
+static bool isFusableCompare(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEq:
+  case Opcode::CmpLt:
+  case Opcode::CmpLtU:
+  case Opcode::CmpEqI:
+  case Opcode::CmpLtI:
+  case Opcode::CmpLtUI:
+  case Opcode::FCmpLt:
+    return true;
+  default:
+    return false;
+  }
 }
 
-static inline int64_t asBits(double D) { return std::bit_cast<int64_t>(D); }
+Interpreter::Interpreter(const Program &P) : P(P) {
+  const size_t N = P.numBlocks();
+  First.reserve(N + 1);
+  Terms.reserve(N);
+  size_t TotalOps = 0;
+  for (const Block &B : P.Blocks)
+    TotalOps += B.Insts.size();
+  Ops.reserve(TotalOps);
 
-BlockResult Interpreter::executeBlock(BlockId Id, Machine &M) const {
-  assert(Id < P.numBlocks() && "block id out of range");
-  const Block &B = P.Blocks[Id];
-  BlockResult R;
-  auto &Regs = M.Regs;
-  auto &Mem = M.Mem;
-  const size_t MemSize = Mem.size();
+  for (const Block &B : P.Blocks) {
+    First.push_back(static_cast<uint32_t>(Ops.size()));
 
-  for (const Inst &In : B.Insts) {
-    switch (In.Op) {
-    case Opcode::Add:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) +
-                                         static_cast<uint64_t>(Regs[In.Rb]));
+    DecodedTerm T{};
+    T.Taken = B.Term.Taken;
+    T.Fall = B.Term.Fallthrough;
+    T.Imm = B.Term.Imm;
+    T.Ra = B.Term.Ra;
+    T.Rb = B.Term.Rb;
+    switch (B.Term.Kind) {
+    case TermKind::Jump:
+      T.Code = TermCode::Jump;
       break;
-    case Opcode::Sub:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) -
-                                         static_cast<uint64_t>(Regs[In.Rb]));
+    case TermKind::Halt:
+      T.Code = TermCode::Halt;
       break;
-    case Opcode::Mul:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) *
-                                         static_cast<uint64_t>(Regs[In.Rb]));
+    case TermKind::Branch:
+      T.Code = TermCode::Branch;
+      T.Cond = static_cast<uint8_t>(B.Term.Cond);
       break;
-    case Opcode::Divs:
-      Regs[In.Rd] = (Regs[In.Rb] == 0 ||
-                     (Regs[In.Ra] == INT64_MIN && Regs[In.Rb] == -1))
-                        ? 0
-                        : Regs[In.Ra] / Regs[In.Rb];
-      break;
-    case Opcode::Rems:
-      Regs[In.Rd] = (Regs[In.Rb] == 0 ||
-                     (Regs[In.Ra] == INT64_MIN && Regs[In.Rb] == -1))
-                        ? 0
-                        : Regs[In.Ra] % Regs[In.Rb];
-      break;
-    case Opcode::And:
-      Regs[In.Rd] = Regs[In.Ra] & Regs[In.Rb];
-      break;
-    case Opcode::Or:
-      Regs[In.Rd] = Regs[In.Ra] | Regs[In.Rb];
-      break;
-    case Opcode::Xor:
-      Regs[In.Rd] = Regs[In.Ra] ^ Regs[In.Rb];
-      break;
-    case Opcode::Shl:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra])
-                                         << (Regs[In.Rb] & 63));
-      break;
-    case Opcode::Shr:
-      Regs[In.Rd] = static_cast<int64_t>(
-          static_cast<uint64_t>(Regs[In.Ra]) >> (Regs[In.Rb] & 63));
-      break;
-    case Opcode::Sar:
-      Regs[In.Rd] = Regs[In.Ra] >> (Regs[In.Rb] & 63);
-      break;
-    case Opcode::AddI:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) +
-                                         static_cast<uint64_t>(In.Imm));
-      break;
-    case Opcode::MulI:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) *
-                                         static_cast<uint64_t>(In.Imm));
-      break;
-    case Opcode::AndI:
-      Regs[In.Rd] = Regs[In.Ra] & In.Imm;
-      break;
-    case Opcode::OrI:
-      Regs[In.Rd] = Regs[In.Ra] | In.Imm;
-      break;
-    case Opcode::XorI:
-      Regs[In.Rd] = Regs[In.Ra] ^ In.Imm;
-      break;
-    case Opcode::ShlI:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra])
-                                         << (In.Imm & 63));
-      break;
-    case Opcode::ShrI:
-      Regs[In.Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[In.Ra]) >>
-                                         (In.Imm & 63));
-      break;
-    case Opcode::CmpEq:
-      Regs[In.Rd] = Regs[In.Ra] == Regs[In.Rb];
-      break;
-    case Opcode::CmpLt:
-      Regs[In.Rd] = Regs[In.Ra] < Regs[In.Rb];
-      break;
-    case Opcode::CmpLtU:
-      Regs[In.Rd] = static_cast<uint64_t>(Regs[In.Ra]) <
-                    static_cast<uint64_t>(Regs[In.Rb]);
-      break;
-    case Opcode::CmpEqI:
-      Regs[In.Rd] = Regs[In.Ra] == In.Imm;
-      break;
-    case Opcode::CmpLtI:
-      Regs[In.Rd] = Regs[In.Ra] < In.Imm;
-      break;
-    case Opcode::CmpLtUI:
-      Regs[In.Rd] = static_cast<uint64_t>(Regs[In.Ra]) <
-                    static_cast<uint64_t>(In.Imm);
-      break;
-    case Opcode::MovI:
-      Regs[In.Rd] = In.Imm;
-      break;
-    case Opcode::Mov:
-      Regs[In.Rd] = Regs[In.Ra];
-      break;
-    case Opcode::Load: {
-      uint64_t Addr = static_cast<uint64_t>(Regs[In.Ra]) +
-                      static_cast<uint64_t>(In.Imm);
-      if (Addr >= MemSize) {
-        R.Reason = StopReason::MemFault;
-        R.InstsExecuted += 1;
-        return R;
+    }
+
+    // Compare+branch fusion: a trailing Cmp* whose result register is
+    // tested against zero by the terminator collapses into one
+    // superinstruction. The compare still writes its register.
+    bool Fused = false;
+    if (T.Code == TermCode::Branch && !B.Insts.empty()) {
+      const Inst &Last = B.Insts.back();
+      bool BranchOnTrue =
+          B.Term.Cond == CondKind::NeI && B.Term.Imm == 0;
+      bool BranchOnFalse =
+          B.Term.Cond == CondKind::EqI && B.Term.Imm == 0;
+      if ((BranchOnTrue || BranchOnFalse) && isFusableCompare(Last.Op) &&
+          Last.Rd == B.Term.Ra) {
+        T.Code = TermCode::FusedBr;
+        T.Cond = static_cast<uint8_t>(Last.Op);
+        T.Rd = Last.Rd;
+        T.Ra = Last.Ra;
+        T.Rb = Last.Rb;
+        T.Imm = Last.Imm;
+        T.Invert = BranchOnFalse ? 1 : 0;
+        Fused = true;
+        ++FusedBlocks;
       }
-      Regs[In.Rd] = Mem[Addr];
-      break;
     }
-    case Opcode::Store: {
-      uint64_t Addr = static_cast<uint64_t>(Regs[In.Ra]) +
-                      static_cast<uint64_t>(In.Imm);
-      if (Addr >= MemSize) {
-        R.Reason = StopReason::MemFault;
-        R.InstsExecuted += 1;
-        return R;
-      }
-      Mem[Addr] = Regs[In.Rb];
-      break;
-    }
-    case Opcode::FAdd:
-      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) + asDouble(Regs[In.Rb]));
-      break;
-    case Opcode::FSub:
-      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) - asDouble(Regs[In.Rb]));
-      break;
-    case Opcode::FMul:
-      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) * asDouble(Regs[In.Rb]));
-      break;
-    case Opcode::FDiv:
-      Regs[In.Rd] = asBits(asDouble(Regs[In.Ra]) / asDouble(Regs[In.Rb]));
-      break;
-    case Opcode::FConst:
-      Regs[In.Rd] = In.Imm; // Imm carries the raw double bits
-      break;
-    case Opcode::FCmpLt:
-      Regs[In.Rd] = asDouble(Regs[In.Ra]) < asDouble(Regs[In.Rb]);
-      break;
-    case Opcode::IToF:
-      Regs[In.Rd] = asBits(static_cast<double>(Regs[In.Ra]));
-      break;
-    case Opcode::FToI: {
-      double D = asDouble(Regs[In.Ra]);
-      Regs[In.Rd] = std::isfinite(D) ? static_cast<int64_t>(D) : 0;
-      break;
-    }
-    case Opcode::Nop:
-      break;
-    }
-    ++R.InstsExecuted;
-  }
 
-  // Terminator (counts as one executed instruction).
-  ++R.InstsExecuted;
-  const Terminator &T = B.Term;
-  switch (T.Kind) {
-  case TermKind::Jump:
-    R.Next = T.Taken;
-    return R;
-  case TermKind::Halt:
-    R.Reason = StopReason::Halted;
-    return R;
-  case TermKind::Branch: {
-    bool Cond = false;
-    int64_t A = Regs[T.Ra];
-    switch (T.Cond) {
-    case CondKind::Eq:
-      Cond = A == Regs[T.Rb];
-      break;
-    case CondKind::Ne:
-      Cond = A != Regs[T.Rb];
-      break;
-    case CondKind::Lt:
-      Cond = A < Regs[T.Rb];
-      break;
-    case CondKind::Ge:
-      Cond = A >= Regs[T.Rb];
-      break;
-    case CondKind::LtU:
-      Cond = static_cast<uint64_t>(A) < static_cast<uint64_t>(Regs[T.Rb]);
-      break;
-    case CondKind::GeU:
-      Cond = static_cast<uint64_t>(A) >= static_cast<uint64_t>(Regs[T.Rb]);
-      break;
-    case CondKind::EqI:
-      Cond = A == T.Imm;
-      break;
-    case CondKind::NeI:
-      Cond = A != T.Imm;
-      break;
-    case CondKind::LtI:
-      Cond = A < T.Imm;
-      break;
-    case CondKind::GeI:
-      Cond = A >= T.Imm;
-      break;
+    const size_t BodyEnd = B.Insts.size() - (Fused ? 1 : 0);
+    for (size_t I = 0; I < BodyEnd; ++I) {
+      const Inst &In = B.Insts[I];
+      Ops.push_back(DecodedOp{In.Op, In.Rd, In.Ra, In.Rb, In.Imm});
     }
-    R.IsCondBranch = true;
-    R.Taken = Cond;
-    R.Next = Cond ? T.Taken : T.Fallthrough;
-    return R;
+    Terms.push_back(T);
   }
-  }
-  assert(false && "unknown terminator kind");
-  return R;
+  First.push_back(static_cast<uint32_t>(Ops.size()));
 }
+

@@ -9,9 +9,21 @@
 ///
 /// The two-phase DBT engine (src/dbt) drives execution one block at a time
 /// via executeBlock() — exactly the granularity at which IA32EL's profiling
-/// phase instruments code (per-block "use" and "taken" counters). The
-/// convenience run() loop is used for plain profiling runs (AVEP) and by
-/// tests.
+/// phase instruments code (per-block "use" and "taken" counters). The run()
+/// loop is the project's single event pump: DbtEngine, BlockTrace::record,
+/// and the plain profiling runs all interpret through it.
+///
+/// Construction pre-decodes the program into one contiguous instruction
+/// stream (all blocks back to back, indexed by a per-block offset table)
+/// with the terminator decoded into a fixed-size record per block, so the
+/// dispatch loop touches two flat arrays instead of chasing a
+/// vector-of-vectors. When a block's last instruction is a comparison
+/// whose result only steers the terminator (Cmp* into a branch testing
+/// that register against zero), the pair is fused into one
+/// compare-and-branch superinstruction — the dominant block shape in the
+/// synthetic suite's loop latches. Fusion is exact: the compare result is
+/// still written to its destination register and both instructions are
+/// counted in InstsExecuted.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,7 +33,11 @@
 #include "guest/Program.h"
 #include "vm/Machine.h"
 
+#include <bit>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace tpdbt {
 namespace vm {
@@ -51,12 +67,12 @@ struct RunOutcome {
   guest::BlockId LastBlock = guest::InvalidBlock;
 };
 
-/// Interprets one program. The interpreter holds only a reference to the
-/// program; the caller owns machine state, so multiple independent runs can
-/// share one Interpreter.
+/// Interprets one program. The interpreter holds a reference to the
+/// program plus its pre-decoded instruction stream; the caller owns
+/// machine state, so multiple independent runs can share one Interpreter.
 class Interpreter {
 public:
-  explicit Interpreter(const guest::Program &P) : P(P) {}
+  explicit Interpreter(const guest::Program &P);
 
   const guest::Program &program() const { return P; }
 
@@ -92,10 +108,312 @@ public:
     return run(M, MaxBlocks, [](guest::BlockId, const BlockResult &) {});
   }
 
+  /// Number of compare+branch pairs fused at decode time (observability
+  /// for tests and the micro benchmarks).
+  size_t numFusedBlocks() const { return FusedBlocks; }
+
 private:
+  /// One pre-decoded body instruction (16 bytes; the opcode/register
+  /// fields share a word, the immediate rides alongside).
+  struct DecodedOp {
+    guest::Opcode Op;
+    uint8_t Rd, Ra, Rb;
+    int64_t Imm;
+  };
+
+  /// How a decoded block terminates.
+  enum class TermCode : uint8_t {
+    Jump,    ///< unconditional
+    Halt,    ///< program end
+    Branch,  ///< conditional branch; Cond holds the guest::CondKind
+    FusedBr, ///< compare+branch superinstruction; Cond holds the cmp Opcode
+  };
+
+  /// Fixed-size decoded terminator. For FusedBr, (Rd, Ra, Rb, Imm) are the
+  /// fused compare's operands and Invert selects branch-on-false.
+  struct DecodedTerm {
+    TermCode Code;
+    uint8_t Cond;
+    uint8_t Ra, Rb;
+    uint8_t Rd;
+    uint8_t Invert;
+    int64_t Imm;
+    guest::BlockId Taken, Fall;
+  };
+
   const guest::Program &P;
+  /// All body instructions, blocks back to back; block \p Id owns
+  /// [First[Id], First[Id + 1]).
+  std::vector<DecodedOp> Ops;
+  std::vector<uint32_t> First;
+  std::vector<DecodedTerm> Terms;
+  size_t FusedBlocks = 0;
 };
 
+
+namespace detail {
+inline double asDouble(int64_t Bits) { return std::bit_cast<double>(Bits); }
+inline int64_t asBits(double D) { return std::bit_cast<int64_t>(D); }
+} // namespace detail
+
+// Inline so the run() loop (the project's single event pump) fully
+// inlines interpretation into its callers: the dispatch loop then keeps
+// register-file and memory pointers live across blocks instead of
+// re-establishing them through an out-of-line call per block event.
+inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) const {
+  assert(Id < P.numBlocks() && "block id out of range");
+  BlockResult R;
+  int64_t *Regs = M.Regs.data();
+  int64_t *Mem = M.Mem.data();
+  const uint64_t MemSize = M.Mem.size();
+
+  const DecodedOp *Op = Ops.data() + First[Id];
+  const DecodedOp *const End = Ops.data() + First[Id + 1];
+  for (; Op != End; ++Op) {
+    switch (Op->Op) {
+    case guest::Opcode::Add:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) +
+                                          static_cast<uint64_t>(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::Sub:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) -
+                                          static_cast<uint64_t>(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::Mul:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) *
+                                          static_cast<uint64_t>(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::Divs:
+      Regs[Op->Rd] = (Regs[Op->Rb] == 0 ||
+                      (Regs[Op->Ra] == INT64_MIN && Regs[Op->Rb] == -1))
+                         ? 0
+                         : Regs[Op->Ra] / Regs[Op->Rb];
+      break;
+    case guest::Opcode::Rems:
+      Regs[Op->Rd] = (Regs[Op->Rb] == 0 ||
+                      (Regs[Op->Ra] == INT64_MIN && Regs[Op->Rb] == -1))
+                         ? 0
+                         : Regs[Op->Ra] % Regs[Op->Rb];
+      break;
+    case guest::Opcode::And:
+      Regs[Op->Rd] = Regs[Op->Ra] & Regs[Op->Rb];
+      break;
+    case guest::Opcode::Or:
+      Regs[Op->Rd] = Regs[Op->Ra] | Regs[Op->Rb];
+      break;
+    case guest::Opcode::Xor:
+      Regs[Op->Rd] = Regs[Op->Ra] ^ Regs[Op->Rb];
+      break;
+    case guest::Opcode::Shl:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra])
+                                          << (Regs[Op->Rb] & 63));
+      break;
+    case guest::Opcode::Shr:
+      Regs[Op->Rd] = static_cast<int64_t>(
+          static_cast<uint64_t>(Regs[Op->Ra]) >> (Regs[Op->Rb] & 63));
+      break;
+    case guest::Opcode::Sar:
+      Regs[Op->Rd] = Regs[Op->Ra] >> (Regs[Op->Rb] & 63);
+      break;
+    case guest::Opcode::AddI:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) +
+                                          static_cast<uint64_t>(Op->Imm));
+      break;
+    case guest::Opcode::MulI:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) *
+                                          static_cast<uint64_t>(Op->Imm));
+      break;
+    case guest::Opcode::AndI:
+      Regs[Op->Rd] = Regs[Op->Ra] & Op->Imm;
+      break;
+    case guest::Opcode::OrI:
+      Regs[Op->Rd] = Regs[Op->Ra] | Op->Imm;
+      break;
+    case guest::Opcode::XorI:
+      Regs[Op->Rd] = Regs[Op->Ra] ^ Op->Imm;
+      break;
+    case guest::Opcode::ShlI:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra])
+                                          << (Op->Imm & 63));
+      break;
+    case guest::Opcode::ShrI:
+      Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) >>
+                                          (Op->Imm & 63));
+      break;
+    case guest::Opcode::CmpEq:
+      Regs[Op->Rd] = Regs[Op->Ra] == Regs[Op->Rb];
+      break;
+    case guest::Opcode::CmpLt:
+      Regs[Op->Rd] = Regs[Op->Ra] < Regs[Op->Rb];
+      break;
+    case guest::Opcode::CmpLtU:
+      Regs[Op->Rd] = static_cast<uint64_t>(Regs[Op->Ra]) <
+                     static_cast<uint64_t>(Regs[Op->Rb]);
+      break;
+    case guest::Opcode::CmpEqI:
+      Regs[Op->Rd] = Regs[Op->Ra] == Op->Imm;
+      break;
+    case guest::Opcode::CmpLtI:
+      Regs[Op->Rd] = Regs[Op->Ra] < Op->Imm;
+      break;
+    case guest::Opcode::CmpLtUI:
+      Regs[Op->Rd] = static_cast<uint64_t>(Regs[Op->Ra]) <
+                     static_cast<uint64_t>(Op->Imm);
+      break;
+    case guest::Opcode::MovI:
+      Regs[Op->Rd] = Op->Imm;
+      break;
+    case guest::Opcode::Mov:
+      Regs[Op->Rd] = Regs[Op->Ra];
+      break;
+    case guest::Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(Regs[Op->Ra]) +
+                      static_cast<uint64_t>(Op->Imm);
+      if (Addr >= MemSize) {
+        R.Reason = StopReason::MemFault;
+        R.InstsExecuted =
+            static_cast<uint32_t>(Op - (Ops.data() + First[Id])) + 1;
+        return R;
+      }
+      Regs[Op->Rd] = Mem[Addr];
+      break;
+    }
+    case guest::Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(Regs[Op->Ra]) +
+                      static_cast<uint64_t>(Op->Imm);
+      if (Addr >= MemSize) {
+        R.Reason = StopReason::MemFault;
+        R.InstsExecuted =
+            static_cast<uint32_t>(Op - (Ops.data() + First[Id])) + 1;
+        return R;
+      }
+      Mem[Addr] = Regs[Op->Rb];
+      break;
+    }
+    case guest::Opcode::FAdd:
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) + detail::asDouble(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::FSub:
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) - detail::asDouble(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::FMul:
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) * detail::asDouble(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::FDiv:
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) / detail::asDouble(Regs[Op->Rb]));
+      break;
+    case guest::Opcode::FConst:
+      Regs[Op->Rd] = Op->Imm; // Imm carries the raw double bits
+      break;
+    case guest::Opcode::FCmpLt:
+      Regs[Op->Rd] = detail::asDouble(Regs[Op->Ra]) < detail::asDouble(Regs[Op->Rb]);
+      break;
+    case guest::Opcode::IToF:
+      Regs[Op->Rd] = detail::asBits(static_cast<double>(Regs[Op->Ra]));
+      break;
+    case guest::Opcode::FToI: {
+      double D = detail::asDouble(Regs[Op->Ra]);
+      Regs[Op->Rd] = std::isfinite(D) ? static_cast<int64_t>(D) : 0;
+      break;
+    }
+    case guest::Opcode::Nop:
+      break;
+    }
+  }
+  R.InstsExecuted = First[Id + 1] - First[Id];
+
+  const DecodedTerm &T = Terms[Id];
+  switch (T.Code) {
+  case TermCode::Jump:
+    ++R.InstsExecuted;
+    R.Next = T.Taken;
+    return R;
+  case TermCode::Halt:
+    ++R.InstsExecuted;
+    R.Reason = StopReason::Halted;
+    return R;
+  case TermCode::Branch: {
+    ++R.InstsExecuted;
+    bool Cond = false;
+    int64_t A = Regs[T.Ra];
+    switch (static_cast<guest::CondKind>(T.Cond)) {
+    case guest::CondKind::Eq:
+      Cond = A == Regs[T.Rb];
+      break;
+    case guest::CondKind::Ne:
+      Cond = A != Regs[T.Rb];
+      break;
+    case guest::CondKind::Lt:
+      Cond = A < Regs[T.Rb];
+      break;
+    case guest::CondKind::Ge:
+      Cond = A >= Regs[T.Rb];
+      break;
+    case guest::CondKind::LtU:
+      Cond = static_cast<uint64_t>(A) < static_cast<uint64_t>(Regs[T.Rb]);
+      break;
+    case guest::CondKind::GeU:
+      Cond = static_cast<uint64_t>(A) >= static_cast<uint64_t>(Regs[T.Rb]);
+      break;
+    case guest::CondKind::EqI:
+      Cond = A == T.Imm;
+      break;
+    case guest::CondKind::NeI:
+      Cond = A != T.Imm;
+      break;
+    case guest::CondKind::LtI:
+      Cond = A < T.Imm;
+      break;
+    case guest::CondKind::GeI:
+      Cond = A >= T.Imm;
+      break;
+    }
+    R.IsCondBranch = true;
+    R.Taken = Cond;
+    R.Next = Cond ? T.Taken : T.Fall;
+    return R;
+  }
+  case TermCode::FusedBr: {
+    // The compare and the branch both count as executed instructions.
+    R.InstsExecuted += 2;
+    int64_t V = 0;
+    switch (static_cast<guest::Opcode>(T.Cond)) {
+    case guest::Opcode::CmpEq:
+      V = Regs[T.Ra] == Regs[T.Rb];
+      break;
+    case guest::Opcode::CmpLt:
+      V = Regs[T.Ra] < Regs[T.Rb];
+      break;
+    case guest::Opcode::CmpLtU:
+      V = static_cast<uint64_t>(Regs[T.Ra]) <
+          static_cast<uint64_t>(Regs[T.Rb]);
+      break;
+    case guest::Opcode::CmpEqI:
+      V = Regs[T.Ra] == T.Imm;
+      break;
+    case guest::Opcode::CmpLtI:
+      V = Regs[T.Ra] < T.Imm;
+      break;
+    case guest::Opcode::CmpLtUI:
+      V = static_cast<uint64_t>(Regs[T.Ra]) < static_cast<uint64_t>(T.Imm);
+      break;
+    case guest::Opcode::FCmpLt:
+      V = detail::asDouble(Regs[T.Ra]) < detail::asDouble(Regs[T.Rb]);
+      break;
+    default:
+      assert(false && "non-compare opcode in fused branch");
+    }
+    Regs[T.Rd] = V;
+    bool Cond = T.Invert ? V == 0 : V != 0;
+    R.IsCondBranch = true;
+    R.Taken = Cond;
+    R.Next = Cond ? T.Taken : T.Fall;
+    return R;
+  }
+  }
+  assert(false && "unknown terminator kind");
+  return R;
+}
 } // namespace vm
 } // namespace tpdbt
 

@@ -123,6 +123,11 @@ std::vector<std::string> fpBenchmarkNames();
 /// scaled by \p Factor — used by tests and quick runs.
 BenchSpec scaledSpec(const BenchSpec &Spec, double Factor);
 
+/// Stable hash of the spec fields that affect generated behaviour, so
+/// editing a benchmark's calibration invalidates cache entries keyed by
+/// it (the experiment .prof cache and the .trace record cache).
+uint64_t specFingerprint(const BenchSpec &Spec);
+
 } // namespace workloads
 } // namespace tpdbt
 

@@ -10,6 +10,7 @@
 #include "support/Rng.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace tpdbt;
 using namespace tpdbt::workloads;
@@ -383,4 +384,45 @@ BenchSpec tpdbt::workloads::scaledSpec(const BenchSpec &Spec, double Factor) {
   S.LoopBreak1 = Scale(S.LoopBreak1);
   S.LoopBreak2 = Scale(S.LoopBreak2);
   return S;
+}
+
+uint64_t tpdbt::workloads::specFingerprint(const BenchSpec &S) {
+  uint64_t H = combineSeeds(S.Seed, S.OuterItersRef);
+  H = combineSeeds(H, S.OuterItersTrain);
+  H = combineSeeds(H, S.Break1);
+  H = combineSeeds(H, S.Break2);
+  H = combineSeeds(H, S.LoopBreak1);
+  H = combineSeeds(H, S.LoopBreak2);
+  auto MixDouble = [&H](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    H = combineSeeds(H, Bits);
+  };
+  for (double C : S.ThetaPhaseCoef)
+    MixDouble(C);
+  MixDouble(S.ThetaDriftMag);
+  for (double C : S.TripPhaseExp)
+    MixDouble(C);
+  MixDouble(S.TripPhaseFactor);
+  MixDouble(S.SmoothDriftMag);
+  MixDouble(S.NearBoundaryFrac);
+  MixDouble(S.MidFrac);
+  MixDouble(S.TrainThetaSigma);
+  MixDouble(S.TrainTripSigma);
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumChainKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumDiamondKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumBranchKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumLoopKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NumNestKernels));
+  H = combineSeeds(H, static_cast<uint64_t>(S.LoopTripLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.LoopTripHi));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestOuterLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestOuterHi));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestInnerLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.NestInnerHi));
+  H = combineSeeds(H, S.LoopLocalPhases ? 1 : 0);
+  H = combineSeeds(H, static_cast<uint64_t>(S.TripFlipLowBaseLo));
+  H = combineSeeds(H, static_cast<uint64_t>(S.TripFlipLowBaseHi));
+  MixDouble(S.TripPhaseFrac);
+  return H;
 }

@@ -2,6 +2,7 @@
 
 #include "core/Experiment.h"
 
+#include "support/Compression.h"
 #include "support/TextFile.h"
 
 #include <gtest/gtest.h>
@@ -67,10 +68,19 @@ TEST(ExperimentContextTest, CacheRoundTrip) {
   ExperimentContext Ctx1(tinyConfig(Dir));
   auto FirstOps = Ctx1.inip("art", 2000).ProfilingOps;
   EXPECT_TRUE(std::filesystem::exists(Dir));
-  size_t Files = std::distance(std::filesystem::directory_iterator(Dir),
-                               std::filesystem::directory_iterator());
+  size_t ProfFiles = 0, TraceFiles = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    if (E.path().extension() == ".prof")
+      ++ProfFiles;
+    else if (E.path().extension() == ".trace")
+      ++TraceFiles;
+    else
+      ADD_FAILURE() << "unexpected cache file " << E.path();
+  }
   // 2 thresholds + AVEP + train for one benchmark.
-  EXPECT_EQ(Files, 4u);
+  EXPECT_EQ(ProfFiles, 4u);
+  // One recorded trace per input.
+  EXPECT_EQ(TraceFiles, 2u);
 
   // A fresh context must load identical data from the cache.
   ExperimentContext Ctx2(tinyConfig(Dir));
@@ -92,6 +102,30 @@ TEST(ExperimentConfigTest, FingerprintSensitivity) {
   ExperimentConfig D = tinyConfig();
   D.Thresholds.push_back(777);
   EXPECT_NE(A.fingerprint(), D.fingerprint());
+  // Adaptive options change replay results, so they must be in the key.
+  ExperimentConfig E = tinyConfig();
+  E.Dbt.Adaptive.Enabled = true;
+  EXPECT_NE(A.fingerprint(), E.fingerprint());
+}
+
+// The execution/policy fingerprint split that keys the trace cache:
+// policy-only knobs must leave the execution fingerprint (and with it
+// every recorded trace) valid, while scale changes invalidate it.
+TEST(ExperimentConfigTest, ExecutionFingerprintIgnoresPolicyKnobs) {
+  ExperimentConfig A = tinyConfig();
+  ExperimentConfig B = tinyConfig();
+  B.Dbt.PoolLimit = 16;
+  B.Thresholds = {1, 50, 100};
+  B.Dbt.Cost.ColdPerInst += 3;
+  B.Dbt.Adaptive.Enabled = true;
+  EXPECT_EQ(A.executionFingerprint(), B.executionFingerprint());
+  EXPECT_NE(A.policyFingerprint(), B.policyFingerprint());
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+
+  ExperimentConfig C = tinyConfig();
+  C.Scale = 0.02;
+  EXPECT_NE(A.executionFingerprint(), C.executionFingerprint());
+  EXPECT_EQ(A.policyFingerprint(), C.policyFingerprint());
 }
 
 TEST(ExperimentContextTest, WarmUpMatchesLazyPath) {
@@ -207,12 +241,21 @@ TEST(ExperimentContextTest, ConcurrentWritersSameCacheKey) {
             profile::printSnapshot(B.inip("art", 100)));
 
   // Every file in the cache dir parses cleanly and no temporaries leak.
-  size_t ProfFiles = 0;
+  size_t ProfFiles = 0, TraceFiles = 0;
   for (const auto &E : std::filesystem::directory_iterator(Dir)) {
     std::string Path = E.path().string();
-    ASSERT_EQ(E.path().extension(), ".prof") << Path;
     auto Text = readTextFile(Path);
     ASSERT_TRUE(Text.has_value()) << Path;
+    if (E.path().extension() == ".trace") {
+      std::string Raw, Err;
+      ASSERT_TRUE(decompressBytes(*Text, Raw, &Err)) << Path << ": " << Err;
+      core::BlockTrace T;
+      EXPECT_TRUE(core::BlockTrace::parse(Raw, T, &Err)) << Path << ": "
+                                                         << Err;
+      ++TraceFiles;
+      continue;
+    }
+    ASSERT_EQ(E.path().extension(), ".prof") << Path;
     profile::ProfileSnapshot S;
     std::string Err;
     EXPECT_TRUE(profile::parseSnapshot(*Text, S, &Err)) << Path << ": " << Err;
@@ -220,6 +263,113 @@ TEST(ExperimentContextTest, ConcurrentWritersSameCacheKey) {
   }
   // 2 thresholds + AVEP + train, for two benchmarks.
   EXPECT_EQ(ProfFiles, 8u);
+  // One trace per (benchmark, input).
+  EXPECT_EQ(TraceFiles, 4u);
+  std::filesystem::remove_all(Dir);
+}
+
+// Tentpole acceptance: the interpreting path (cache off), the cold
+// record-then-replay path, and the trace-cache-hit path must all produce
+// byte-identical profile snapshots.
+TEST(ExperimentContextTest, TraceReplayMatchesInterpretedProfiles) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "tpdbt_trace_replay_test")
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  auto snapshotText = [](ExperimentContext &Ctx) {
+    return profile::printSnapshot(Ctx.inip("art", 100)) +
+           profile::printSnapshot(Ctx.inip("art", 2000)) +
+           profile::printSnapshot(Ctx.avep("art")) +
+           profile::printSnapshot(Ctx.train("art"));
+  };
+
+  ExperimentContext Cold(tinyConfig(Dir));
+  std::string Expected = snapshotText(Cold);
+  EXPECT_EQ(Cold.traceStats().Misses.load(), 2u); // ref + train recorded
+
+  // Caching disabled entirely: a pure in-process run must agree.
+  ExperimentContext Off(tinyConfig(""));
+  EXPECT_EQ(snapshotText(Off), Expected);
+
+  // Drop the .prof layer but keep the .trace layer: profiles must be
+  // rebuilt by replay alone, with zero re-interpretations.
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".prof")
+      std::filesystem::remove(E.path());
+  ExperimentContext Replayed(tinyConfig(Dir));
+  EXPECT_EQ(snapshotText(Replayed), Expected);
+  EXPECT_EQ(Replayed.stats().CacheMisses.load(), 1u);
+  EXPECT_EQ(Replayed.traceStats().DiskHits.load(), 2u);
+  EXPECT_EQ(Replayed.traceStats().Misses.load(), 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+// Tentpole acceptance: changing a policy-only knob against a warm cache
+// must trigger zero re-interpretations — the recorded traces are replayed
+// under the new policy.
+TEST(ExperimentContextTest, PolicyKnobChangeReplaysWarmTrace) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "tpdbt_policy_knob_test")
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  ExperimentContext Warm(tinyConfig(Dir));
+  (void)Warm.inip("art", 100);
+  EXPECT_EQ(Warm.traceStats().Misses.load(), 2u);
+
+  ExperimentConfig Tweaked = tinyConfig(Dir);
+  Tweaked.Dbt.PoolLimit = 16;
+  ExperimentContext Ctx(Tweaked);
+  (void)Ctx.inip("art", 100);
+  // The .prof key changed, so profiles were recomputed...
+  EXPECT_EQ(Ctx.stats().CacheMisses.load(), 1u);
+  EXPECT_EQ(Ctx.stats().CacheHits.load(), 0u);
+  // ...but purely by replaying the recorded traces.
+  EXPECT_EQ(Ctx.traceStats().DiskHits.load(), 2u);
+  EXPECT_EQ(Ctx.traceStats().Misses.load(), 0u);
+  EXPECT_EQ(Ctx.traceStats().RecordMicros.load(), 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+// A truncated or corrupt .trace entry must fall back to re-recording and
+// repair the cache, never crash or poison results.
+TEST(ExperimentContextTest, CorruptTraceEntryFallsBackToRecord) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "tpdbt_corrupt_trace_test")
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  ExperimentContext Warm(tinyConfig(Dir));
+  std::string Expected = profile::printSnapshot(Warm.inip("art", 2000));
+
+  // Truncate every trace and drop the .prof layer so the next context
+  // must go through the trace path.
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    if (E.path().extension() == ".prof") {
+      std::filesystem::remove(E.path());
+      continue;
+    }
+    auto Bytes = readTextFile(E.path().string());
+    ASSERT_TRUE(Bytes.has_value());
+    ASSERT_TRUE(writeTextFile(E.path().string(),
+                              Bytes->substr(0, Bytes->size() / 2)));
+  }
+
+  ExperimentContext Cold(tinyConfig(Dir));
+  EXPECT_EQ(profile::printSnapshot(Cold.inip("art", 2000)), Expected);
+  EXPECT_EQ(Cold.traceStats().CorruptEntries.load(), 2u);
+  EXPECT_EQ(Cold.traceStats().Misses.load(), 2u);
+
+  // The re-recording must have repaired the trace layer.
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    if (E.path().extension() != ".trace")
+      continue;
+    auto Bytes = readTextFile(E.path().string());
+    ASSERT_TRUE(Bytes.has_value());
+    std::string Raw, Err;
+    EXPECT_TRUE(decompressBytes(*Bytes, Raw, &Err)) << Err;
+  }
   std::filesystem::remove_all(Dir);
 }
 
