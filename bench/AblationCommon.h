@@ -116,18 +116,24 @@ inline const AblationWorkload &ablationWorkload(const std::string &Name) {
 }
 
 /// One-line trace-cache report for the ablation banners, e.g.
-/// "traces: 6 hit / 0 miss (0 corrupt), 0.0s recording".
+/// "traces: 6 hit / 0 miss (0 corrupt), 0.0s recording, index 6 hit / 0
+/// build".
 inline std::string ablationStatsLine() {
   const core::TraceCache::Counters &S = detail::ablationRegistry().Cache.stats();
   return formatString(
-      "traces: %llu hit / %llu miss (%llu corrupt), %.1fs recording",
+      "traces: %llu hit / %llu miss (%llu corrupt), %.1fs recording, "
+      "index %llu hit / %llu build",
       static_cast<unsigned long long>(S.hits()),
       static_cast<unsigned long long>(
           S.Misses.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           S.CorruptEntries.load(std::memory_order_relaxed)),
       static_cast<double>(S.RecordMicros.load(std::memory_order_relaxed)) /
-          1e6);
+          1e6,
+      static_cast<unsigned long long>(
+          S.IndexHits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          S.IndexBuilds.load(std::memory_order_relaxed)));
 }
 
 /// Aggregate results of one configuration over the subset.

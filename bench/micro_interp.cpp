@@ -9,6 +9,7 @@
 
 #include "core/Runner.h"
 #include "core/Trace.h"
+#include "core/TraceIndex.h"
 #include "guest/ProgramBuilder.h"
 #include "vm/Interpreter.h"
 #include "workloads/BenchSpec.h"
@@ -103,13 +104,15 @@ void BM_RecordTrace(benchmark::State &State) {
 }
 BENCHMARK(BM_RecordTrace)->Unit(benchmark::kMillisecond);
 
-/// The trace-cache hit path: drive N thresholds from a recorded trace
+/// The trace-cache hit path: drive N thresholds from an indexed trace
 /// with no interpretation at all. Compare against BM_SweepPolicies at the
-/// same argument — the warm-cache speedup of the experiment driver.
+/// same argument — the warm-cache speedup of the experiment driver. The
+/// index is prebuilt outside the loop, matching the sidecar-hit case.
 void BM_ReplaySweep(benchmark::State &State) {
   auto B = workloads::generateBenchmark(
       workloads::scaledSpec(*workloads::findSpec("gzip"), 0.02));
   core::BlockTrace T = core::BlockTrace::record(B.Ref, ~0ull);
+  T.index();
   std::vector<uint64_t> Thresholds;
   for (int I = 0; I < State.range(0); ++I)
     Thresholds.push_back(100ull << I);
@@ -124,6 +127,44 @@ void BM_ReplaySweep(benchmark::State &State) {
 }
 BENCHMARK(BM_ReplaySweep)->Arg(1)->Arg(4)->Arg(15)
     ->Unit(benchmark::kMillisecond);
+
+/// The retired event-pump replay (now the adaptive-mode path and the
+/// differential oracle): every trace event through every policy. The gap
+/// to BM_ReplaySweep is the analytic index's speedup.
+void BM_ReplaySweepEventPump(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("gzip"), 0.02));
+  core::BlockTrace T = core::BlockTrace::record(B.Ref, ~0ull);
+  std::vector<uint64_t> Thresholds;
+  for (int I = 0; I < State.range(0); ++I)
+    Thresholds.push_back(100ull << I);
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    core::SweepResult R =
+        core::replaySweepEvents(T, B.Ref, Thresholds, dbt::DbtOptions());
+    Events += R.Average.BlockEvents;
+    benchmark::DoNotOptimize(R.Average.ProfilingOps);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_ReplaySweepEventPump)->Arg(1)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+/// One-time cost of building the analytic index (amortized across every
+/// warm replay, and skipped entirely on a sidecar hit).
+void BM_BuildTraceIndex(benchmark::State &State) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec("gzip"), 0.02));
+  core::BlockTrace T = core::BlockTrace::record(B.Ref, ~0ull);
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    core::TraceIndex Idx = core::TraceIndex::build(T);
+    Events += Idx.numEvents();
+    benchmark::DoNotOptimize(Idx.totalInsts());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_BuildTraceIndex)->Unit(benchmark::kMillisecond);
 
 void BM_GenerateBenchmark(benchmark::State &State) {
   const auto &Spec = *workloads::findSpec("gcc");

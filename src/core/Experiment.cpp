@@ -202,7 +202,7 @@ void ExperimentContext::storeCached(const std::string &Name,
 }
 
 void ExperimentContext::ensureProfiles(const std::string &Name,
-                                       BenchData &D) {
+                                       BenchData &D, unsigned ReplayJobs) {
   if (D.ProfilesReady.load(std::memory_order_acquire))
     return;
   std::lock_guard<std::mutex> Guard(D.Lock);
@@ -230,7 +230,7 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   auto timedReplay = [&](const BlockTrace &Trace, const guest::Program &P,
                          const std::vector<uint64_t> &Thresholds) {
     auto T0 = std::chrono::steady_clock::now();
-    SweepResult R = replaySweep(Trace, P, Thresholds, Config.Dbt);
+    SweepResult R = replaySweep(Trace, P, Thresholds, Config.Dbt, ReplayJobs);
     auto T1 = std::chrono::steady_clock::now();
     Stats.ReplayMicros.fetch_add(
         std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
@@ -273,7 +273,7 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
 const profile::ProfileSnapshot &
 ExperimentContext::inip(const std::string &Name, uint64_t Threshold) {
   BenchData &D = data(Name);
-  ensureProfiles(Name, D);
+  ensureProfiles(Name, D, Config.effectiveJobs());
   auto It = D.Inips.find(Threshold);
   assert(It != D.Inips.end() &&
          "threshold not part of the configured sweep");
@@ -283,14 +283,14 @@ ExperimentContext::inip(const std::string &Name, uint64_t Threshold) {
 const profile::ProfileSnapshot &
 ExperimentContext::avep(const std::string &Name) {
   BenchData &D = data(Name);
-  ensureProfiles(Name, D);
+  ensureProfiles(Name, D, Config.effectiveJobs());
   return D.Avep;
 }
 
 const profile::ProfileSnapshot &
 ExperimentContext::train(const std::string &Name) {
   BenchData &D = data(Name);
-  ensureProfiles(Name, D);
+  ensureProfiles(Name, D, Config.effectiveJobs());
   return D.Train;
 }
 
@@ -298,9 +298,13 @@ void ExperimentContext::warmUp(const std::vector<std::string> &Names,
                                unsigned Threads) {
   if (Threads == 0)
     Threads = Config.effectiveJobs();
+  // With one worker per benchmark the per-threshold parallelism inside
+  // replaySweep would only oversubscribe; hand it the workers instead
+  // when the warm-up itself is serial.
+  const unsigned ReplayJobs = Threads > 1 ? 1 : Config.effectiveJobs();
   parallelFor(Names.size(), Threads, [&](size_t I) {
     BenchData &D = data(Names[I]);
-    ensureProfiles(Names[I], D);
+    ensureProfiles(Names[I], D, ReplayJobs);
   });
 }
 
@@ -309,7 +313,7 @@ std::string ExperimentContext::statsSummary() const {
   return formatString(
       "jobs=%u prof %llu hit / %llu miss (%llu corrupt), trace %llu hit / "
       "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
-      "%.1fs replaying",
+      "%.1fs replaying, index %llu hit / %llu build (%.1fs)",
       Config.effectiveJobs(),
       static_cast<unsigned long long>(
           Stats.CacheHits.load(std::memory_order_relaxed)),
@@ -329,5 +333,12 @@ std::string ExperimentContext::statsSummary() const {
           1e6,
       static_cast<double>(
           Stats.ReplayMicros.load(std::memory_order_relaxed)) /
+          1e6,
+      static_cast<unsigned long long>(
+          TC.IndexHits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.IndexBuilds.load(std::memory_order_relaxed)),
+      static_cast<double>(
+          TC.IndexMicros.load(std::memory_order_relaxed)) /
           1e6);
 }

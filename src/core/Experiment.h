@@ -156,7 +156,8 @@ public:
 
   /// One-line human-readable rendering of stats() for the bench banners,
   /// e.g. "jobs=8 prof 20 hit / 6 miss (0 corrupt), trace 4 hit / 2 miss,
-  /// 12 sweeps, 2.0s recording, 1.1s replaying".
+  /// 12 sweeps, 2.0s recording, 1.1s replaying, index 4 hit / 2 build
+  /// (0.1s)".
   std::string statsSummary() const;
 
 private:
@@ -175,7 +176,11 @@ private:
   };
 
   BenchData &data(const std::string &Name);
-  void ensureProfiles(const std::string &Name, BenchData &D);
+  /// \p ReplayJobs is the worker count handed to the per-threshold
+  /// analytic replay; warmUp passes 1 when it is already running one
+  /// worker per benchmark (results are identical either way).
+  void ensureProfiles(const std::string &Name, BenchData &D,
+                      unsigned ReplayJobs);
   std::string cachePath(const std::string &Name, uint64_t SpecFp,
                         const std::string &Input, uint64_t Threshold) const;
   bool loadCached(const std::string &Name, BenchData &D);

@@ -41,7 +41,10 @@ struct SweepResult {
 /// Runs \p P to completion (or \p MaxBlocks events) once and returns the
 /// INIP snapshot for every threshold in \p Thresholds plus the
 /// profiling-only snapshot. \p Base supplies pool/formation/cost settings;
-/// its Threshold field is ignored.
+/// its Threshold field is ignored. Sweeps with at most one unique
+/// threshold fuse recording and replay into a single streaming pass;
+/// larger sweeps record a trace and evaluate every threshold from its
+/// index (see core/Trace.h).
 SweepResult runSweep(const guest::Program &P,
                      const std::vector<uint64_t> &Thresholds,
                      const dbt::DbtOptions &Base, uint64_t MaxBlocks);

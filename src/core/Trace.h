@@ -14,11 +14,14 @@
 /// twin of core::runSweep and produces byte-identical snapshots — a
 /// property test asserts that.
 ///
-/// Format: little-endian; a small header (magic, version, block count),
-/// then two varints per event: the block id delta-encoded against the
-/// previous event's id (zigzag) with the branch outcome folded into the
-/// low bits, and the executed instruction count. Typical traces take 2-3
-/// bytes per event.
+/// Format (TPDT v2): little-endian; a small header (magic, version, block
+/// count, event count), the final per-block use/taken counters (two
+/// varints per block — they arm policy retirement and the analytic index
+/// without an O(events) pre-pass), then two varints per event: the block
+/// id delta-encoded against the previous event's id (zigzag) with the
+/// branch outcome folded into the low bits, and the executed instruction
+/// count. Typical traces take 2-3 bytes per event. Version 1 entries
+/// (no counter table) remain readable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,13 +30,18 @@
 
 #include "core/Runner.h"
 #include "guest/Program.h"
+#include "profile/Profile.h"
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace tpdbt {
 namespace core {
+
+class TraceIndex;
 
 /// One recorded block event.
 struct TraceEvent {
@@ -46,11 +54,18 @@ struct TraceEvent {
 /// A recorded execution.
 class BlockTrace {
 public:
+  BlockTrace() = default;
+  BlockTrace(const BlockTrace &Other);
+  BlockTrace(BlockTrace &&Other) noexcept;
+  BlockTrace &operator=(const BlockTrace &Other);
+  BlockTrace &operator=(BlockTrace &&Other) noexcept;
+
   /// Records a full execution of \p P (up to \p MaxBlocks events).
   static BlockTrace record(const guest::Program &P,
                            uint64_t MaxBlocks = ~0ull);
 
-  /// Serializes to the binary format; parse() round-trips.
+  /// Serializes to the binary format; parse() round-trips. parse() also
+  /// accepts version-1 entries (recorded before the counter table).
   std::string serialize() const;
   static bool parse(const std::string &Bytes, BlockTrace &Out,
                     std::string *Error);
@@ -63,36 +78,85 @@ public:
   /// closed-form policy fast-forward in replaySweep).
   uint64_t takenEvents() const { return TakenEvents; }
 
+  /// Final per-block use/taken counters, maintained incrementally by
+  /// append(). These are the end-of-run shared counters every replay needs
+  /// up front (oracle arming, snapshot finals, index row sizes).
+  const std::vector<profile::BlockCounters> &finalCounts() const {
+    return Final;
+  }
+
+  /// The analytic replay index over this trace, built on first use and
+  /// cached for the trace's lifetime. Thread-safe.
+  const TraceIndex &index() const;
+
+  /// Installs a precomputed index (e.g. loaded from a TraceCache sidecar).
+  /// Rejected unless it matches this trace; returns whether it was
+  /// adopted (an already-built index also counts as adopted).
+  bool adoptIndex(std::shared_ptr<const TraceIndex> Idx) const;
+
+  /// The cached index, or null if none has been built or adopted yet.
+  std::shared_ptr<const TraceIndex> sharedIndex() const;
+
   /// Appends one event (used by record() and tests).
   void append(const TraceEvent &E) {
     Events.push_back(E);
     TotalInsts += E.Insts;
-    if (E.Branch == 2)
+    if (Final.size() <= E.Block)
+      Final.resize(E.Block + 1);
+    ++Final[E.Block].Use;
+    if (E.Branch == 2) {
       ++TakenEvents;
+      ++Final[E.Block].Taken;
+    }
   }
-  void setNumBlocks(size_t N) { NumBlocks = N; }
+  void setNumBlocks(size_t N) {
+    NumBlocks = N;
+    if (Final.size() < N)
+      Final.resize(N);
+  }
 
 private:
   std::vector<TraceEvent> Events;
+  std::vector<profile::BlockCounters> Final;
   size_t NumBlocks = 0;
   uint64_t TotalInsts = 0;
   uint64_t TakenEvents = 0;
+  /// Lazily-built index (see index()). Mutable: the index is a cache of a
+  /// pure function of the trace, not logical state.
+  mutable std::mutex IndexLock;
+  mutable std::shared_ptr<const TraceIndex> Index;
 };
 
-/// Trace-driven twin of runSweep(): replays \p Trace through one policy
-/// per threshold (plus the profiling-only policy) and returns snapshots
-/// byte-identical to a live sweep of the same execution.
+/// Trace-driven twin of runSweep(): derives the snapshot for one policy
+/// per threshold (plus the profiling-only policy), byte-identical to a
+/// live sweep of the same execution.
 ///
-/// Because the trace's final per-block counts are known before replay
-/// starts, each policy is *retired* from the per-event dispatch set the
-/// moment no future event can change its translation state (see
-/// TranslationPolicy::beginOracle): its remaining stream is burst-replayed
-/// through the cheap settled path — or folded into one closed-form update
-/// when the policy froze nothing, which makes the profiling-only policy
-/// nearly free. Once every policy has retired the event loop exits early.
+/// Non-adaptive policies are evaluated *analytically* from the trace's
+/// TraceIndex: the freeze timeline is reconstructed from per-block
+/// occurrence positions (registration at the T-th occurrence, the
+/// registered-twice trigger at the 2T-th), frozen counters come from
+/// prefix-sum differences, region formation and cost accounting run
+/// exactly as in the pump on those counters, and only the optimized
+/// sub-stream (events of frozen blocks after their freeze) is walked —
+/// with single-node loop regions folded into closed form. Duplicate
+/// thresholds share one evaluation, and the per-threshold units are
+/// dispatched on up to \p Jobs worker threads (results are identical at
+/// any job count).
+///
+/// Adaptive policies (frozen blocks can thaw, so no static freeze
+/// timeline exists) fall back to replaySweepEvents().
 SweepResult replaySweep(const BlockTrace &Trace, const guest::Program &P,
                         const std::vector<uint64_t> &Thresholds,
-                        const dbt::DbtOptions &Base);
+                        const dbt::DbtOptions &Base, unsigned Jobs = 1);
+
+/// The event-pump replay: feeds every trace event through every policy,
+/// with oracle-based retirement of settled policies (see
+/// TranslationPolicy::beginOracle). Kept as the adaptive-mode path and as
+/// the differential-testing oracle for the analytic path above.
+SweepResult replaySweepEvents(const BlockTrace &Trace,
+                              const guest::Program &P,
+                              const std::vector<uint64_t> &Thresholds,
+                              const dbt::DbtOptions &Base);
 
 } // namespace core
 } // namespace tpdbt

@@ -2,6 +2,7 @@
 
 #include "core/TraceCache.h"
 
+#include "core/TraceIndex.h"
 #include "support/Compression.h"
 #include "support/Format.h"
 #include "support/TextFile.h"
@@ -44,6 +45,33 @@ void TraceCache::storeDisk(const std::string &Path,
   writeTextFileAtomic(Path, compressBytes(Trace.serialize()));
 }
 
+void TraceCache::ensureIndex(const std::string &TracePath,
+                             const BlockTrace &Trace) {
+  const std::string IdxPath = indexPath(TracePath);
+  if (auto Packed = readTextFile(IdxPath)) {
+    std::string Raw;
+    auto Idx = std::make_shared<TraceIndex>();
+    if (decompressBytes(*Packed, Raw, nullptr) &&
+        TraceIndex::parse(Raw, *Idx, nullptr) &&
+        Trace.adoptIndex(std::move(Idx))) {
+      Stats.IndexHits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Torn, corrupt, or written for a different trace (stale key
+    // collision): rebuild and rewrite below.
+    Stats.CorruptIndexEntries.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto Start = std::chrono::steady_clock::now();
+  const TraceIndex &Idx = Trace.index();
+  auto End = std::chrono::steady_clock::now();
+  Stats.IndexBuilds.fetch_add(1, std::memory_order_relaxed);
+  Stats.IndexMicros.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count(),
+      std::memory_order_relaxed);
+  writeTextFileAtomic(IdxPath, compressBytes(Idx.serialize()));
+}
+
 std::shared_ptr<const BlockTrace>
 TraceCache::get(const std::string &Name, const std::string &Input,
                 uint64_t ExecFp, const guest::Program &Program,
@@ -69,6 +97,7 @@ TraceCache::get(const std::string &Name, const std::string &Input,
     Path = entryPath(Name, Input, ExecFp);
     if (auto FromDisk = loadDisk(Path, Program)) {
       Stats.DiskHits.fetch_add(1, std::memory_order_relaxed);
+      ensureIndex(Path, *FromDisk);
       S->Trace = FromDisk;
       return FromDisk;
     }
@@ -83,8 +112,10 @@ TraceCache::get(const std::string &Name, const std::string &Input,
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
           .count(),
       std::memory_order_relaxed);
-  if (!Dir.empty())
+  if (!Dir.empty()) {
     storeDisk(Path, *Recorded);
+    ensureIndex(Path, *Recorded);
+  }
   S->Trace = Recorded;
   return Recorded;
 }

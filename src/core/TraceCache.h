@@ -17,6 +17,12 @@
 ///    event stream and nothing that doesn't — so policy-only configuration
 ///    changes replay a warm trace instead of re-interpreting.
 ///
+/// Each disk entry carries a .trace.idx *sidecar* holding the trace's
+/// analytic replay index (core/TraceIndex.h), so warm lookups skip the
+/// index build as well as the recording. A missing, corrupt, or
+/// mismatched sidecar is rebuilt from the trace and rewritten; it never
+/// invalidates the trace itself.
+///
 /// A corrupt, truncated, or stale-format disk entry is counted and treated
 /// as a miss; the trace is then re-recorded and the entry rewritten
 /// atomically (write-then-rename, like the .prof snapshot cache).
@@ -66,6 +72,15 @@ public:
     /// downgrades its lookup to a miss.
     std::atomic<uint64_t> CorruptEntries{0};
     std::atomic<uint64_t> RecordMicros{0};
+    /// Analytic replay indexes served from a .trace.idx sidecar.
+    std::atomic<uint64_t> IndexHits{0};
+    /// Indexes built from the trace (no usable sidecar); the build wall
+    /// clock is accumulated in IndexMicros.
+    std::atomic<uint64_t> IndexBuilds{0};
+    /// Sidecars that failed to parse or did not match their trace; each
+    /// one downgrades to a rebuild.
+    std::atomic<uint64_t> CorruptIndexEntries{0};
+    std::atomic<uint64_t> IndexMicros{0};
 
     uint64_t hits() const {
       return MemoryHits.load(std::memory_order_relaxed) +
@@ -79,6 +94,12 @@ public:
   std::string entryPath(const std::string &Name, const std::string &Input,
                         uint64_t ExecFp) const;
 
+  /// The analytic-index sidecar path next to a .trace entry (exposed for
+  /// tests).
+  static std::string indexPath(const std::string &TracePath) {
+    return TracePath + ".idx";
+  }
+
 private:
   struct Slot {
     std::mutex Lock;
@@ -88,6 +109,12 @@ private:
   std::shared_ptr<const BlockTrace> loadDisk(const std::string &Path,
                                              const guest::Program &Program);
   void storeDisk(const std::string &Path, const BlockTrace &Trace) const;
+
+  /// Attaches the analytic replay index to \p Trace: adopts the sidecar
+  /// next to \p TracePath when it is intact and matches, otherwise builds
+  /// the index and (re)writes the sidecar.
+  void ensureIndex(const std::string &TracePath,
+                   const BlockTrace &Trace);
 
   std::string Dir;
   std::mutex SlotsLock; ///< guards the map structure only

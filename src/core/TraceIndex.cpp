@@ -1,0 +1,228 @@
+//===- core/TraceIndex.cpp - Analytic replay index over a trace ------------===//
+
+#include "core/TraceIndex.h"
+
+#include "core/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+using namespace tpdbt::guest;
+
+TraceIndex TraceIndex::build(const BlockTrace &Trace) {
+  const size_t N = Trace.numBlocks();
+  const size_t E = Trace.numEvents();
+  assert(E < (1ull << 32) && "trace too large for a 32-bit position index");
+
+  TraceIndex Idx;
+  Idx.TotalInsts = Trace.totalInsts();
+  Idx.TakenEvents = Trace.takenEvents();
+
+  // Pass 1 equivalent: the trace already maintains final per-block use
+  // counts, which are exactly the CSR row sizes.
+  const std::vector<profile::BlockCounters> &Final = Trace.finalCounts();
+  Idx.BlockBegin.resize(N + 1);
+  uint32_t Offset = 0;
+  for (size_t B = 0; B < N; ++B) {
+    Idx.BlockBegin[B] = Offset;
+    Offset += static_cast<uint32_t>(Final[B].Use);
+  }
+  Idx.BlockBegin[N] = Offset;
+  assert(Offset == E && "final counts disagree with the event stream");
+
+  Idx.OccPos.resize(E);
+  Idx.TakenPre.resize(E + N);
+  Idx.InstsPre.resize(E + N);
+  Idx.GlobalInsts.resize(E + 1);
+  Idx.GlobalTaken.resize(E + 1);
+
+  // Pass 2: scatter positions and accumulate prefix rows. Cursor[B] is the
+  // next free OccPos slot of block B; the prefix rows carry a leading zero.
+  std::vector<uint32_t> Cursor(Idx.BlockBegin.begin(),
+                               Idx.BlockBegin.end() - 1);
+  for (size_t B = 0; B < N; ++B) {
+    Idx.TakenPre[Idx.prefBegin(static_cast<BlockId>(B))] = 0;
+    Idx.InstsPre[Idx.prefBegin(static_cast<BlockId>(B))] = 0;
+  }
+  Idx.GlobalInsts[0] = 0;
+  Idx.GlobalTaken[0] = 0;
+  for (size_t I = 0; I < E; ++I) {
+    const TraceEvent &Ev = Trace.event(I);
+    const bool Taken = Ev.Branch == 2;
+    uint32_t Slot = Cursor[Ev.Block]++;
+    Idx.OccPos[Slot] = static_cast<uint32_t>(I);
+    size_t Row = Slot + Ev.Block; // prefBegin(Block) + occurrence rank
+    Idx.TakenPre[Row + 1] = Idx.TakenPre[Row] + (Taken ? 1 : 0);
+    Idx.InstsPre[Row + 1] = Idx.InstsPre[Row] + Ev.Insts;
+    Idx.GlobalInsts[I + 1] = Idx.GlobalInsts[I] + Ev.Insts;
+    Idx.GlobalTaken[I + 1] = Idx.GlobalTaken[I] + (Taken ? 1 : 0);
+  }
+  return Idx;
+}
+
+uint32_t TraceIndex::usesThrough(BlockId B, uint32_t Pos) const {
+  const uint32_t *Begin = OccPos.data() + BlockBegin[B];
+  const uint32_t *End = OccPos.data() + BlockBegin[B + 1];
+  return static_cast<uint32_t>(std::upper_bound(Begin, End, Pos) - Begin);
+}
+
+uint32_t TraceIndex::occurrenceAt(BlockId B, uint32_t Pos) const {
+  const uint32_t *Begin = OccPos.data() + BlockBegin[B];
+  const uint32_t *End = OccPos.data() + BlockBegin[B + 1];
+  const uint32_t *It = std::lower_bound(Begin, End, Pos);
+  assert(It != End && *It == Pos && "position is not an occurrence of B");
+  return static_cast<uint32_t>(It - Begin);
+}
+
+uint32_t TraceIndex::firstOutcomeChange(BlockId B, uint32_t K,
+                                        bool Taken) const {
+  const size_t Row = prefBegin(B);
+  const uint32_t Cnt = occurrences(B);
+  // Along a run of occurrences whose outcome equals Taken, the quantity
+  // below is constant, and it is strictly monotone across a differing
+  // outcome — so the run end is a partition point.
+  auto RunKey = [&](uint32_t J) -> int64_t {
+    return Taken ? static_cast<int64_t>(TakenPre[Row + J]) - J
+                 : static_cast<int64_t>(TakenPre[Row + J]);
+  };
+  // Outcomes [K, J) all equal Taken iff RunKey(J) == RunKey(K); find the
+  // first J in (K, Cnt] where that fails. The answer is J - 1 (the first
+  // differing occurrence), or Cnt when the whole tail matches. Runs are
+  // typically short relative to the row, so gallop out from K before
+  // bisecting the last doubling interval.
+  const int64_t Key = RunKey(K);
+  uint32_t Base = K, Step = 1;
+  while (Base + Step <= Cnt && RunKey(Base + Step) == Key) {
+    Base += Step;
+    Step *= 2;
+  }
+  // [K, Base] all match; the first mismatch, if any, lies in
+  // (Base, Base + Step] — clipped to the row when the gallop ran off it.
+  uint32_t Lo = Base + 1, Hi = std::min(Base + Step, Cnt + 1);
+  while (Lo < Hi) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (RunKey(Mid) == Key)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo - 1;
+}
+
+namespace {
+
+constexpr char IdxMagic[4] = {'T', 'P', 'D', 'X'};
+constexpr uint8_t IdxVersion = 1;
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(0x80 | (V & 0x7f)));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+bool getVarint(const std::string &In, size_t &Pos, uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (Pos < In.size()) {
+    uint8_t Byte = static_cast<uint8_t>(In[Pos++]);
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+    Shift += 7;
+    if (Shift > 63)
+      return false;
+  }
+  return false;
+}
+
+template <typename T> void putArray(std::string &Out, const std::vector<T> &V) {
+  size_t Bytes = V.size() * sizeof(T);
+  size_t At = Out.size();
+  Out.resize(At + Bytes);
+  std::memcpy(Out.data() + At, V.data(), Bytes);
+}
+
+template <typename T>
+bool getArray(const std::string &In, size_t &Pos, std::vector<T> &V,
+              size_t Count) {
+  size_t Bytes = Count * sizeof(T);
+  if (In.size() - Pos < Bytes)
+    return false;
+  V.resize(Count);
+  std::memcpy(V.data(), In.data() + Pos, Bytes);
+  Pos += Bytes;
+  return true;
+}
+
+} // namespace
+
+std::string TraceIndex::serialize() const {
+  const size_t N = numBlocks();
+  const size_t E = numEvents();
+  std::string Out(IdxMagic, 4);
+  Out.push_back(static_cast<char>(IdxVersion));
+  putVarint(Out, N);
+  putVarint(Out, E);
+  putVarint(Out, TotalInsts);
+  putVarint(Out, TakenEvents);
+  putArray(Out, BlockBegin);
+  putArray(Out, OccPos);
+  putArray(Out, TakenPre);
+  putArray(Out, InstsPre);
+  putArray(Out, GlobalInsts);
+  putArray(Out, GlobalTaken);
+  return Out;
+}
+
+bool TraceIndex::parse(const std::string &Bytes, TraceIndex &Out,
+                       std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (Bytes.size() < 5 || Bytes.compare(0, 4, IdxMagic, 4) != 0)
+    return Fail("bad index magic");
+  if (static_cast<uint8_t>(Bytes[4]) != IdxVersion)
+    return Fail("unsupported index version");
+  size_t Pos = 5;
+  uint64_t N = 0, E = 0;
+  TraceIndex Idx;
+  if (!getVarint(Bytes, Pos, N) || !getVarint(Bytes, Pos, E) ||
+      !getVarint(Bytes, Pos, Idx.TotalInsts) ||
+      !getVarint(Bytes, Pos, Idx.TakenEvents))
+    return Fail("truncated index header");
+  if (E >= (1ull << 32) || N > E + 1 || E * 4 > Bytes.size())
+    return Fail("implausible index dimensions");
+  if (!getArray(Bytes, Pos, Idx.BlockBegin, N + 1) ||
+      !getArray(Bytes, Pos, Idx.OccPos, E) ||
+      !getArray(Bytes, Pos, Idx.TakenPre, E + N) ||
+      !getArray(Bytes, Pos, Idx.InstsPre, E + N) ||
+      !getArray(Bytes, Pos, Idx.GlobalInsts, E + 1) ||
+      !getArray(Bytes, Pos, Idx.GlobalTaken, E + 1))
+    return Fail("truncated index payload");
+  if (Pos != Bytes.size())
+    return Fail("trailing bytes after index");
+  if (Idx.BlockBegin.front() != 0 || Idx.BlockBegin.back() != E)
+    return Fail("corrupt index offsets");
+  for (size_t B = 0; B < N; ++B)
+    if (Idx.BlockBegin[B] > Idx.BlockBegin[B + 1])
+      return Fail("corrupt index offsets");
+  if (Idx.GlobalInsts.back() != Idx.TotalInsts ||
+      Idx.GlobalTaken.back() != Idx.TakenEvents)
+    return Fail("index totals disagree with prefix sums");
+  Out = std::move(Idx);
+  return true;
+}
+
+bool TraceIndex::matches(const BlockTrace &Trace) const {
+  return numBlocks() == Trace.numBlocks() &&
+         numEvents() == Trace.numEvents() &&
+         TotalInsts == Trace.totalInsts() &&
+         TakenEvents == Trace.takenEvents();
+}

@@ -27,6 +27,7 @@ TranslationPolicy::TranslationPolicy(const Program &P, const cfg::Cfg &G,
 
 void TranslationPolicy::triggerOptimization(
     const std::vector<profile::BlockCounters> &Shared) {
+  LastFrozen.clear();
   if (Pool.empty())
     return;
   ++Rounds;
@@ -95,6 +96,7 @@ void TranslationPolicy::triggerOptimization(
       ++FrozenBlocks;
       FrozenCounts[B] = effectiveCounts(B, Shared);
       InPool[B] = false;
+      LastFrozen.push_back(B);
       clearPending(B);
     }
   }
@@ -328,10 +330,7 @@ void TranslationPolicy::fastForwardTail(uint64_t Events, uint64_t TakenEvents,
                                         uint64_t Insts) {
   assert(settled() && !anyFrozen() &&
          "closed-form tail requires a settled, all-profiling policy");
-  ProfilingOps += Events + TakenEvents;
-  Account.Cycles +=
-      Insts * Opts.Cost.ColdPerInst + Events * Opts.Cost.ProfilePerBlock;
-  Account.ColdInsts += Insts;
+  analyticAddProfiling(Events, TakenEvents, Insts);
 }
 
 profile::ProfileSnapshot TranslationPolicy::finish(

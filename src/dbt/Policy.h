@@ -134,6 +134,161 @@ public:
 
   /// @}
 
+  /// \name Analytic (indexed) evaluation
+  /// The indexed replay path (core/TraceIndex.h) reconstructs the freeze
+  /// timeline arithmetically — block b's pool registration is its T-th
+  /// occurrence, its registered-twice trigger the 2T-th — and drives the
+  /// policy through these entry points instead of per-event
+  /// onBlockEvent() calls. Each one performs exactly the state change the
+  /// event pump would at the same stream position, so the resulting
+  /// snapshot is byte-identical (a differential test asserts this).
+  /// Requires adaptive re-optimization to be off: thawing has no static
+  /// timeline.
+  /// @{
+
+  /// True if \p B is frozen (optimized).
+  bool isFrozen(guest::BlockId B) const { return Frozen[B]; }
+  /// True if \p B is in the candidate pool.
+  bool isInPool(guest::BlockId B) const { return InPool[B]; }
+
+  /// Registers \p B in the candidate pool (its use count just reached T).
+  /// Returns true when the pool reached PoolLimit — the caller must fire
+  /// analyticTrigger() at this event position.
+  bool analyticRegister(guest::BlockId B) {
+    assert(!Opts.Adaptive.Enabled && !Frozen[B] && !InPool[B] &&
+           "analytic registration out of order");
+    InPool[B] = true;
+    Pool.push_back(B);
+    return Pool.size() >= Opts.PoolLimit;
+  }
+
+  /// Runs one optimization round exactly as the event pump would, against
+  /// the shared counters materialized for the trigger position. Blocks
+  /// frozen by the round are available from lastFrozen() until the next.
+  void
+  analyticTrigger(const std::vector<profile::BlockCounters> &SharedAtTrigger) {
+    triggerOptimization(SharedAtTrigger);
+  }
+
+  /// The blocks frozen by the most recent optimization round.
+  const std::vector<guest::BlockId> &lastFrozen() const { return LastFrozen; }
+
+  /// Closed-form profiling-phase accounting for \p Events block events
+  /// (\p TakenEvents of them taken conditional branches, \p Insts guest
+  /// instructions total). Order-independent, so the analytic path adds
+  /// every block's pre-freeze prefix in one call.
+  void analyticAddProfiling(uint64_t Events, uint64_t TakenEvents,
+                            uint64_t Insts) {
+    ProfilingOps += Events + TakenEvents;
+    Account.Cycles +=
+        Insts * Opts.Cost.ColdPerInst + Events * Opts.Cost.ProfilePerBlock;
+    Account.ColdInsts += Insts;
+  }
+
+  /// Accounting and region-context walk for one event on a frozen block.
+  void analyticOptimizedEvent(guest::BlockId B, const vm::BlockResult &R) {
+    optimizedEvent(B, R, nullptr);
+  }
+
+  /// True while the region-context automaton is inside a region.
+  bool inRegionContext() const { return CtxRegion >= 0; }
+  /// The region the automaton is in (valid while inRegionContext()).
+  int32_t contextRegion() const { return CtxRegion; }
+  /// The node the automaton is at (valid while inRegionContext()); 0 is
+  /// the region head, where a new loop iteration begins.
+  int32_t contextNode() const { return CtxNode; }
+
+  /// Closed form for \p Count consecutive complete iterations of the
+  /// loop region the automaton is currently at the head of: each
+  /// iteration executes one full pass over the iteration's path and
+  /// takes the back edge. \p Insts is the guest instruction total of the
+  /// folded events.
+  void analyticLoopIterations(uint64_t Count, uint64_t Insts) {
+    assert(CtxRegion >= 0 && CtxNode == 0 &&
+           "loop closed form outside a loop-entry context");
+    Account.Cycles += Insts * Opts.Cost.OptPerInst;
+    Account.OptInsts += Insts;
+    Runtime[CtxRegion].BackEdges += Count;
+  }
+
+  /// Closed form for every remaining occurrence of a frozen block that is
+  /// a node of no region: each executes optimized off-trace and leaves
+  /// the region automaton untouched (while inside a region only that
+  /// region's members can execute, so such an event never observes a
+  /// region context).
+  void analyticOffTraceBlock(uint64_t Insts) {
+    Account.Cycles += Insts * Opts.Cost.OptOffTracePerInst;
+    Account.OffTraceInsts += Insts;
+  }
+
+  /// Closed form for every remaining occurrence of a block whose only
+  /// region appearance is the single node of region \p RegionIdx, which
+  /// it enters. Each occurrence arrives with the automaton outside any
+  /// region or at this region's head, so its effect depends only on its
+  /// own branch outcome — re-enter and take the back edge, stay at the
+  /// head, or exit — making the whole stream a function of the outcome
+  /// counts (\p TakenCnt / \p NotTakenCnt, \p Insts guest instructions
+  /// total). \p LastTaken is the final occurrence's outcome; it decides
+  /// whether a trailing run is still inside the region at trace end,
+  /// which is what separates entries from exits.
+  void analyticSingletonRegion(int32_t RegionIdx, uint64_t TakenCnt,
+                               uint64_t NotTakenCnt, uint64_t Insts,
+                               bool LastTaken) {
+    const region::Region &Reg = Regions[static_cast<size_t>(RegionIdx)];
+    const region::RegionNode &Node = Reg.Nodes.front();
+    const CostParams &C = Opts.Cost;
+    assert(Reg.Nodes.size() == 1 && TakenCnt + NotTakenCnt > 0 &&
+           CtxRegion != RegionIdx &&
+           "singleton closed form preconditions violated");
+    Account.Cycles += Insts * C.OptPerInst;
+    Account.OptInsts += Insts;
+
+    RegionRuntime &RT = Runtime[static_cast<size_t>(RegionIdx)];
+    const bool IsLatch =
+        Node.TakenSucc == region::BackEdgeSucc ||
+        (Node.HasCondBranch && Node.FallSucc == region::BackEdgeSucc);
+    uint64_t Exits = 0;
+    bool LastExits = false;
+    // One outcome group at a time: every taken occurrence follows
+    // TakenSucc, every other one FallSucc (TakenSucc too when the block
+    // has no conditional branch).
+    auto outcomeGroup = [&](int32_t Succ, uint64_t Count, bool IsLast) {
+      if (Count == 0)
+        return;
+      if (Succ >= 0)
+        return; // stays at the head: no observable counter
+      if (Succ == region::BackEdgeSucc) {
+        RT.BackEdges += Count;
+        return;
+      }
+      Exits += Count;
+      LastExits |= IsLast;
+      if (Reg.Kind == region::RegionKind::NonLoop) {
+        // CtxNode == 0 == LastNode for a singleton: always a completion.
+        RT.Completions += Count;
+      } else if (IsLatch || Succ == region::HaltSucc) {
+        RT.LatchExits += Count;
+        if (Succ != region::HaltSucc) {
+          Account.Cycles += Count * C.LoopExitPenalty;
+          Account.LoopExits += Count;
+        }
+      } else {
+        RT.SideExits += Count;
+        Account.Cycles += Count * C.SideExitPenalty;
+        Account.SideExits += Count;
+      }
+    };
+    const int32_t FallSucc =
+        Node.HasCondBranch ? Node.FallSucc : Node.TakenSucc;
+    outcomeGroup(Node.TakenSucc, TakenCnt, LastTaken);
+    outcomeGroup(FallSucc, NotTakenCnt, !LastTaken);
+    // Runs are separated by exits: the stream re-enters after each exit
+    // except a final one, plus the initial entry.
+    RT.Entries += 1 + Exits - (LastExits ? 1 : 0);
+  }
+
+  /// @}
+
   const CostAccount &cost() const { return Account; }
   const std::vector<region::Region> &regions() const { return Regions; }
   size_t optimizationRounds() const { return Rounds; }
@@ -199,6 +354,9 @@ private:
   std::vector<bool> InPool;
   std::vector<uint8_t> LiveRegionCount; ///< live regions containing block
   std::vector<guest::BlockId> Pool;
+  /// Blocks frozen by the most recent optimization round (in freeze
+  /// order); consumed by the analytic replay path.
+  std::vector<guest::BlockId> LastFrozen;
   std::vector<region::Region> Regions;
   std::vector<RegionRuntime> Runtime;
   std::vector<int32_t> RegionEntryOf;

@@ -1,6 +1,7 @@
 //===- tests/core/ExperimentTest.cpp - Experiment context tests -*- C++ -*-===//
 
 #include "core/Experiment.h"
+#include "core/TraceIndex.h"
 
 #include "support/Compression.h"
 #include "support/TextFile.h"
@@ -68,19 +69,22 @@ TEST(ExperimentContextTest, CacheRoundTrip) {
   ExperimentContext Ctx1(tinyConfig(Dir));
   auto FirstOps = Ctx1.inip("art", 2000).ProfilingOps;
   EXPECT_TRUE(std::filesystem::exists(Dir));
-  size_t ProfFiles = 0, TraceFiles = 0;
+  size_t ProfFiles = 0, TraceFiles = 0, IndexFiles = 0;
   for (const auto &E : std::filesystem::directory_iterator(Dir)) {
     if (E.path().extension() == ".prof")
       ++ProfFiles;
     else if (E.path().extension() == ".trace")
       ++TraceFiles;
+    else if (E.path().extension() == ".idx")
+      ++IndexFiles;
     else
       ADD_FAILURE() << "unexpected cache file " << E.path();
   }
   // 2 thresholds + AVEP + train for one benchmark.
   EXPECT_EQ(ProfFiles, 4u);
-  // One recorded trace per input.
+  // One recorded trace per input, each with its analytic-index sidecar.
   EXPECT_EQ(TraceFiles, 2u);
+  EXPECT_EQ(IndexFiles, 2u);
 
   // A fresh context must load identical data from the cache.
   ExperimentContext Ctx2(tinyConfig(Dir));
@@ -241,7 +245,7 @@ TEST(ExperimentContextTest, ConcurrentWritersSameCacheKey) {
             profile::printSnapshot(B.inip("art", 100)));
 
   // Every file in the cache dir parses cleanly and no temporaries leak.
-  size_t ProfFiles = 0, TraceFiles = 0;
+  size_t ProfFiles = 0, TraceFiles = 0, IndexFiles = 0;
   for (const auto &E : std::filesystem::directory_iterator(Dir)) {
     std::string Path = E.path().string();
     auto Text = readTextFile(Path);
@@ -255,6 +259,15 @@ TEST(ExperimentContextTest, ConcurrentWritersSameCacheKey) {
       ++TraceFiles;
       continue;
     }
+    if (E.path().extension() == ".idx") {
+      std::string Raw, Err;
+      ASSERT_TRUE(decompressBytes(*Text, Raw, &Err)) << Path << ": " << Err;
+      core::TraceIndex Idx;
+      EXPECT_TRUE(core::TraceIndex::parse(Raw, Idx, &Err)) << Path << ": "
+                                                           << Err;
+      ++IndexFiles;
+      continue;
+    }
     ASSERT_EQ(E.path().extension(), ".prof") << Path;
     profile::ProfileSnapshot S;
     std::string Err;
@@ -263,8 +276,9 @@ TEST(ExperimentContextTest, ConcurrentWritersSameCacheKey) {
   }
   // 2 thresholds + AVEP + train, for two benchmarks.
   EXPECT_EQ(ProfFiles, 8u);
-  // One trace per (benchmark, input).
+  // One trace per (benchmark, input), each with an index sidecar.
   EXPECT_EQ(TraceFiles, 4u);
+  EXPECT_EQ(IndexFiles, 4u);
   std::filesystem::remove_all(Dir);
 }
 

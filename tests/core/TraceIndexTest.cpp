@@ -1,0 +1,227 @@
+//===- tests/core/TraceIndexTest.cpp - Analytic index tests -----*- C++ -*-===//
+
+#include "core/TraceIndex.h"
+
+#include "core/Trace.h"
+#include "core/TraceCache.h"
+#include "support/Compression.h"
+#include "support/TextFile.h"
+#include "workloads/BenchSpec.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+
+namespace {
+
+workloads::GeneratedBenchmark smallBench(const char *Name) {
+  return workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec(Name), 0.01));
+}
+
+BlockTrace recordedTrace(const char *Name, uint64_t MaxBlocks = ~0ull) {
+  auto B = smallBench(Name);
+  return BlockTrace::record(B.Ref, MaxBlocks);
+}
+
+} // namespace
+
+TEST(TraceIndexTest, InvariantsMatchBruteForce) {
+  BlockTrace T = recordedTrace("gzip", 20000);
+  const TraceIndex Idx = TraceIndex::build(T);
+  ASSERT_EQ(Idx.numBlocks(), T.numBlocks());
+  ASSERT_EQ(Idx.numEvents(), T.numEvents());
+  EXPECT_EQ(Idx.totalInsts(), T.totalInsts());
+  EXPECT_EQ(Idx.takenEvents(), T.takenEvents());
+
+  // Recompute every per-block series by scanning the events directly.
+  const size_t N = T.numBlocks();
+  std::vector<std::vector<uint32_t>> Pos(N);
+  std::vector<std::vector<uint32_t>> Taken(N, {0u});
+  std::vector<std::vector<uint64_t>> Insts(N, {0ull});
+  uint64_t GlobalInsts = 0;
+  uint32_t GlobalTaken = 0;
+  for (size_t I = 0; I < T.numEvents(); ++I) {
+    const TraceEvent &E = T.event(I);
+    EXPECT_EQ(Idx.instsBefore(static_cast<uint32_t>(I)), GlobalInsts);
+    EXPECT_EQ(Idx.takenBefore(static_cast<uint32_t>(I)), GlobalTaken);
+    Pos[E.Block].push_back(static_cast<uint32_t>(I));
+    Taken[E.Block].push_back(Taken[E.Block].back() + (E.Branch == 2));
+    Insts[E.Block].push_back(Insts[E.Block].back() + E.Insts);
+    GlobalInsts += E.Insts;
+    GlobalTaken += E.Branch == 2;
+  }
+  EXPECT_EQ(Idx.instsBefore(static_cast<uint32_t>(T.numEvents())),
+            GlobalInsts);
+  EXPECT_EQ(Idx.takenBefore(static_cast<uint32_t>(T.numEvents())),
+            GlobalTaken);
+
+  for (size_t B = 0; B < N; ++B) {
+    const auto Id = static_cast<guest::BlockId>(B);
+    ASSERT_EQ(Idx.occurrences(Id), Pos[B].size()) << "block " << B;
+    for (uint32_t K = 0; K < Pos[B].size(); ++K) {
+      EXPECT_EQ(Idx.position(Id, K), Pos[B][K]);
+      EXPECT_EQ(Idx.occurrenceAt(Id, Pos[B][K]), K);
+    }
+    for (uint32_t K = 0; K <= Pos[B].size(); ++K) {
+      EXPECT_EQ(Idx.takenOfFirst(Id, K), Taken[B][K]);
+      EXPECT_EQ(Idx.instsOfFirst(Id, K), Insts[B][K]);
+    }
+  }
+}
+
+TEST(TraceIndexTest, UsesThroughMatchesBruteForce) {
+  BlockTrace T = recordedTrace("eon", 3000);
+  const TraceIndex Idx = TraceIndex::build(T);
+  std::vector<uint32_t> Running(T.numBlocks(), 0);
+  for (size_t I = 0; I < T.numEvents(); ++I) {
+    ++Running[T.event(I).Block];
+    // Spot-check all blocks at a stride, and the executing block always.
+    for (size_t B = 0; B < T.numBlocks(); B += (I % 7) + 1) {
+      const auto Id = static_cast<guest::BlockId>(B);
+      EXPECT_EQ(Idx.usesThrough(Id, static_cast<uint32_t>(I)), Running[B])
+          << "block " << B << " pos " << I;
+      profile::BlockCounters C =
+          Idx.countersThrough(Id, static_cast<uint32_t>(I));
+      EXPECT_EQ(C.Use, Running[B]);
+    }
+  }
+}
+
+TEST(TraceIndexTest, FirstOutcomeChangeMatchesBruteForce) {
+  BlockTrace T = recordedTrace("swim", 10000);
+  const TraceIndex Idx = TraceIndex::build(T);
+  for (size_t B = 0; B < T.numBlocks(); ++B) {
+    const auto Id = static_cast<guest::BlockId>(B);
+    const uint32_t Cnt = Idx.occurrences(Id);
+    if (!Cnt)
+      continue;
+    // Collect the block's outcome sequence once.
+    std::vector<bool> TakenSeq;
+    for (uint32_t K = 0; K < Cnt; ++K)
+      TakenSeq.push_back(Idx.takenOfFirst(Id, K + 1) >
+                         Idx.takenOfFirst(Id, K));
+    for (uint32_t K = 0; K < Cnt; K += 3) {
+      for (bool Want : {false, true}) {
+        uint32_t Expected = K;
+        while (Expected < Cnt && TakenSeq[Expected] == Want)
+          ++Expected;
+        EXPECT_EQ(Idx.firstOutcomeChange(Id, K, Want), Expected)
+            << "block " << B << " K=" << K << " taken=" << Want;
+      }
+    }
+  }
+}
+
+TEST(TraceIndexTest, SerializeParseRoundTrip) {
+  BlockTrace T = recordedTrace("art");
+  const TraceIndex &Idx = T.index();
+  std::string Bytes = Idx.serialize();
+
+  TraceIndex Q;
+  std::string Error;
+  ASSERT_TRUE(TraceIndex::parse(Bytes, Q, &Error)) << Error;
+  EXPECT_TRUE(Q.matches(T));
+  ASSERT_EQ(Q.numBlocks(), Idx.numBlocks());
+  ASSERT_EQ(Q.numEvents(), Idx.numEvents());
+  for (size_t B = 0; B < Q.numBlocks(); ++B) {
+    const auto Id = static_cast<guest::BlockId>(B);
+    ASSERT_EQ(Q.occurrences(Id), Idx.occurrences(Id));
+    for (uint32_t K = 0; K < Q.occurrences(Id); K += 5)
+      EXPECT_EQ(Q.position(Id, K), Idx.position(Id, K));
+    EXPECT_EQ(Q.takenOfFirst(Id, Q.occurrences(Id)),
+              Idx.takenOfFirst(Id, Idx.occurrences(Id)));
+    EXPECT_EQ(Q.instsOfFirst(Id, Q.occurrences(Id)),
+              Idx.instsOfFirst(Id, Idx.occurrences(Id)));
+  }
+  // Canonical encoding.
+  EXPECT_EQ(Q.serialize(), Bytes);
+}
+
+TEST(TraceIndexTest, ParseRejectsCorruption) {
+  BlockTrace T = recordedTrace("eon", 500);
+  std::string Bytes = T.index().serialize();
+  TraceIndex Q;
+  EXPECT_FALSE(TraceIndex::parse("garbage", Q, nullptr));
+  EXPECT_FALSE(
+      TraceIndex::parse(Bytes.substr(0, Bytes.size() - 3), Q, nullptr));
+  EXPECT_FALSE(TraceIndex::parse(Bytes + "x", Q, nullptr));
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(TraceIndex::parse(BadMagic, Q, nullptr));
+}
+
+TEST(TraceIndexTest, MatchesRejectsOtherTrace) {
+  BlockTrace A = recordedTrace("gzip", 1000);
+  BlockTrace B = recordedTrace("gzip", 1001);
+  EXPECT_TRUE(A.index().matches(A));
+  EXPECT_FALSE(A.index().matches(B));
+}
+
+TEST(TraceIndexTest, AdoptIndexRejectsMismatch) {
+  BlockTrace A = recordedTrace("art", 800);
+  BlockTrace B = recordedTrace("art", 900);
+  auto Foreign = std::make_shared<TraceIndex>(TraceIndex::build(B));
+  EXPECT_FALSE(A.adoptIndex(Foreign));
+  EXPECT_EQ(A.sharedIndex(), nullptr);
+  auto Own = std::make_shared<TraceIndex>(TraceIndex::build(A));
+  EXPECT_TRUE(A.adoptIndex(Own));
+  EXPECT_EQ(A.sharedIndex(), Own);
+}
+
+TEST(TraceIndexTest, CacheWritesAndAdoptsSidecar) {
+  const std::string Dir = "/tmp/tpdbt_trace_index_test";
+  std::filesystem::remove_all(Dir);
+  auto B = smallBench("gzip");
+
+  {
+    TraceCache Cache(Dir);
+    auto T = Cache.get("gzip", "ref", 0x1234, B.Ref, 5000);
+    ASSERT_NE(T, nullptr);
+    EXPECT_EQ(Cache.stats().IndexBuilds.load(), 1u);
+    EXPECT_EQ(Cache.stats().IndexHits.load(), 0u);
+    // The sidecar sits next to the trace entry and parses cleanly.
+    const std::string Sidecar =
+        TraceCache::indexPath(Cache.entryPath("gzip", "ref", 0x1234));
+    auto Packed = readTextFile(Sidecar);
+    ASSERT_TRUE(Packed.has_value());
+    std::string Raw, Error;
+    ASSERT_TRUE(decompressBytes(*Packed, Raw, &Error)) << Error;
+    TraceIndex Idx;
+    ASSERT_TRUE(TraceIndex::parse(Raw, Idx, &Error)) << Error;
+    EXPECT_TRUE(Idx.matches(*T));
+  }
+
+  {
+    // A fresh cache adopts the sidecar instead of rebuilding.
+    TraceCache Cache(Dir);
+    auto T = Cache.get("gzip", "ref", 0x1234, B.Ref, 5000);
+    ASSERT_NE(T, nullptr);
+    EXPECT_EQ(Cache.stats().IndexHits.load(), 1u);
+    EXPECT_EQ(Cache.stats().IndexBuilds.load(), 0u);
+    EXPECT_NE(T->sharedIndex(), nullptr);
+  }
+
+  {
+    // A corrupt sidecar is counted, rebuilt, and rewritten.
+    const std::string Sidecar = TraceCache::indexPath(
+        TraceCache(Dir).entryPath("gzip", "ref", 0x1234));
+    ASSERT_TRUE(writeTextFileAtomic(Sidecar, "not an index"));
+    TraceCache Cache(Dir);
+    auto T = Cache.get("gzip", "ref", 0x1234, B.Ref, 5000);
+    ASSERT_NE(T, nullptr);
+    EXPECT_EQ(Cache.stats().CorruptIndexEntries.load(), 1u);
+    EXPECT_EQ(Cache.stats().IndexBuilds.load(), 1u);
+    // The rewrite leaves a good sidecar behind.
+    TraceCache Fresh(Dir);
+    auto U = Fresh.get("gzip", "ref", 0x1234, B.Ref, 5000);
+    ASSERT_NE(U, nullptr);
+    EXPECT_EQ(Fresh.stats().IndexHits.load(), 1u);
+  }
+
+  std::filesystem::remove_all(Dir);
+}

@@ -2,6 +2,7 @@
 
 #include "core/Trace.h"
 
+#include "support/Rng.h"
 #include "workloads/BenchSpec.h"
 #include "workloads/Generator.h"
 
@@ -15,6 +16,24 @@ namespace {
 workloads::GeneratedBenchmark smallBench(const char *Name) {
   return workloads::generateBenchmark(
       workloads::scaledSpec(*workloads::findSpec(Name), 0.01));
+}
+
+/// Asserts that the indexed analytic sweep and the event-pump oracle
+/// produce byte-identical snapshots for every requested threshold.
+void expectIndexedMatchesPump(const BlockTrace &T, const guest::Program &P,
+                              const std::vector<uint64_t> &Thresholds,
+                              const dbt::DbtOptions &Opts,
+                              const char *Label) {
+  SweepResult Pumped = replaySweepEvents(T, P, Thresholds, Opts);
+  SweepResult Indexed = replaySweep(T, P, Thresholds, Opts);
+  ASSERT_EQ(Indexed.PerThreshold.size(), Thresholds.size()) << Label;
+  for (size_t I = 0; I < Thresholds.size(); ++I)
+    EXPECT_EQ(profile::printSnapshot(Indexed.PerThreshold[I]),
+              profile::printSnapshot(Pumped.PerThreshold[I]))
+        << Label << " T=" << Thresholds[I];
+  EXPECT_EQ(profile::printSnapshot(Indexed.Average),
+            profile::printSnapshot(Pumped.Average))
+      << Label;
 }
 
 } // namespace
@@ -105,4 +124,161 @@ TEST(TraceTest, MaxBlocksTruncatesRecording) {
   auto B = smallBench("mesa");
   BlockTrace T = BlockTrace::record(B.Ref, 123);
   EXPECT_EQ(T.numEvents(), 123u);
+}
+
+TEST(TraceTest, IndexedReplayMatchesEventPumpRandomized) {
+  // Differential test for the analytic evaluator: randomized threshold
+  // sets (duplicates included) and pool limits must reproduce the event
+  // pump byte-for-byte.
+  Rng R(0x1d9f2c);
+  for (const char *Name : {"gzip", "art", "eon"}) {
+    auto B = smallBench(Name);
+    BlockTrace T = BlockTrace::record(B.Ref);
+    for (int Round = 0; Round < 3; ++Round) {
+      std::vector<uint64_t> Thresholds;
+      size_t Count = 2 + R.nextBelow(5);
+      for (size_t I = 0; I < Count; ++I)
+        Thresholds.push_back(1 + R.nextBelow(3000));
+      if (Count >= 3)
+        Thresholds.push_back(Thresholds[R.nextBelow(Count)]); // duplicate
+      dbt::DbtOptions Opts;
+      Opts.PoolLimit = 1 + R.nextBelow(16);
+      expectIndexedMatchesPump(T, B.Ref, Thresholds, Opts, Name);
+    }
+  }
+}
+
+TEST(TraceTest, IndexedReplayMatchesEventPumpTruncated) {
+  // Truncated recordings end mid-execution (often mid-loop), exercising
+  // the analytic walker's tail handling.
+  auto B = smallBench("swim");
+  for (uint64_t MaxBlocks : {77ull, 1000ull, 5001ull}) {
+    BlockTrace T = BlockTrace::record(B.Ref, MaxBlocks);
+    expectIndexedMatchesPump(T, B.Ref, {1, 10, 200, 100000},
+                             dbt::DbtOptions(), "swim");
+  }
+}
+
+TEST(TraceTest, IndexedReplayMatchesEventPumpAcrossJobCounts) {
+  auto B = smallBench("gzip");
+  BlockTrace T = BlockTrace::record(B.Ref);
+  std::vector<uint64_t> Thresholds = {1, 100, 100, 2000};
+  SweepResult Pumped = replaySweepEvents(T, B.Ref, Thresholds,
+                                         dbt::DbtOptions());
+  for (unsigned Jobs : {1u, 4u}) {
+    SweepResult Indexed =
+        replaySweep(T, B.Ref, Thresholds, dbt::DbtOptions(), Jobs);
+    for (size_t I = 0; I < Thresholds.size(); ++I)
+      EXPECT_EQ(profile::printSnapshot(Indexed.PerThreshold[I]),
+                profile::printSnapshot(Pumped.PerThreshold[I]))
+          << "jobs=" << Jobs << " T=" << Thresholds[I];
+    EXPECT_EQ(profile::printSnapshot(Indexed.Average),
+              profile::printSnapshot(Pumped.Average))
+        << "jobs=" << Jobs;
+  }
+}
+
+TEST(TraceTest, AdaptiveSweepFallsBackToEventPump) {
+  // Adaptive mode has no static freeze timeline; replaySweep must route
+  // through the event pump and still dedupe repeated thresholds.
+  auto B = smallBench("gzip");
+  BlockTrace T = BlockTrace::record(B.Ref);
+  dbt::DbtOptions Opts;
+  Opts.Adaptive.Enabled = true;
+  Opts.Adaptive.MinEntries = 32;
+  std::vector<uint64_t> Thresholds = {100, 500, 100};
+  SweepResult Pumped = replaySweepEvents(T, B.Ref, Thresholds, Opts);
+  SweepResult Replayed = replaySweep(T, B.Ref, Thresholds, Opts);
+  for (size_t I = 0; I < Thresholds.size(); ++I)
+    EXPECT_EQ(profile::printSnapshot(Replayed.PerThreshold[I]),
+              profile::printSnapshot(Pumped.PerThreshold[I]))
+        << "T=" << Thresholds[I];
+  EXPECT_EQ(profile::printSnapshot(Replayed.Average),
+            profile::printSnapshot(Pumped.Average));
+}
+
+TEST(TraceTest, DuplicateThresholdsShareOneEvaluation) {
+  auto B = smallBench("lucas");
+  BlockTrace T = BlockTrace::record(B.Ref);
+  SweepResult Deduped =
+      replaySweep(T, B.Ref, {500, 500, 500}, dbt::DbtOptions());
+  SweepResult Single = replaySweep(T, B.Ref, {500}, dbt::DbtOptions());
+  ASSERT_EQ(Deduped.PerThreshold.size(), 3u);
+  for (const auto &S : Deduped.PerThreshold)
+    EXPECT_EQ(profile::printSnapshot(S),
+              profile::printSnapshot(Single.PerThreshold[0]));
+}
+
+namespace {
+
+/// Minimal TPDT v1 encoder (the pre-counter-table format), used to pin
+/// backward compatibility.
+std::string encodeV1(const BlockTrace &T) {
+  std::string Out("TPDT", 4);
+  Out.push_back(1);
+  auto PutVarint = [&Out](uint64_t V) {
+    while (V >= 0x80) {
+      Out.push_back(static_cast<char>(0x80 | (V & 0x7f)));
+      V >>= 7;
+    }
+    Out.push_back(static_cast<char>(V));
+  };
+  PutVarint(T.numBlocks());
+  PutVarint(T.numEvents());
+  int64_t PrevBlock = 0;
+  for (size_t I = 0; I < T.numEvents(); ++I) {
+    const TraceEvent &E = T.event(I);
+    int64_t Delta = static_cast<int64_t>(E.Block) - PrevBlock;
+    PrevBlock = static_cast<int64_t>(E.Block);
+    uint64_t Zig = (static_cast<uint64_t>(Delta) << 1) ^
+                   static_cast<uint64_t>(Delta >> 63);
+    PutVarint((Zig << 2) | E.Branch);
+    PutVarint(E.Insts);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(TraceTest, ParseAcceptsVersion1Traces) {
+  auto B = smallBench("eon");
+  BlockTrace T = BlockTrace::record(B.Ref, 2000);
+  BlockTrace Q;
+  std::string Error;
+  ASSERT_TRUE(BlockTrace::parse(encodeV1(T), Q, &Error)) << Error;
+  ASSERT_EQ(Q.numEvents(), T.numEvents());
+  EXPECT_EQ(Q.numBlocks(), T.numBlocks());
+  EXPECT_EQ(Q.totalInsts(), T.totalInsts());
+  EXPECT_EQ(Q.takenEvents(), T.takenEvents());
+  // The counter table is reconstructed from the events, so a v1 parse
+  // re-serializes as a full v2 entry.
+  ASSERT_EQ(Q.finalCounts().size(), T.finalCounts().size());
+  for (size_t I = 0; I < T.finalCounts().size(); ++I) {
+    EXPECT_EQ(Q.finalCounts()[I].Use, T.finalCounts()[I].Use);
+    EXPECT_EQ(Q.finalCounts()[I].Taken, T.finalCounts()[I].Taken);
+  }
+  EXPECT_EQ(Q.serialize(), T.serialize());
+}
+
+TEST(TraceTest, ParseRejectsCounterTableMismatch) {
+  auto B = smallBench("eon");
+  BlockTrace T = BlockTrace::record(B.Ref, 500);
+  std::string Bytes = T.serialize();
+  // The counter table starts right after the two header varints; nudging
+  // its first byte desynchronizes the declared totals from the events.
+  size_t Pos = 5;
+  while (static_cast<uint8_t>(Bytes[Pos]) & 0x80)
+    ++Pos;
+  ++Pos; // skip NumBlocks
+  while (static_cast<uint8_t>(Bytes[Pos]) & 0x80)
+    ++Pos;
+  ++Pos; // skip NumEvents
+  ASSERT_EQ(static_cast<uint8_t>(Bytes[Pos]) & 0x80, 0)
+      << "test assumes a single-byte first Use varint";
+  Bytes[Pos] = static_cast<char>((static_cast<uint8_t>(Bytes[Pos]) + 1) &
+                                 0x7f);
+  BlockTrace Q;
+  std::string Error;
+  EXPECT_FALSE(BlockTrace::parse(Bytes, Q, &Error));
+  EXPECT_EQ(Error, "trace counter table disagrees with events");
 }
