@@ -313,7 +313,8 @@ std::string ExperimentContext::statsSummary() const {
   return formatString(
       "jobs=%u prof %llu hit / %llu miss (%llu corrupt), trace %llu hit / "
       "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
-      "%.1fs replaying, index %llu hit / %llu build (%.1fs)",
+      "%.1fs replaying, index %llu hit / %llu build (%.1fs), "
+      "host %llu chained / %llu folded (%llu closed) / %llu fallback",
       Config.effectiveJobs(),
       static_cast<unsigned long long>(
           Stats.CacheHits.load(std::memory_order_relaxed)),
@@ -340,5 +341,13 @@ std::string ExperimentContext::statsSummary() const {
           TC.IndexBuilds.load(std::memory_order_relaxed)),
       static_cast<double>(
           TC.IndexMicros.load(std::memory_order_relaxed)) /
-          1e6);
+          1e6,
+      static_cast<unsigned long long>(
+          TC.HostChainedBlocks.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.HostFoldedIters.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.HostClosedFormIters.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.HostFallbacks.load(std::memory_order_relaxed)));
 }

@@ -3,6 +3,7 @@
 #include "core/Runner.h"
 
 #include "core/Trace.h"
+#include "vm/HostTier.h"
 #include "vm/Interpreter.h"
 
 #include <cassert>
@@ -34,17 +35,26 @@ SweepResult runFused(const Program &P, const std::vector<uint64_t> &Thresholds,
   vm::Interpreter Interp(P);
   vm::Machine M;
   M.reset(P);
-  vm::RunOutcome Out =
-      Interp.run(M, MaxBlocks, [&](BlockId B, const vm::BlockResult &R) {
-        profile::BlockCounters &Cnt = Shared[B];
-        ++Cnt.Use;
-        if (R.IsCondBranch && R.Taken) {
-          ++Cnt.Taken;
-          ++TakenEvents;
-        }
-        if (Policy)
-          Policy->onBlockEvent(B, R, Shared);
-      });
+  auto OnEvent = [&](BlockId B, const vm::BlockResult &R) {
+    profile::BlockCounters &Cnt = Shared[B];
+    ++Cnt.Use;
+    if (R.IsCondBranch && R.Taken) {
+      ++Cnt.Taken;
+      ++TakenEvents;
+    }
+    if (Policy)
+      Policy->onBlockEvent(B, R, Shared);
+  };
+  // The host tier batches interpretation (the policy still sees every
+  // event, in order, through the expanding sink); TPDBT_HOST_TRANS=0
+  // falls back to the plain pump.
+  vm::RunOutcome Out;
+  if (vm::HostTier::enabled()) {
+    vm::HostTier Tier(Interp);
+    Out = Tier.run(M, MaxBlocks, vm::HostTier::expanding(OnEvent));
+  } else {
+    Out = Interp.run(M, MaxBlocks, OnEvent);
+  }
 
   SweepResult Res;
   if (Policy) {

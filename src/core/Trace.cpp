@@ -4,6 +4,7 @@
 
 #include "core/TraceIndex.h"
 #include "support/ThreadPool.h"
+#include "vm/HostTier.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
@@ -113,18 +114,61 @@ std::shared_ptr<const TraceIndex> BlockTrace::sharedIndex() const {
   return Index;
 }
 
-BlockTrace BlockTrace::record(const Program &P, uint64_t MaxBlocks) {
-  BlockTrace T;
-  T.setNumBlocks(P.numBlocks());
-  vm::Interpreter Interp(P);
-  vm::Machine M;
-  M.reset(P);
-  Interp.run(M, MaxBlocks, [&](BlockId B, const vm::BlockResult &R) {
+namespace {
+
+/// HostTier sink writing straight into a BlockTrace: self-loop runs use
+/// the bulk appendRun() path, chain batches append their pre-computed
+/// events, and plain events append as before. Expanded in order, the
+/// result is byte-identical to the per-event recording.
+struct RecordSink {
+  BlockTrace &T;
+
+  void onEvent(BlockId B, const vm::BlockResult &R) {
     TraceEvent E;
     E.Block = B;
     E.Branch = R.IsCondBranch ? (R.Taken ? 2 : 1) : 0;
     E.Insts = R.InstsExecuted;
     T.append(E);
+  }
+  void onRun(BlockId B, const vm::BlockResult &R, uint64_t Count) {
+    TraceEvent E;
+    E.Block = B;
+    E.Branch = R.IsCondBranch ? (R.Taken ? 2 : 1) : 0;
+    E.Insts = R.InstsExecuted;
+    T.appendRun(E, Count);
+  }
+  void onChain(const vm::SbEvent *Events, size_t Count) {
+    for (size_t I = 0; I < Count; ++I)
+      T.append(TraceEvent{Events[I].Block, Events[I].Branch,
+                          Events[I].Insts});
+  }
+};
+
+} // namespace
+
+BlockTrace BlockTrace::record(const Program &P, uint64_t MaxBlocks,
+                              vm::HostTierStats *TierStats) {
+  BlockTrace T;
+  T.setNumBlocks(P.numBlocks());
+  // Reserve the whole event budget up front (capped — reserved pages are
+  // only faulted in when written, so overshooting is nearly free, while
+  // letting the vector double its way to a multi-megabyte trace costs
+  // more than the event stores themselves).
+  T.reserveEvents(static_cast<size_t>(
+      std::min<uint64_t>(MaxBlocks, uint64_t(1) << 24)));
+  vm::Interpreter Interp(P);
+  vm::Machine M;
+  M.reset(P);
+  if (vm::HostTier::enabled()) {
+    vm::HostTier Tier(Interp);
+    Tier.run(M, MaxBlocks, RecordSink{T});
+    if (TierStats)
+      *TierStats += Tier.stats();
+    return T;
+  }
+  RecordSink Sink{T};
+  Interp.run(M, MaxBlocks, [&](BlockId B, const vm::BlockResult &R) {
+    Sink.onEvent(B, R);
   });
   return T;
 }
@@ -185,6 +229,7 @@ bool BlockTrace::parse(const std::string &Bytes, BlockTrace &Out,
 
   BlockTrace T;
   T.setNumBlocks(NumBlocks);
+  T.reserveEvents(NumEvents);
   int64_t PrevBlock = 0;
   for (uint64_t I = 0; I < NumEvents; ++I) {
     uint64_t Packed = 0, Insts = 0;

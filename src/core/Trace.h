@@ -32,6 +32,7 @@
 #include "guest/Program.h"
 #include "profile/Profile.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,9 @@
 #include <vector>
 
 namespace tpdbt {
+namespace vm {
+struct HostTierStats;
+} // namespace vm
 namespace core {
 
 class TraceIndex;
@@ -61,8 +65,13 @@ public:
   BlockTrace &operator=(BlockTrace &&Other) noexcept;
 
   /// Records a full execution of \p P (up to \p MaxBlocks events).
-  static BlockTrace record(const guest::Program &P,
-                           uint64_t MaxBlocks = ~0ull);
+  /// Interpretation runs under the host translation tier (vm/HostTier.h)
+  /// unless TPDBT_HOST_TRANS=0; either way the recorded bytes are
+  /// identical — self-loop runs land through appendRun() instead of
+  /// per-event append(). \p TierStats, when non-null, accumulates the
+  /// tier's coverage counters.
+  static BlockTrace record(const guest::Program &P, uint64_t MaxBlocks = ~0ull,
+                           vm::HostTierStats *TierStats = nullptr);
 
   /// Serializes to the binary format; parse() round-trips. parse() also
   /// accepts version-1 entries (recorded before the counter table).
@@ -109,6 +118,37 @@ public:
       ++Final[E.Block].Taken;
     }
   }
+  /// Appends \p N copies of one event — the run-length entry point for
+  /// the host tier's batched self-loop iterations. Equivalent to calling
+  /// append(E) N times (serialize() output included), without the
+  /// per-event counter maintenance.
+  void appendRun(const TraceEvent &E, uint64_t N) {
+    if (N == 0)
+      return;
+    // Explicit doubling + push_back loop: vector's fill-insert path
+    // (insert(end, N, E) / resize(n, E)) measures ~2x slower here than
+    // the inlined push_back fast path it bypasses.
+    const size_t Need = Events.size() + N;
+    if (Need > Events.capacity())
+      Events.reserve(std::max(Need, Events.capacity() * 2));
+    for (uint64_t I = 0; I < N; ++I)
+      Events.push_back(E);
+    TotalInsts += static_cast<uint64_t>(E.Insts) * N;
+    if (Final.size() <= E.Block)
+      Final.resize(E.Block + 1);
+    Final[E.Block].Use += N;
+    if (E.Branch == 2) {
+      TakenEvents += N;
+      Final[E.Block].Taken += N;
+    }
+  }
+  /// Pre-sizes the event storage. record() and parse() use this to avoid
+  /// the vector growth chain, which on multi-megabyte traces costs more
+  /// than the event stores themselves (every doubling is a fresh
+  /// allocation, a copy, and a page-fault pass over the new region;
+  /// reserved-but-untouched pages are never faulted, so overshooting is
+  /// nearly free).
+  void reserveEvents(size_t N) { Events.reserve(N); }
   void setNumBlocks(size_t N) {
     NumBlocks = N;
     if (Final.size() < N)

@@ -6,6 +6,7 @@
 #include "support/Compression.h"
 #include "support/Format.h"
 #include "support/TextFile.h"
+#include "vm/HostTier.h"
 
 #include <chrono>
 
@@ -105,13 +106,21 @@ TraceCache::get(const std::string &Name, const std::string &Input,
 
   Stats.Misses.fetch_add(1, std::memory_order_relaxed);
   auto Start = std::chrono::steady_clock::now();
-  auto Recorded =
-      std::make_shared<BlockTrace>(BlockTrace::record(Program, MaxBlocks));
+  vm::HostTierStats Tier;
+  auto Recorded = std::make_shared<BlockTrace>(
+      BlockTrace::record(Program, MaxBlocks, &Tier));
   auto End = std::chrono::steady_clock::now();
   Stats.RecordMicros.fetch_add(
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
           .count(),
       std::memory_order_relaxed);
+  Stats.HostChainedBlocks.fetch_add(Tier.ChainedBlocks,
+                                    std::memory_order_relaxed);
+  Stats.HostFoldedIters.fetch_add(Tier.RunFoldedIters,
+                                  std::memory_order_relaxed);
+  Stats.HostClosedFormIters.fetch_add(Tier.ClosedFormIters,
+                                      std::memory_order_relaxed);
+  Stats.HostFallbacks.fetch_add(Tier.Fallbacks, std::memory_order_relaxed);
   if (!Dir.empty()) {
     storeDisk(Path, *Recorded);
     ensureIndex(Path, *Recorded);

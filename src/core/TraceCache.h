@@ -81,6 +81,15 @@ public:
     /// one downgrades to a rebuild.
     std::atomic<uint64_t> CorruptIndexEntries{0};
     std::atomic<uint64_t> IndexMicros{0};
+    /// Host translation tier coverage of the recordings behind the
+    /// misses (see vm/HostTier.h): block events delivered from
+    /// superblock chains, self-loop iterations folded into run-length
+    /// trace entries (the closed-form subset was never executed at all),
+    /// and superblock guard mismatches that fell back to plain dispatch.
+    std::atomic<uint64_t> HostChainedBlocks{0};
+    std::atomic<uint64_t> HostFoldedIters{0};
+    std::atomic<uint64_t> HostClosedFormIters{0};
+    std::atomic<uint64_t> HostFallbacks{0};
 
     uint64_t hits() const {
       return MemoryHits.load(std::memory_order_relaxed) +

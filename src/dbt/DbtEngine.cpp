@@ -2,6 +2,8 @@
 
 #include "dbt/DbtEngine.h"
 
+#include "vm/HostTier.h"
+
 using namespace tpdbt;
 using namespace tpdbt::dbt;
 using namespace tpdbt::guest;
@@ -19,16 +21,23 @@ profile::ProfileSnapshot DbtEngine::run(uint64_t MaxBlocks) {
   vm::Machine M;
   M.reset(P);
 
-  // Interpreter::run is the project's single event pump; the live engine
-  // couples its policy to it directly instead of owning a dispatch loop.
-  vm::RunOutcome Out =
-      Interp.run(M, MaxBlocks, [&](BlockId Cur, const vm::BlockResult &R) {
-        profile::BlockCounters &Cnt = Shared[Cur];
-        ++Cnt.Use;
-        if (R.IsCondBranch && R.Taken)
-          ++Cnt.Taken;
-        Policy->onBlockEvent(Cur, R, Shared);
-      });
+  // The live engine couples its policy directly to the event pump — the
+  // host translation tier when enabled (batched dispatch, identical event
+  // order via the expanding sink), the plain interpreter otherwise.
+  auto OnEvent = [&](BlockId Cur, const vm::BlockResult &R) {
+    profile::BlockCounters &Cnt = Shared[Cur];
+    ++Cnt.Use;
+    if (R.IsCondBranch && R.Taken)
+      ++Cnt.Taken;
+    Policy->onBlockEvent(Cur, R, Shared);
+  };
+  vm::RunOutcome Out;
+  if (vm::HostTier::enabled()) {
+    vm::HostTier Tier(Interp);
+    Out = Tier.run(M, MaxBlocks, vm::HostTier::expanding(OnEvent));
+  } else {
+    Out = Interp.run(M, MaxBlocks, OnEvent);
+  }
 
   return Policy->finish(Shared, Out.BlocksExecuted, Out.InstsExecuted);
 }

@@ -1,0 +1,122 @@
+//===- vm/HostTier.cpp - Host-side superblock translation tier -------------===//
+
+#include "vm/HostTier.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace tpdbt;
+using namespace tpdbt::vm;
+using namespace tpdbt::guest;
+
+bool HostTier::enabled() {
+  static const bool Enabled = [] {
+    const char *V = std::getenv("TPDBT_HOST_TRANS");
+    return !(V && V[0] == '0' && V[1] == '\0');
+  }();
+  return Enabled;
+}
+
+HostTier::HostTier(const Interpreter &I) : I(I) {
+  const size_t N = I.program().numBlocks();
+  SbOf.assign(N, -1);
+  Heat.assign(N, 0);
+  LastNext.assign(N, InvalidBlock);
+  SameCount.assign(N, 0);
+}
+
+void HostTier::observe(BlockId B, const BlockResult &R) {
+  if (R.IsCondBranch) {
+    if (LastNext[B] == R.Next) {
+      if (SameCount[B] != UINT16_MAX)
+        ++SameCount[B];
+    } else {
+      LastNext[B] = R.Next;
+      SameCount[B] = 1;
+    }
+  }
+  if (Heat[B] != UINT16_MAX)
+    ++Heat[B];
+  if (Heat[B] >= PromoteHeat && SbOf[B] < 0)
+    tryPromote(B);
+}
+
+void HostTier::tryPromote(BlockId Head) {
+  // Failed promotions reset the heat so the head retries only after
+  // another PromoteHeat cold executions — by then an unstable successor
+  // may have settled.
+  if (Sbs.size() >= MaxSuperblocks) {
+    Heat[Head] = 0;
+    return;
+  }
+
+  const size_t SavedOps = SbOps.size();
+  Superblock S;
+  BlockId InChain[MaxChainLen];
+  BlockId Cur = Head;
+  while (S.Segs.size() < MaxChainLen) {
+    if (std::find(InChain, InChain + S.Segs.size(), Cur) !=
+        InChain + S.Segs.size())
+      break; // revisits re-enter through normal dispatch
+    // Self-loops belong to the run-length tier, never to a chain; the
+    // head itself cannot be one (the pump dispatches self-loops first).
+    if (I.selfLoop(Cur).Kind != Interpreter::SelfLoop::Level::None)
+      break;
+    const Interpreter::DecodedTerm &T = I.Terms[Cur];
+    if (T.Code == Interpreter::TermCode::Halt)
+      break;
+
+    BlockId Next;
+    uint8_t BranchCode;
+    if (T.Code == Interpreter::TermCode::Jump) {
+      Next = T.Taken; // static successor: chains unconditionally
+      BranchCode = 0;
+    } else {
+      // Conditional members need a stable observed successor; the guard
+      // re-checks the real outcome on every chain execution.
+      if (T.Taken == T.Fall)
+        break; // no informative outcome to predict
+      if (SameCount[Cur] < StableMin)
+        break;
+      Next = LastNext[Cur];
+      if (Next != T.Taken && Next != T.Fall)
+        break;
+      BranchCode = Next == T.Taken ? 2 : 1;
+    }
+
+    Seg G;
+    G.OpBegin = static_cast<uint32_t>(SbOps.size());
+    SbOps.insert(SbOps.end(), I.Ops.begin() + I.First[Cur],
+                 I.Ops.begin() + I.First[Cur + 1]);
+    G.OpEnd = static_cast<uint32_t>(SbOps.size());
+    G.Term = T;
+    G.Next = Next;
+    const uint32_t Insts =
+        (G.OpEnd - G.OpBegin) +
+        (T.Code == Interpreter::TermCode::FusedBr ? 2u : 1u);
+    InChain[S.Segs.size()] = Cur;
+    S.Segs.push_back(G);
+    S.Events.push_back(SbEvent{Cur, BranchCode, Insts});
+    Cur = Next;
+  }
+
+  if (S.Segs.size() < 2) { // a chain of one block gains nothing
+    SbOps.resize(SavedOps);
+    Heat[Head] = 0;
+    return;
+  }
+  SbOf[Head] = static_cast<int32_t>(Sbs.size());
+  Sbs.push_back(std::move(S));
+  ++St.Superblocks;
+}
+
+void HostTier::demote(int32_t Sb) {
+  // A head whose first guard keeps failing has changed phase: return it
+  // to the cold tier and let fresh profiling decide on a new chain. The
+  // superblock slot stays allocated (demotion is rare) but unreachable.
+  const BlockId Head = Sbs[Sb].Events.front().Block;
+  SbOf[Head] = -1;
+  Heat[Head] = 0;
+  SameCount[Head] = 0;
+  LastNext[Head] = InvalidBlock;
+}

@@ -10,8 +10,9 @@
 /// The two-phase DBT engine (src/dbt) drives execution one block at a time
 /// via executeBlock() — exactly the granularity at which IA32EL's profiling
 /// phase instruments code (per-block "use" and "taken" counters). The run()
-/// loop is the project's single event pump: DbtEngine, BlockTrace::record,
-/// and the plain profiling runs all interpret through it.
+/// loop is the plain event pump; the host translation tier (vm/HostTier.h)
+/// wraps the same executeBlock()/executeOps() primitives in a tiered
+/// dispatch loop that batches hot chains and self-loops.
 ///
 /// Construction pre-decodes the program into one contiguous instruction
 /// stream (all blocks back to back, indexed by a per-block offset table)
@@ -24,6 +25,22 @@
 /// synthetic suite's loop latches. Fusion is exact: the compare result is
 /// still written to its destination register and both instructions are
 /// counted in InstsExecuted.
+///
+/// Decode also classifies every self-looping block (a conditional branch
+/// or jump whose target is the block itself) for the host tier:
+///
+///  - Generic: any self-loop; iterations can be executed back to back and
+///    emitted as one run of identical events.
+///  - Counted: the latch is a plain conditional branch over an induction
+///    register X that the body steps exactly once by a constant (AddI
+///    X, X, step) toward a loop-invariant bound, so the number of
+///    consecutive staying iterations is computable up front and the latch
+///    need not be re-evaluated while it is known to hold.
+///  - ClosedForm: Counted, plus no memory traffic and no loop-carried
+///    register other than X (every register the body reads is either
+///    written earlier in the same iteration, X itself, or never written
+///    in the block). Staying iterations then have no observable effect
+///    except advancing X, and a whole run folds to X += step * K.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +58,8 @@
 
 namespace tpdbt {
 namespace vm {
+
+class HostTier;
 
 /// Why block execution stopped advancing.
 enum class StopReason : uint8_t {
@@ -112,7 +131,43 @@ public:
   /// for tests and the micro benchmarks).
   size_t numFusedBlocks() const { return FusedBlocks; }
 
+  /// Decode-time classification of a self-looping block (see \file
+  /// comment for the level semantics).
+  struct SelfLoop {
+    enum class Level : uint8_t { None, Generic, Counted, ClosedForm };
+    Level Kind = Level::None;
+    /// Trace branch code of a staying iteration: 0 = jump-to-self,
+    /// 1 = cond branch not taken, 2 = cond branch taken. Exact because
+    /// degenerate latches with Taken == Fall are never classified.
+    uint8_t StayBranch = 0;
+    uint8_t X = 0;          ///< induction register (Counted/ClosedForm)
+    bool StayIsLt = false;  ///< stay predicate: X < bound (else X >= bound)
+    bool BoundIsImm = false;
+    uint8_t BoundReg = 0;   ///< loop-invariant bound; valid if !BoundIsImm
+    int64_t BoundImm = 0;
+    int64_t Step = 0;       ///< per-iteration AddI step; sign matches exit
+    uint32_t FullInsts = 0; ///< InstsExecuted of one staying iteration
+  };
+
+  const SelfLoop &selfLoop(guest::BlockId Id) const { return SelfLoops[Id]; }
+
+  /// Executes consecutive staying iterations of self-loop \p Id (the
+  /// machine must be at the block's entry) up to \p MaxIters, using the
+  /// classification to skip latch evaluation (Counted) or fold iterations
+  /// entirely (ClosedForm). Returns the number of stays executed; every
+  /// stay is one block event identical to StayBranch/FullInsts. If the
+  /// loop stopped for a reason other than the iteration budget, \p Exit
+  /// holds the final (deviating or faulting) block execution and
+  /// \p ExitValid is true; that execution is *not* counted in the return
+  /// value. \p ClosedFolded reports how many of the stays were folded
+  /// without execution.
+  uint64_t runSelfLoop(guest::BlockId Id, Machine &M, uint64_t MaxIters,
+                       BlockResult &Exit, bool &ExitValid,
+                       uint64_t &ClosedFolded) const;
+
 private:
+  friend class HostTier;
+
   /// One pre-decoded body instruction (16 bytes; the opcode/register
   /// fields share a word, the immediate rides alongside).
   struct DecodedOp {
@@ -141,12 +196,38 @@ private:
     guest::BlockId Taken, Fall;
   };
 
+  /// Executes decoded body instructions [Begin, End). Returns the index
+  /// of the instruction that faulted, or -1 on completion. The single
+  /// source of op semantics: executeBlock(), the counted-loop runner, and
+  /// the host tier's superblock dispatch all execute through it.
+  static intptr_t executeOps(const DecodedOp *Begin, const DecodedOp *End,
+                             int64_t *Regs, int64_t *Mem, uint64_t MemSize);
+
+  /// Evaluates a TermCode::Branch condition.
+  static bool evalBranch(const DecodedTerm &T, const int64_t *Regs);
+
+  /// Evaluates a TermCode::FusedBr compare; the caller writes the result
+  /// to Regs[T.Rd] and derives the branch condition via T.Invert.
+  static int64_t evalFusedCmp(const DecodedTerm &T, const int64_t *Regs);
+
+  /// Exact count of consecutive staying iterations a Counted/ClosedForm
+  /// loop performs from the current register state. Stays happen while
+  /// the stepped induction value still satisfies the stay predicate;
+  /// monotone movement toward the bound keeps every counted value inside
+  /// int64 range, so the division is exact (no wrapping cases).
+  static uint64_t selfLoopStays(const SelfLoop &SL, const int64_t *Regs);
+
+  void classifySelfLoops();
+  void upgradeCountedLoop(guest::BlockId Id, SelfLoop &SL) const;
+  bool bodyIsClosedForm(guest::BlockId Id, uint8_t X) const;
+
   const guest::Program &P;
   /// All body instructions, blocks back to back; block \p Id owns
   /// [First[Id], First[Id + 1]).
   std::vector<DecodedOp> Ops;
   std::vector<uint32_t> First;
   std::vector<DecodedTerm> Terms;
+  std::vector<SelfLoop> SelfLoops;
   size_t FusedBlocks = 0;
 };
 
@@ -156,20 +237,14 @@ inline double asDouble(int64_t Bits) { return std::bit_cast<double>(Bits); }
 inline int64_t asBits(double D) { return std::bit_cast<int64_t>(D); }
 } // namespace detail
 
-// Inline so the run() loop (the project's single event pump) fully
-// inlines interpretation into its callers: the dispatch loop then keeps
-// register-file and memory pointers live across blocks instead of
-// re-establishing them through an out-of-line call per block event.
-inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) const {
-  assert(Id < P.numBlocks() && "block id out of range");
-  BlockResult R;
-  int64_t *Regs = M.Regs.data();
-  int64_t *Mem = M.Mem.data();
-  const uint64_t MemSize = M.Mem.size();
-
-  const DecodedOp *Op = Ops.data() + First[Id];
-  const DecodedOp *const End = Ops.data() + First[Id + 1];
-  for (; Op != End; ++Op) {
+// Inline so the dispatch loops (run() and the host tier) fully inline
+// interpretation into their callers: the loop then keeps register-file and
+// memory pointers live across blocks instead of re-establishing them
+// through an out-of-line call per block event.
+inline intptr_t Interpreter::executeOps(const DecodedOp *Begin,
+                                        const DecodedOp *End, int64_t *Regs,
+                                        int64_t *Mem, uint64_t MemSize) {
+  for (const DecodedOp *Op = Begin; Op != End; ++Op) {
     switch (Op->Op) {
     case guest::Opcode::Add:
       Regs[Op->Rd] = static_cast<int64_t>(static_cast<uint64_t>(Regs[Op->Ra]) +
@@ -269,44 +344,41 @@ inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) cons
     case guest::Opcode::Load: {
       uint64_t Addr = static_cast<uint64_t>(Regs[Op->Ra]) +
                       static_cast<uint64_t>(Op->Imm);
-      if (Addr >= MemSize) {
-        R.Reason = StopReason::MemFault;
-        R.InstsExecuted =
-            static_cast<uint32_t>(Op - (Ops.data() + First[Id])) + 1;
-        return R;
-      }
+      if (Addr >= MemSize)
+        return Op - Begin;
       Regs[Op->Rd] = Mem[Addr];
       break;
     }
     case guest::Opcode::Store: {
       uint64_t Addr = static_cast<uint64_t>(Regs[Op->Ra]) +
                       static_cast<uint64_t>(Op->Imm);
-      if (Addr >= MemSize) {
-        R.Reason = StopReason::MemFault;
-        R.InstsExecuted =
-            static_cast<uint32_t>(Op - (Ops.data() + First[Id])) + 1;
-        return R;
-      }
+      if (Addr >= MemSize)
+        return Op - Begin;
       Mem[Addr] = Regs[Op->Rb];
       break;
     }
     case guest::Opcode::FAdd:
-      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) + detail::asDouble(Regs[Op->Rb]));
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) +
+                                    detail::asDouble(Regs[Op->Rb]));
       break;
     case guest::Opcode::FSub:
-      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) - detail::asDouble(Regs[Op->Rb]));
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) -
+                                    detail::asDouble(Regs[Op->Rb]));
       break;
     case guest::Opcode::FMul:
-      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) * detail::asDouble(Regs[Op->Rb]));
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) *
+                                    detail::asDouble(Regs[Op->Rb]));
       break;
     case guest::Opcode::FDiv:
-      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) / detail::asDouble(Regs[Op->Rb]));
+      Regs[Op->Rd] = detail::asBits(detail::asDouble(Regs[Op->Ra]) /
+                                    detail::asDouble(Regs[Op->Rb]));
       break;
     case guest::Opcode::FConst:
       Regs[Op->Rd] = Op->Imm; // Imm carries the raw double bits
       break;
     case guest::Opcode::FCmpLt:
-      Regs[Op->Rd] = detail::asDouble(Regs[Op->Ra]) < detail::asDouble(Regs[Op->Rb]);
+      Regs[Op->Rd] =
+          detail::asDouble(Regs[Op->Ra]) < detail::asDouble(Regs[Op->Rb]);
       break;
     case guest::Opcode::IToF:
       Regs[Op->Rd] = detail::asBits(static_cast<double>(Regs[Op->Ra]));
@@ -319,6 +391,78 @@ inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) cons
     case guest::Opcode::Nop:
       break;
     }
+  }
+  return -1;
+}
+
+inline bool Interpreter::evalBranch(const DecodedTerm &T,
+                                    const int64_t *Regs) {
+  const int64_t A = Regs[T.Ra];
+  switch (static_cast<guest::CondKind>(T.Cond)) {
+  case guest::CondKind::Eq:
+    return A == Regs[T.Rb];
+  case guest::CondKind::Ne:
+    return A != Regs[T.Rb];
+  case guest::CondKind::Lt:
+    return A < Regs[T.Rb];
+  case guest::CondKind::Ge:
+    return A >= Regs[T.Rb];
+  case guest::CondKind::LtU:
+    return static_cast<uint64_t>(A) < static_cast<uint64_t>(Regs[T.Rb]);
+  case guest::CondKind::GeU:
+    return static_cast<uint64_t>(A) >= static_cast<uint64_t>(Regs[T.Rb]);
+  case guest::CondKind::EqI:
+    return A == T.Imm;
+  case guest::CondKind::NeI:
+    return A != T.Imm;
+  case guest::CondKind::LtI:
+    return A < T.Imm;
+  case guest::CondKind::GeI:
+    return A >= T.Imm;
+  }
+  assert(false && "unknown branch condition");
+  return false;
+}
+
+inline int64_t Interpreter::evalFusedCmp(const DecodedTerm &T,
+                                         const int64_t *Regs) {
+  switch (static_cast<guest::Opcode>(T.Cond)) {
+  case guest::Opcode::CmpEq:
+    return Regs[T.Ra] == Regs[T.Rb];
+  case guest::Opcode::CmpLt:
+    return Regs[T.Ra] < Regs[T.Rb];
+  case guest::Opcode::CmpLtU:
+    return static_cast<uint64_t>(Regs[T.Ra]) <
+           static_cast<uint64_t>(Regs[T.Rb]);
+  case guest::Opcode::CmpEqI:
+    return Regs[T.Ra] == T.Imm;
+  case guest::Opcode::CmpLtI:
+    return Regs[T.Ra] < T.Imm;
+  case guest::Opcode::CmpLtUI:
+    return static_cast<uint64_t>(Regs[T.Ra]) < static_cast<uint64_t>(T.Imm);
+  case guest::Opcode::FCmpLt:
+    return detail::asDouble(Regs[T.Ra]) < detail::asDouble(Regs[T.Rb]);
+  default:
+    assert(false && "non-compare opcode in fused branch");
+    return 0;
+  }
+}
+
+inline BlockResult Interpreter::executeBlock(guest::BlockId Id,
+                                             Machine &M) const {
+  assert(Id < P.numBlocks() && "block id out of range");
+  BlockResult R;
+  int64_t *Regs = M.Regs.data();
+  int64_t *Mem = M.Mem.data();
+  const uint64_t MemSize = M.Mem.size();
+
+  const DecodedOp *Begin = Ops.data() + First[Id];
+  const DecodedOp *const End = Ops.data() + First[Id + 1];
+  intptr_t Fault = executeOps(Begin, End, Regs, Mem, MemSize);
+  if (Fault >= 0) {
+    R.Reason = StopReason::MemFault;
+    R.InstsExecuted = static_cast<uint32_t>(Fault) + 1;
+    return R;
   }
   R.InstsExecuted = First[Id + 1] - First[Id];
 
@@ -334,40 +478,7 @@ inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) cons
     return R;
   case TermCode::Branch: {
     ++R.InstsExecuted;
-    bool Cond = false;
-    int64_t A = Regs[T.Ra];
-    switch (static_cast<guest::CondKind>(T.Cond)) {
-    case guest::CondKind::Eq:
-      Cond = A == Regs[T.Rb];
-      break;
-    case guest::CondKind::Ne:
-      Cond = A != Regs[T.Rb];
-      break;
-    case guest::CondKind::Lt:
-      Cond = A < Regs[T.Rb];
-      break;
-    case guest::CondKind::Ge:
-      Cond = A >= Regs[T.Rb];
-      break;
-    case guest::CondKind::LtU:
-      Cond = static_cast<uint64_t>(A) < static_cast<uint64_t>(Regs[T.Rb]);
-      break;
-    case guest::CondKind::GeU:
-      Cond = static_cast<uint64_t>(A) >= static_cast<uint64_t>(Regs[T.Rb]);
-      break;
-    case guest::CondKind::EqI:
-      Cond = A == T.Imm;
-      break;
-    case guest::CondKind::NeI:
-      Cond = A != T.Imm;
-      break;
-    case guest::CondKind::LtI:
-      Cond = A < T.Imm;
-      break;
-    case guest::CondKind::GeI:
-      Cond = A >= T.Imm;
-      break;
-    }
+    bool Cond = evalBranch(T, Regs);
     R.IsCondBranch = true;
     R.Taken = Cond;
     R.Next = Cond ? T.Taken : T.Fall;
@@ -376,33 +487,7 @@ inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) cons
   case TermCode::FusedBr: {
     // The compare and the branch both count as executed instructions.
     R.InstsExecuted += 2;
-    int64_t V = 0;
-    switch (static_cast<guest::Opcode>(T.Cond)) {
-    case guest::Opcode::CmpEq:
-      V = Regs[T.Ra] == Regs[T.Rb];
-      break;
-    case guest::Opcode::CmpLt:
-      V = Regs[T.Ra] < Regs[T.Rb];
-      break;
-    case guest::Opcode::CmpLtU:
-      V = static_cast<uint64_t>(Regs[T.Ra]) <
-          static_cast<uint64_t>(Regs[T.Rb]);
-      break;
-    case guest::Opcode::CmpEqI:
-      V = Regs[T.Ra] == T.Imm;
-      break;
-    case guest::Opcode::CmpLtI:
-      V = Regs[T.Ra] < T.Imm;
-      break;
-    case guest::Opcode::CmpLtUI:
-      V = static_cast<uint64_t>(Regs[T.Ra]) < static_cast<uint64_t>(T.Imm);
-      break;
-    case guest::Opcode::FCmpLt:
-      V = detail::asDouble(Regs[T.Ra]) < detail::asDouble(Regs[T.Rb]);
-      break;
-    default:
-      assert(false && "non-compare opcode in fused branch");
-    }
+    int64_t V = evalFusedCmp(T, Regs);
     Regs[T.Rd] = V;
     bool Cond = T.Invert ? V == 0 : V != 0;
     R.IsCondBranch = true;
@@ -414,6 +499,88 @@ inline BlockResult Interpreter::executeBlock(guest::BlockId Id, Machine &M) cons
   assert(false && "unknown terminator kind");
   return R;
 }
+
+inline uint64_t Interpreter::selfLoopStays(const SelfLoop &SL,
+                                           const int64_t *Regs) {
+  const __int128 X0 = Regs[SL.X];
+  const __int128 B =
+      SL.BoundIsImm ? static_cast<__int128>(SL.BoundImm)
+                    : static_cast<__int128>(Regs[SL.BoundReg]);
+  if (SL.StayIsLt) {
+    // Stays while X0 + k*Step < B, Step > 0: k <= ceil((B - X0)/Step) - 1.
+    const __int128 D = B - X0;
+    const __int128 S = SL.Step;
+    return D > 0 ? static_cast<uint64_t>((D + S - 1) / S - 1) : 0;
+  }
+  // Stays while X0 + k*Step >= B, Step < 0: k <= (X0 - B)/(-Step).
+  const __int128 D = X0 - B;
+  const __int128 NS = -static_cast<__int128>(SL.Step);
+  return D >= 0 ? static_cast<uint64_t>(D / NS) : 0;
+}
+
+inline uint64_t Interpreter::runSelfLoop(guest::BlockId Id, Machine &M,
+                                         uint64_t MaxIters, BlockResult &Exit,
+                                         bool &ExitValid,
+                                         uint64_t &ClosedFolded) const {
+  const SelfLoop &SL = SelfLoops[Id];
+  assert(SL.Kind != SelfLoop::Level::None && "not a self-loop");
+  ExitValid = false;
+  ClosedFolded = 0;
+  uint64_t Stays = 0;
+  int64_t *Regs = M.Regs.data();
+
+  if (SL.Kind == SelfLoop::Level::ClosedForm) {
+    // Fold: advance the induction register without executing anything.
+    // The last budgeted iteration is always executed for real (clamp to
+    // MaxIters - 1) so that, at a BlockLimit stop, every non-induction
+    // register holds the value a plain interpretation would have left.
+    const uint64_t K = selfLoopStays(SL, Regs);
+    const uint64_t Fold = std::min(K, MaxIters ? MaxIters - 1 : 0);
+    Regs[SL.X] = static_cast<int64_t>(
+        static_cast<uint64_t>(Regs[SL.X]) +
+        static_cast<uint64_t>(SL.Step) * Fold);
+    Stays += Fold;
+    ClosedFolded = Fold;
+  } else if (SL.Kind == SelfLoop::Level::Counted) {
+    // The latch outcome is known for the next K iterations: execute the
+    // bodies back to back without re-evaluating it. The latch is a plain
+    // branch (no side effects), so skipping its evaluation is invisible;
+    // each stay still accounts FullInsts, latch included.
+    const uint64_t K = std::min(selfLoopStays(SL, Regs), MaxIters);
+    const DecodedOp *Begin = Ops.data() + First[Id];
+    const DecodedOp *const End = Ops.data() + First[Id + 1];
+    int64_t *Mem = M.Mem.data();
+    const uint64_t MemSize = M.Mem.size();
+    for (uint64_t I = 0; I < K; ++I) {
+      intptr_t Fault = executeOps(Begin, End, Regs, Mem, MemSize);
+      if (Fault >= 0) {
+        Exit = BlockResult();
+        Exit.Reason = StopReason::MemFault;
+        Exit.InstsExecuted = static_cast<uint32_t>(Fault) + 1;
+        ExitValid = true;
+        return Stays;
+      }
+      ++Stays;
+    }
+  }
+
+  // Generic tail: full executions until the block stops looping back to
+  // itself. This also absorbs any stays a conservative K missed — the
+  // counted prediction decides only how many latch evaluations are
+  // skipped, never what the event stream contains.
+  while (Stays < MaxIters) {
+    BlockResult R = executeBlock(Id, M);
+    if (R.Reason == StopReason::Running && R.Next == Id) {
+      ++Stays;
+      continue;
+    }
+    Exit = R;
+    ExitValid = true;
+    return Stays;
+  }
+  return Stays;
+}
+
 } // namespace vm
 } // namespace tpdbt
 
