@@ -229,6 +229,18 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
 
   auto timedReplay = [&](const BlockTrace &Trace, const guest::Program &P,
                          const std::vector<uint64_t> &Thresholds) {
+    // The analytic path builds the trace's index on first use; when no
+    // cached index is attached (memory-only cache, or an adopted sidecar
+    // failed), force that build here under the index timer so
+    // ReplayMicros measures replay alone, not index construction.
+    if (!Config.Dbt.Adaptive.Enabled && !Trace.sharedIndex()) {
+      auto I0 = std::chrono::steady_clock::now();
+      Trace.index();
+      auto I1 = std::chrono::steady_clock::now();
+      Traces.noteIndexBuild(
+          std::chrono::duration_cast<std::chrono::microseconds>(I1 - I0)
+              .count());
+    }
     auto T0 = std::chrono::steady_clock::now();
     SweepResult R = replaySweep(Trace, P, Thresholds, Config.Dbt, ReplayJobs);
     auto T1 = std::chrono::steady_clock::now();
@@ -314,7 +326,8 @@ std::string ExperimentContext::statsSummary() const {
       "jobs=%u prof %llu hit / %llu miss (%llu corrupt), trace %llu hit / "
       "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
       "%.1fs replaying, index %llu hit / %llu build (%.1fs), "
-      "host %llu chained / %llu folded (%llu closed) / %llu fallback",
+      "host %llu chained / %llu folded (%llu closed) / %llu fallback, "
+      "stream %llu rec / %llu seg (%.1fs work, %.1fs flush)",
       Config.effectiveJobs(),
       static_cast<unsigned long long>(
           Stats.CacheHits.load(std::memory_order_relaxed)),
@@ -349,5 +362,15 @@ std::string ExperimentContext::statsSummary() const {
       static_cast<unsigned long long>(
           TC.HostClosedFormIters.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
-          TC.HostFallbacks.load(std::memory_order_relaxed)));
+          TC.HostFallbacks.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.StreamedRecords.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.SegmentsPiped.load(std::memory_order_relaxed)),
+      static_cast<double>(
+          TC.PipelineMicros.load(std::memory_order_relaxed)) /
+          1e6,
+      static_cast<double>(
+          TC.FlushMicros.load(std::memory_order_relaxed)) /
+          1e6);
 }

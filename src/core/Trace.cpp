@@ -3,7 +3,10 @@
 #include "core/Trace.h"
 
 #include "core/TraceIndex.h"
+#include "core/TraceSegments.h"
+#include "support/Compression.h"
 #include "support/ThreadPool.h"
+#include "support/Varint.h"
 #include "vm/HostTier.h"
 #include "vm/Interpreter.h"
 
@@ -20,40 +23,10 @@ namespace {
 
 constexpr char Magic[4] = {'T', 'P', 'D', 'T'};
 /// v2 added the final per-block counter table; v1 entries (no table)
-/// remain parseable.
+/// remain parseable. v3 (the segmented container, written when
+/// TPDBT_SEGMENT_EVENTS is nonzero) lives in core/TraceSegments.cpp;
+/// parse() dispatches to it below.
 constexpr uint8_t Version = 2;
-
-void putVarint(std::string &Out, uint64_t V) {
-  while (V >= 0x80) {
-    Out.push_back(static_cast<char>(0x80 | (V & 0x7f)));
-    V >>= 7;
-  }
-  Out.push_back(static_cast<char>(V));
-}
-
-bool getVarint(const std::string &In, size_t &Pos, uint64_t &V) {
-  V = 0;
-  unsigned Shift = 0;
-  while (Pos < In.size()) {
-    uint8_t Byte = static_cast<uint8_t>(In[Pos++]);
-    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
-    if (!(Byte & 0x80))
-      return true;
-    Shift += 7;
-    if (Shift > 63)
-      return false;
-  }
-  return false;
-}
-
-uint64_t zigzag(int64_t V) {
-  return (static_cast<uint64_t>(V) << 1) ^
-         static_cast<uint64_t>(V >> 63);
-}
-
-int64_t unzigzag(uint64_t V) {
-  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
-}
 
 } // namespace
 
@@ -120,15 +93,29 @@ namespace {
 /// the bulk appendRun() path, chain batches append their pre-computed
 /// events, and plain events append as before. Expanded in order, the
 /// result is byte-identical to the per-event recording.
+///
+/// When a segment callback is armed, each delivery ends with one integer
+/// compare against the next boundary; crossings hand the trace to the
+/// callback, which returns the boundary to watch for next. Batched
+/// deliveries (runs, chains) check once after the whole batch, so a
+/// crossing can overshoot the boundary — the callback cuts segments by
+/// its own budget arithmetic, not by the overshoot point.
 struct RecordSink {
   BlockTrace &T;
+  const BlockTrace::SegmentProgressFn *OnSegment = nullptr;
+  uint64_t NextBoundary = 0; ///< 0 = segment callback disabled
 
+  void boundaryCheck() {
+    if (NextBoundary && T.numEvents() >= NextBoundary)
+      NextBoundary = (*OnSegment)(T);
+  }
   void onEvent(BlockId B, const vm::BlockResult &R) {
     TraceEvent E;
     E.Block = B;
     E.Branch = R.IsCondBranch ? (R.Taken ? 2 : 1) : 0;
     E.Insts = R.InstsExecuted;
     T.append(E);
+    boundaryCheck();
   }
   void onRun(BlockId B, const vm::BlockResult &R, uint64_t Count) {
     TraceEvent E;
@@ -136,18 +123,22 @@ struct RecordSink {
     E.Branch = R.IsCondBranch ? (R.Taken ? 2 : 1) : 0;
     E.Insts = R.InstsExecuted;
     T.appendRun(E, Count);
+    boundaryCheck();
   }
   void onChain(const vm::SbEvent *Events, size_t Count) {
     for (size_t I = 0; I < Count; ++I)
       T.append(TraceEvent{Events[I].Block, Events[I].Branch,
                           Events[I].Insts});
+    boundaryCheck();
   }
 };
 
 } // namespace
 
 BlockTrace BlockTrace::record(const Program &P, uint64_t MaxBlocks,
-                              vm::HostTierStats *TierStats) {
+                              vm::HostTierStats *TierStats,
+                              const SegmentProgressFn &OnSegment,
+                              uint64_t SegmentBudget) {
   BlockTrace T;
   T.setNumBlocks(P.numBlocks());
   // Reserve the whole event budget up front (capped — reserved pages are
@@ -159,14 +150,15 @@ BlockTrace BlockTrace::record(const Program &P, uint64_t MaxBlocks,
   vm::Interpreter Interp(P);
   vm::Machine M;
   M.reset(P);
+  RecordSink Sink{T, OnSegment ? &OnSegment : nullptr,
+                  OnSegment ? SegmentBudget : 0};
   if (vm::HostTier::enabled()) {
     vm::HostTier Tier(Interp);
-    Tier.run(M, MaxBlocks, RecordSink{T});
+    Tier.run(M, MaxBlocks, Sink);
     if (TierStats)
       *TierStats += Tier.stats();
     return T;
   }
-  RecordSink Sink{T};
   Interp.run(M, MaxBlocks, [&](BlockId B, const vm::BlockResult &R) {
     Sink.onEvent(B, R);
   });
@@ -189,11 +181,83 @@ std::string BlockTrace::serialize() const {
     int64_t Delta =
         static_cast<int64_t>(E.Block) - PrevBlock;
     PrevBlock = static_cast<int64_t>(E.Block);
-    putVarint(Out, (zigzag(Delta) << 2) | E.Branch);
+    putVarint(Out, (zigzagEncode(Delta) << 2) | E.Branch);
     putVarint(Out, E.Insts);
   }
   return Out;
 }
+
+std::string BlockTrace::serializeSegmented(uint64_t Budget) const {
+  assert(Budget >= 1 && "segment budget must be positive");
+  std::vector<TraceSegmentRecord> Segments;
+  Segments.reserve(Events.size() / Budget + 1);
+  uint64_t BaseInsts = 0, BaseTaken = 0;
+  for (size_t At = 0; At < Events.size();) {
+    const size_t N =
+        static_cast<size_t>(std::min<uint64_t>(Budget, Events.size() - At));
+    TraceSegmentRecord Rec;
+    Rec.Events = static_cast<uint32_t>(N);
+    Rec.BaseInsts = BaseInsts;
+    Rec.BaseTaken = BaseTaken;
+    Rec.Payload = compressBytes(encodeSegmentEvents(&Events[At], N));
+    for (size_t I = At; I < At + N; ++I) {
+      BaseInsts += Events[I].Insts;
+      if (Events[I].Branch == 2)
+        ++BaseTaken;
+    }
+    Segments.push_back(std::move(Rec));
+    At += N;
+  }
+  return assembleSegmentedTrace(NumBlocks, Events.size(), TotalInsts, Budget,
+                                Final, Segments);
+}
+
+namespace {
+
+/// Parses the segmented (v3) container: header validation in
+/// parseSegmentedHeader, then each payload frame inflated and decoded in
+/// order, with the directory's prefix-sum bases cross-checked against
+/// the accumulating trace as each segment lands.
+bool parseSegmented(const std::string &Bytes, BlockTrace &Out,
+                    std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  SegmentedTraceHeader H;
+  if (!parseSegmentedHeader(Bytes, Bytes.size(), H, Error))
+    return false;
+  BlockTrace T;
+  T.setNumBlocks(H.NumBlocks);
+  T.reserveEvents(H.NumEvents);
+  std::vector<TraceEvent> Buf;
+  for (const SegmentedTraceHeader::Entry &Ent : H.Directory) {
+    if (Ent.BaseInsts != T.totalInsts() || Ent.BaseTaken != T.takenEvents())
+      return Fail("segment bases disagree with events");
+    std::string Raw;
+    if (!decompressBytes(
+            Bytes.substr(static_cast<size_t>(Ent.PayloadOffset),
+                         static_cast<size_t>(Ent.PayloadBytes)),
+            Raw, Error))
+      return false;
+    Buf.clear();
+    if (!decodeSegmentEvents(Raw, Ent.Events, H.NumBlocks, Buf, Error))
+      return false;
+    for (const TraceEvent &E : Buf)
+      T.append(E);
+  }
+  if (T.totalInsts() != H.TotalInsts)
+    return Fail("trace totals disagree with events");
+  for (uint64_t B = 0; B < H.NumBlocks; ++B)
+    if (T.finalCounts()[B].Use != H.Final[B].Use ||
+        T.finalCounts()[B].Taken != H.Final[B].Taken)
+      return Fail("trace counter table disagrees with events");
+  Out = std::move(T);
+  return true;
+}
+
+} // namespace
 
 bool BlockTrace::parse(const std::string &Bytes, BlockTrace &Out,
                        std::string *Error) {
@@ -205,6 +269,8 @@ bool BlockTrace::parse(const std::string &Bytes, BlockTrace &Out,
   if (Bytes.size() < 5 || Bytes.compare(0, 4, Magic, 4) != 0)
     return Fail("bad trace magic");
   const uint8_t Ver = static_cast<uint8_t>(Bytes[4]);
+  if (Ver == 3)
+    return parseSegmented(Bytes, Out, Error);
   if (Ver != 1 && Ver != 2)
     return Fail("unsupported trace version");
   size_t Pos = 5;
@@ -239,7 +305,7 @@ bool BlockTrace::parse(const std::string &Bytes, BlockTrace &Out,
     E.Branch = static_cast<uint8_t>(Packed & 3);
     if (E.Branch > 2)
       return Fail("corrupt branch bits");
-    int64_t Block = PrevBlock + unzigzag(Packed >> 2);
+    int64_t Block = PrevBlock + zigzagDecode(Packed >> 2);
     if (Block < 0 || static_cast<uint64_t>(Block) >= NumBlocks)
       return Fail("block id out of range");
     PrevBlock = Block;
@@ -553,13 +619,12 @@ profile::ProfileSnapshot evaluateIndexed(const BlockTrace &Trace,
 
 } // namespace
 
-SweepResult tpdbt::core::replaySweepEvents(
-    const BlockTrace &Trace, const Program &P,
-    const std::vector<uint64_t> &Thresholds, const dbt::DbtOptions &Base) {
-  assert(Trace.numBlocks() == P.numBlocks() &&
-         "trace does not match the program");
+SweepResult tpdbt::core::pumpSweepChunks(
+    const Program &P, const std::vector<uint64_t> &Thresholds,
+    const dbt::DbtOptions &Base, uint64_t NumEvents, uint64_t TotalInsts,
+    uint64_t TakenTotal, const std::vector<profile::BlockCounters> &Final,
+    const std::function<size_t(const TraceEvent *&)> &NextChunk) {
   cfg::Cfg G(P);
-  const size_t NumEvents = Trace.numEvents();
 
   std::vector<std::unique_ptr<dbt::TranslationPolicy>> Policies;
   for (uint64_t T : Thresholds) {
@@ -572,10 +637,9 @@ SweepResult tpdbt::core::replaySweepEvents(
   AvgOpts.Threshold = 0;
   dbt::TranslationPolicy AvgPolicy(P, G, AvgOpts);
 
-  // The trace is fixed, so its end-of-run shared counters (maintained by
-  // append()) arm per-policy settlement detection and serve directly as
-  // the final counters for finish().
-  const std::vector<profile::BlockCounters> &Final = Trace.finalCounts();
+  // The stream is fixed, so its end-of-run shared counters arm per-policy
+  // settlement detection and serve directly as the final counters for
+  // finish().
   for (auto &Policy : Policies)
     Policy->beginOracle(Final);
   AvgPolicy.beginOracle(Final);
@@ -585,29 +649,30 @@ SweepResult tpdbt::core::replaySweepEvents(
     Active.push_back(Policy.get());
   Active.push_back(&AvgPolicy);
 
-  // Retires a settled policy: the stream tail [NextEvent, NumEvents) no
-  // longer changes translation state, so burst it through the cheap
-  // settled path — or, when nothing was frozen (every tail event is plain
-  // profiling), fold it into one closed-form update.
-  uint64_t PrefixInsts = 0, PrefixTaken = 0;
-  auto retire = [&](dbt::TranslationPolicy *Policy, size_t NextEvent) {
+  // A settled policy's remaining events no longer change translation
+  // state. With nothing frozen every tail event is plain profiling and
+  // folds into one closed-form update; otherwise the policy moves to the
+  // walker list and receives the rest of the stream through the cheap
+  // settled path as it arrives — the chunked pump cannot look ahead, so
+  // the tail cannot be burst through eagerly the way a whole-trace pump
+  // would. Per policy the delivered sequence is identical either way.
+  uint64_t PrefixInsts = 0, PrefixTaken = 0, Delivered = 0;
+  std::vector<dbt::TranslationPolicy *> Walkers;
+  auto retire = [&](dbt::TranslationPolicy *Policy) {
     if (!Policy->anyFrozen()) {
-      Policy->fastForwardTail(NumEvents - NextEvent,
-                              Trace.takenEvents() - PrefixTaken,
-                              Trace.totalInsts() - PrefixInsts);
+      Policy->fastForwardTail(NumEvents - Delivered,
+                              TakenTotal - PrefixTaken,
+                              TotalInsts - PrefixInsts);
       return;
     }
-    for (size_t J = NextEvent; J < NumEvents; ++J) {
-      const TraceEvent &E = Trace.event(J);
-      Policy->onBlockEventSettled(E.Block, resultOf(E));
-    }
+    Walkers.push_back(Policy);
   };
 
   // Policies with no reachable trigger at all (profiling-only, or every
   // final count below threshold) settle before the first event.
   for (size_t I = 0; I < Active.size();) {
     if (Active[I]->settled()) {
-      retire(Active[I], 0);
+      retire(Active[I]);
       Active.erase(Active.begin() + I);
     } else {
       ++I;
@@ -615,25 +680,46 @@ SweepResult tpdbt::core::replaySweepEvents(
   }
 
   std::vector<profile::BlockCounters> Shared(P.numBlocks());
-  for (size_t I = 0; I < NumEvents && !Active.empty(); ++I) {
-    const TraceEvent &E = Trace.event(I);
-    vm::BlockResult R = resultOf(E);
+  const TraceEvent *Chunk = nullptr;
+  while (Delivered < NumEvents && !(Active.empty() && Walkers.empty())) {
+    // A zero count before the declared event total means the source
+    // failed mid-stream (e.g. a corrupt on-disk segment); stop pumping —
+    // the caller detects and reports the failure, the partial result is
+    // discarded.
+    const size_t Count = NextChunk(Chunk);
+    if (Count == 0)
+      break;
+    for (size_t I = 0; I < Count; ++I) {
+      if (Active.empty() && Walkers.empty())
+        break; // nobody left to feed; totals were folded at retirement
+      const TraceEvent &E = Chunk[I];
+      vm::BlockResult R = resultOf(E);
+      ++Delivered;
 
-    profile::BlockCounters &Cnt = Shared[E.Block];
-    ++Cnt.Use;
-    if (R.IsCondBranch && R.Taken)
-      ++Cnt.Taken;
-    PrefixInsts += E.Insts;
-    if (E.Branch == 2)
-      ++PrefixTaken;
+      // Walkers first: a policy that settles at this event joins the
+      // list afterwards and starts walking at the next event, matching
+      // the whole-trace pump's tail replay from NextEvent = I + 1.
+      for (dbt::TranslationPolicy *W : Walkers)
+        W->onBlockEventSettled(E.Block, R);
+      if (Active.empty())
+        continue; // shared counters no longer observed by anyone
 
-    for (size_t PI = 0; PI < Active.size();) {
-      Active[PI]->onBlockEvent(E.Block, R, Shared);
-      if (Active[PI]->settled()) {
-        retire(Active[PI], I + 1);
-        Active.erase(Active.begin() + PI);
-      } else {
-        ++PI;
+      profile::BlockCounters &Cnt = Shared[E.Block];
+      ++Cnt.Use;
+      if (R.IsCondBranch && R.Taken)
+        ++Cnt.Taken;
+      PrefixInsts += E.Insts;
+      if (E.Branch == 2)
+        ++PrefixTaken;
+
+      for (size_t PI = 0; PI < Active.size();) {
+        Active[PI]->onBlockEvent(E.Block, R, Shared);
+        if (Active[PI]->settled()) {
+          retire(Active[PI]);
+          Active.erase(Active.begin() + PI);
+        } else {
+          ++PI;
+        }
       }
     }
   }
@@ -641,9 +727,27 @@ SweepResult tpdbt::core::replaySweepEvents(
   SweepResult Out;
   for (auto &Policy : Policies)
     Out.PerThreshold.push_back(
-        Policy->finish(Final, NumEvents, Trace.totalInsts()));
-  Out.Average = AvgPolicy.finish(Final, NumEvents, Trace.totalInsts());
+        Policy->finish(Final, NumEvents, TotalInsts));
+  Out.Average = AvgPolicy.finish(Final, NumEvents, TotalInsts);
   return Out;
+}
+
+SweepResult tpdbt::core::replaySweepEvents(
+    const BlockTrace &Trace, const Program &P,
+    const std::vector<uint64_t> &Thresholds, const dbt::DbtOptions &Base) {
+  assert(Trace.numBlocks() == P.numBlocks() &&
+         "trace does not match the program");
+  bool Handed = false;
+  return pumpSweepChunks(
+      P, Thresholds, Base, Trace.numEvents(), Trace.totalInsts(),
+      Trace.takenEvents(), Trace.finalCounts(),
+      [&](const TraceEvent *&Chunk) -> size_t {
+        if (Handed || Trace.numEvents() == 0)
+          return 0;
+        Handed = true;
+        Chunk = &Trace.event(0);
+        return Trace.numEvents();
+      });
 }
 
 SweepResult tpdbt::core::replaySweep(const BlockTrace &Trace,

@@ -34,6 +34,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,18 +65,37 @@ public:
   BlockTrace &operator=(const BlockTrace &Other);
   BlockTrace &operator=(BlockTrace &&Other) noexcept;
 
+  /// Segment-boundary callback for record(): invoked with the trace so
+  /// far whenever the event count reaches the current boundary; returns
+  /// the next boundary to watch for (core/TracePipeline.h hands finished
+  /// segments to its compressor/indexer stage from here). The callback
+  /// must not retain references into the trace across calls — the event
+  /// vector may reallocate as recording continues.
+  using SegmentProgressFn = std::function<uint64_t(const BlockTrace &)>;
+
   /// Records a full execution of \p P (up to \p MaxBlocks events).
   /// Interpretation runs under the host translation tier (vm/HostTier.h)
   /// unless TPDBT_HOST_TRANS=0; either way the recorded bytes are
   /// identical — self-loop runs land through appendRun() instead of
   /// per-event append(). \p TierStats, when non-null, accumulates the
-  /// tier's coverage counters.
+  /// tier's coverage counters. When \p SegmentBudget is nonzero,
+  /// \p OnSegment fires at each boundary crossing (one integer compare
+  /// per sink delivery otherwise) — boundary checks run after batched
+  /// deliveries, so a crossing can overshoot by one run/chain batch.
   static BlockTrace record(const guest::Program &P, uint64_t MaxBlocks = ~0ull,
-                           vm::HostTierStats *TierStats = nullptr);
+                           vm::HostTierStats *TierStats = nullptr,
+                           const SegmentProgressFn &OnSegment = nullptr,
+                           uint64_t SegmentBudget = 0);
 
   /// Serializes to the binary format; parse() round-trips. parse() also
   /// accepts version-1 entries (recorded before the counter table).
   std::string serialize() const;
+
+  /// Serializes to the segmented TPDT v3 container (core/TraceSegments.h)
+  /// with \p Budget events per segment (>= 1; the last segment takes the
+  /// remainder). parse() reads v3 back; the result is event-identical to
+  /// this trace at any budget.
+  std::string serializeSegmented(uint64_t Budget) const;
   static bool parse(const std::string &Bytes, BlockTrace &Out,
                     std::string *Error);
 
@@ -197,6 +217,23 @@ SweepResult replaySweepEvents(const BlockTrace &Trace,
                               const guest::Program &P,
                               const std::vector<uint64_t> &Thresholds,
                               const dbt::DbtOptions &Base);
+
+/// The chunked core of the event pump: identical policy semantics to
+/// replaySweepEvents (which is now a one-chunk wrapper), but the event
+/// stream arrives through \p NextChunk — set the pointer to the next
+/// contiguous slice and return its length, or return 0 at end of stream.
+/// Chunks are consumed strictly in order and the callee never looks past
+/// the current chunk, so a caller can hand out one segment-sized buffer
+/// at a time (core/TraceSegments.h replaySweepStreamed). The stream
+/// totals and final counters must describe the whole stream up front —
+/// they arm the retirement oracle and the settled fast-forward.
+SweepResult
+pumpSweepChunks(const guest::Program &P,
+                const std::vector<uint64_t> &Thresholds,
+                const dbt::DbtOptions &Base, uint64_t NumEvents,
+                uint64_t TotalInsts, uint64_t TakenTotal,
+                const std::vector<profile::BlockCounters> &Final,
+                const std::function<size_t(const TraceEvent *&)> &NextChunk);
 
 } // namespace core
 } // namespace tpdbt

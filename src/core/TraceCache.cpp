@@ -3,6 +3,8 @@
 #include "core/TraceCache.h"
 
 #include "core/TraceIndex.h"
+#include "core/TracePipeline.h"
+#include "core/TraceSegments.h"
 #include "support/Compression.h"
 #include "support/Format.h"
 #include "support/TextFile.h"
@@ -26,10 +28,21 @@ TraceCache::loadDisk(const std::string &Path, const guest::Program &Program) {
   auto Packed = readTextFile(Path);
   if (!Packed)
     return nullptr;
+  // Sniff the outer framing: segmented (v3) containers start with the
+  // raw TPDT magic — each segment payload is its own TPDZ frame inside —
+  // while monolithic v1/v2 entries are one whole-file TPDZ frame.
   std::string Raw;
+  const std::string *Bytes = &*Packed;
+  if (Packed->size() >= 4 && Packed->compare(0, 4, "TPDT", 4) == 0) {
+    // already raw
+  } else if (decompressBytes(*Packed, Raw, nullptr)) {
+    Bytes = &Raw;
+  } else {
+    Stats.CorruptEntries.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   auto Trace = std::make_shared<BlockTrace>();
-  if (!decompressBytes(*Packed, Raw, nullptr) ||
-      !BlockTrace::parse(Raw, *Trace, nullptr) ||
+  if (!BlockTrace::parse(*Bytes, *Trace, nullptr) ||
       Trace->numBlocks() != Program.numBlocks()) {
     // Torn, corrupt, or recorded for a different program shape (a stale
     // key collision): treat as a miss and re-record.
@@ -105,10 +118,21 @@ TraceCache::get(const std::string &Name, const std::string &Input,
   }
 
   Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t SegmentBudget = segmentEventBudget();
   auto Start = std::chrono::steady_clock::now();
   vm::HostTierStats Tier;
-  auto Recorded = std::make_shared<BlockTrace>(
-      BlockTrace::record(Program, MaxBlocks, &Tier));
+  std::shared_ptr<BlockTrace> Recorded;
+  std::unique_ptr<TracePipeline> Pipe;
+  if (SegmentBudget > 0)
+    Pipe = std::make_unique<TracePipeline>(SegmentBudget,
+                                           Program.numBlocks(),
+                                           /*WantFile=*/!Dir.empty());
+  Recorded = std::make_shared<BlockTrace>(BlockTrace::record(
+      Program, MaxBlocks, &Tier,
+      Pipe ? BlockTrace::SegmentProgressFn(
+                 [&](const BlockTrace &T) { return Pipe->onProgress(T); })
+           : BlockTrace::SegmentProgressFn(),
+      SegmentBudget));
   auto End = std::chrono::steady_clock::now();
   Stats.RecordMicros.fetch_add(
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
@@ -121,7 +145,23 @@ TraceCache::get(const std::string &Name, const std::string &Input,
   Stats.HostClosedFormIters.fetch_add(Tier.ClosedFormIters,
                                       std::memory_order_relaxed);
   Stats.HostFallbacks.fetch_add(Tier.Fallbacks, std::memory_order_relaxed);
-  if (!Dir.empty()) {
+  if (Pipe) {
+    // Streamed path: the pipeline already compressed and indexed every
+    // segment behind the recording; finish() drains the tail, assembles
+    // the v3 container, and stitches the index — no separate serialize,
+    // compress, or index build remains.
+    TracePipeline::Result R = Pipe->finish(*Recorded);
+    Stats.StreamedRecords.fetch_add(1, std::memory_order_relaxed);
+    Stats.SegmentsPiped.fetch_add(R.Segments, std::memory_order_relaxed);
+    Stats.PipelineMicros.fetch_add(R.WorkMicros, std::memory_order_relaxed);
+    Stats.FlushMicros.fetch_add(R.FlushMicros, std::memory_order_relaxed);
+    Recorded->adoptIndex(R.Index);
+    if (!Dir.empty() && ensureDirectory(Dir)) {
+      writeTextFileAtomic(Path, R.FileBytes);
+      writeTextFileAtomic(indexPath(Path),
+                          compressBytes(R.Index->serialize()));
+    }
+  } else if (!Dir.empty()) {
     storeDisk(Path, *Recorded);
     ensureIndex(Path, *Recorded);
   }

@@ -81,6 +81,16 @@ public:
     /// one downgrades to a rebuild.
     std::atomic<uint64_t> CorruptIndexEntries{0};
     std::atomic<uint64_t> IndexMicros{0};
+    /// Misses recorded through the streamed segment pipeline
+    /// (core/TracePipeline.h; TPDBT_SEGMENT_EVENTS nonzero) and the
+    /// segments they handed through the ring.
+    std::atomic<uint64_t> StreamedRecords{0};
+    std::atomic<uint64_t> SegmentsPiped{0};
+    /// Consumer wall clock overlapped with recording (segment encode +
+    /// compress + index parts), vs. the non-overlapped tail: drain,
+    /// container assembly, and index stitch after recording ends.
+    std::atomic<uint64_t> PipelineMicros{0};
+    std::atomic<uint64_t> FlushMicros{0};
     /// Host translation tier coverage of the recordings behind the
     /// misses (see vm/HostTier.h): block events delivered from
     /// superblock chains, self-loop iterations folded into run-length
@@ -98,6 +108,14 @@ public:
   };
 
   const Counters &stats() const { return Stats; }
+
+  /// Accounts one analytic-index build performed by a caller outside
+  /// get() (core/Experiment.cpp pre-builds indexes under their own timer
+  /// so replay wall clock excludes them).
+  void noteIndexBuild(uint64_t Micros) {
+    Stats.IndexBuilds.fetch_add(1, std::memory_order_relaxed);
+    Stats.IndexMicros.fetch_add(Micros, std::memory_order_relaxed);
+  }
 
   /// The on-disk entry path for a key (exposed for tests).
   std::string entryPath(const std::string &Name, const std::string &Input,

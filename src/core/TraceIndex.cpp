@@ -3,6 +3,7 @@
 #include "core/TraceIndex.h"
 
 #include "core/Trace.h"
+#include "support/Varint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -63,6 +64,95 @@ TraceIndex TraceIndex::build(const BlockTrace &Trace) {
   return Idx;
 }
 
+TraceIndex::SegmentPart TraceIndex::buildPart(const TraceEvent *Ev, size_t N,
+                                              size_t NumBlocks,
+                                              uint64_t BasePos) {
+  SegmentPart Part;
+  Part.SegBegin.assign(NumBlocks + 1, 0);
+  // Counting sort by block: one pass for per-block counts, exclusive
+  // prefix for the row offsets, one pass to scatter. Positions within a
+  // block row come out in stream order, which is what the stitched CSR
+  // rows need.
+  for (size_t I = 0; I < N; ++I)
+    ++Part.SegBegin[Ev[I].Block + 1];
+  for (size_t B = 0; B < NumBlocks; ++B)
+    Part.SegBegin[B + 1] += Part.SegBegin[B];
+  Part.Pos.resize(N);
+  Part.Taken.resize(N);
+  Part.Insts.resize(N);
+  std::vector<uint32_t> Cursor(Part.SegBegin.begin(), Part.SegBegin.end() - 1);
+  for (size_t I = 0; I < N; ++I) {
+    const uint32_t Slot = Cursor[Ev[I].Block]++;
+    Part.Pos[Slot] = static_cast<uint32_t>(BasePos + I);
+    Part.Taken[Slot] = Ev[I].Branch == 2 ? 1 : 0;
+    Part.Insts[Slot] = Ev[I].Insts;
+  }
+  return Part;
+}
+
+TraceIndex TraceIndex::stitch(const BlockTrace &Trace, uint64_t Budget,
+                              const std::vector<SegmentPart> &Parts,
+                              std::vector<SegmentBase> Directory) {
+  const size_t N = Trace.numBlocks();
+  const size_t E = Trace.numEvents();
+  assert(E < (1ull << 32) && "trace too large for a 32-bit position index");
+
+  TraceIndex Idx;
+  Idx.TotalInsts = Trace.totalInsts();
+  Idx.TakenEvents = Trace.takenEvents();
+  Idx.SegmentBudget = Budget;
+  Idx.Directory = std::move(Directory);
+
+  const std::vector<profile::BlockCounters> &Final = Trace.finalCounts();
+  Idx.BlockBegin.resize(N + 1);
+  uint32_t Offset = 0;
+  for (size_t B = 0; B < N; ++B) {
+    Idx.BlockBegin[B] = Offset;
+    Offset += static_cast<uint32_t>(Final[B].Use);
+  }
+  Idx.BlockBegin[N] = Offset;
+  assert(Offset == E && "final counts disagree with the event stream");
+
+  Idx.OccPos.resize(E);
+  Idx.TakenPre.resize(E + N);
+  Idx.InstsPre.resize(E + N);
+
+  // Per-block rows: concatenate each part's block row in stream order
+  // (parts are ordered, and within a part a row is in stream order), and
+  // continue the prefix sums across segment boundaries. The parts carry
+  // the outcome/instruction payload, so this pass reads the parts
+  // sequentially instead of chasing positions through the event stream.
+  for (size_t B = 0; B < N; ++B) {
+    size_t Dst = Idx.BlockBegin[B];
+    const size_t Row = Idx.prefBegin(static_cast<guest::BlockId>(B));
+    size_t K = 0;
+    Idx.TakenPre[Row] = 0;
+    Idx.InstsPre[Row] = 0;
+    for (const SegmentPart &Part : Parts) {
+      const uint32_t From = Part.SegBegin[B], To = Part.SegBegin[B + 1];
+      for (uint32_t J = From; J < To; ++J, ++K) {
+        Idx.OccPos[Dst + K] = Part.Pos[J];
+        Idx.TakenPre[Row + K + 1] = Idx.TakenPre[Row + K] + Part.Taken[J];
+        Idx.InstsPre[Row + K + 1] = Idx.InstsPre[Row + K] + Part.Insts[J];
+      }
+    }
+    assert(K == Final[B].Use && "segment parts disagree with final counts");
+  }
+
+  // Global prefix sums: one sequential pass over the stream (memory-bound
+  // and branch-free; not worth splitting per segment).
+  Idx.GlobalInsts.resize(E + 1);
+  Idx.GlobalTaken.resize(E + 1);
+  Idx.GlobalInsts[0] = 0;
+  Idx.GlobalTaken[0] = 0;
+  for (size_t I = 0; I < E; ++I) {
+    const TraceEvent &Ev = Trace.event(I);
+    Idx.GlobalInsts[I + 1] = Idx.GlobalInsts[I] + Ev.Insts;
+    Idx.GlobalTaken[I + 1] = Idx.GlobalTaken[I] + (Ev.Branch == 2 ? 1 : 0);
+  }
+  return Idx;
+}
+
 uint32_t TraceIndex::usesThrough(BlockId B, uint32_t Pos) const {
   const uint32_t *Begin = OccPos.data() + BlockBegin[B];
   const uint32_t *End = OccPos.data() + BlockBegin[B + 1];
@@ -115,30 +205,10 @@ uint32_t TraceIndex::firstOutcomeChange(BlockId B, uint32_t K,
 namespace {
 
 constexpr char IdxMagic[4] = {'T', 'P', 'D', 'X'};
-constexpr uint8_t IdxVersion = 1;
-
-void putVarint(std::string &Out, uint64_t V) {
-  while (V >= 0x80) {
-    Out.push_back(static_cast<char>(0x80 | (V & 0x7f)));
-    V >>= 7;
-  }
-  Out.push_back(static_cast<char>(V));
-}
-
-bool getVarint(const std::string &In, size_t &Pos, uint64_t &V) {
-  V = 0;
-  unsigned Shift = 0;
-  while (Pos < In.size()) {
-    uint8_t Byte = static_cast<uint8_t>(In[Pos++]);
-    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
-    if (!(Byte & 0x80))
-      return true;
-    Shift += 7;
-    if (Shift > 63)
-      return false;
-  }
-  return false;
-}
+/// v2 added the segment directory (budget + per-segment events and
+/// global prefix-sum bases); v1 sidecars (no directory) remain readable.
+constexpr uint8_t IdxVersionPlain = 1;
+constexpr uint8_t IdxVersionSegmented = 2;
 
 template <typename T> void putArray(std::string &Out, const std::vector<T> &V) {
   size_t Bytes = V.size() * sizeof(T);
@@ -165,11 +235,21 @@ std::string TraceIndex::serialize() const {
   const size_t N = numBlocks();
   const size_t E = numEvents();
   std::string Out(IdxMagic, 4);
-  Out.push_back(static_cast<char>(IdxVersion));
+  Out.push_back(static_cast<char>(
+      Directory.empty() ? IdxVersionPlain : IdxVersionSegmented));
   putVarint(Out, N);
   putVarint(Out, E);
   putVarint(Out, TotalInsts);
   putVarint(Out, TakenEvents);
+  if (!Directory.empty()) {
+    putVarint(Out, SegmentBudget);
+    putVarint(Out, Directory.size());
+    for (const SegmentBase &S : Directory) {
+      putVarint(Out, S.Events);
+      putVarint(Out, S.BaseInsts);
+      putVarint(Out, S.BaseTaken);
+    }
+  }
   putArray(Out, BlockBegin);
   putArray(Out, OccPos);
   putArray(Out, TakenPre);
@@ -188,7 +268,8 @@ bool TraceIndex::parse(const std::string &Bytes, TraceIndex &Out,
   };
   if (Bytes.size() < 5 || Bytes.compare(0, 4, IdxMagic, 4) != 0)
     return Fail("bad index magic");
-  if (static_cast<uint8_t>(Bytes[4]) != IdxVersion)
+  const uint8_t Ver = static_cast<uint8_t>(Bytes[4]);
+  if (Ver != IdxVersionPlain && Ver != IdxVersionSegmented)
     return Fail("unsupported index version");
   size_t Pos = 5;
   uint64_t N = 0, E = 0;
@@ -199,6 +280,36 @@ bool TraceIndex::parse(const std::string &Bytes, TraceIndex &Out,
     return Fail("truncated index header");
   if (E >= (1ull << 32) || N > E + 1 || E * 4 > Bytes.size())
     return Fail("implausible index dimensions");
+  if (Ver == IdxVersionSegmented) {
+    uint64_t NumSegments = 0;
+    if (!getVarint(Bytes, Pos, Idx.SegmentBudget) ||
+        !getVarint(Bytes, Pos, NumSegments))
+      return Fail("truncated index segment directory");
+    // A segment holds at least one event, so more segments than events
+    // (or than bytes) marks corruption before any allocation.
+    if (NumSegments > E || NumSegments > Bytes.size())
+      return Fail("implausible index segment count");
+    Idx.Directory.resize(NumSegments);
+    uint64_t SumEvents = 0, RunInsts = 0, RunTaken = 0;
+    for (uint64_t S = 0; S < NumSegments; ++S) {
+      uint64_t Events = 0, BaseInsts = 0, BaseTaken = 0;
+      if (!getVarint(Bytes, Pos, Events) ||
+          !getVarint(Bytes, Pos, BaseInsts) ||
+          !getVarint(Bytes, Pos, BaseTaken))
+        return Fail("truncated index segment directory");
+      if (BaseInsts < RunInsts || BaseTaken < RunTaken)
+        return Fail("index segment bases not monotone");
+      Idx.Directory[S] = {static_cast<uint32_t>(Events), BaseInsts,
+                          BaseTaken};
+      SumEvents += Events;
+      RunInsts = BaseInsts;
+      RunTaken = BaseTaken;
+    }
+    if (SumEvents != E)
+      return Fail("index segment directory disagrees with event count");
+    if (RunInsts > Idx.TotalInsts || RunTaken > Idx.TakenEvents)
+      return Fail("index segment bases exceed trace totals");
+  }
   if (!getArray(Bytes, Pos, Idx.BlockBegin, N + 1) ||
       !getArray(Bytes, Pos, Idx.OccPos, E) ||
       !getArray(Bytes, Pos, Idx.TakenPre, E + N) ||

@@ -1,0 +1,306 @@
+//===- core/TraceSegments.cpp - Sharded TPDT v3 trace container ------------===//
+
+#include "core/TraceSegments.h"
+
+#include "support/Compression.h"
+#include "support/Varint.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace tpdbt;
+using namespace tpdbt::core;
+using namespace tpdbt::guest;
+
+uint64_t tpdbt::core::segmentEventBudget() {
+  const char *Env = std::getenv("TPDBT_SEGMENT_EVENTS");
+  if (!Env || !*Env)
+    return DefaultSegmentEvents;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Env, &End, 10);
+  if (End == Env || *End != '\0')
+    return DefaultSegmentEvents;
+  if (V == 0)
+    return 0; // kill switch: monolithic record path, TPDT v2 on disk
+  return std::max<uint64_t>(V, MinSegmentEvents);
+}
+
+std::string tpdbt::core::encodeSegmentEvents(const TraceEvent *Ev, size_t N) {
+  std::string Out;
+  Out.reserve(N * 3); // typical traces take 2-3 bytes per event
+  int64_t PrevBlock = 0;
+  for (size_t I = 0; I < N; ++I) {
+    const int64_t Delta = static_cast<int64_t>(Ev[I].Block) - PrevBlock;
+    PrevBlock = static_cast<int64_t>(Ev[I].Block);
+    putVarint(Out, (zigzagEncode(Delta) << 2) | Ev[I].Branch);
+    putVarint(Out, Ev[I].Insts);
+  }
+  return Out;
+}
+
+bool tpdbt::core::decodeSegmentEvents(const std::string &Raw,
+                                      uint64_t ExpectEvents, size_t NumBlocks,
+                                      std::vector<TraceEvent> &Out,
+                                      std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  Out.reserve(Out.size() + ExpectEvents);
+  size_t Pos = 0;
+  int64_t PrevBlock = 0;
+  for (uint64_t I = 0; I < ExpectEvents; ++I) {
+    uint64_t Packed = 0, Insts = 0;
+    if (!getVarint(Raw, Pos, Packed) || !getVarint(Raw, Pos, Insts))
+      return Fail("truncated segment event");
+    TraceEvent E;
+    E.Branch = static_cast<uint8_t>(Packed & 3);
+    if (E.Branch > 2)
+      return Fail("corrupt branch bits");
+    const int64_t Block = PrevBlock + zigzagDecode(Packed >> 2);
+    if (Block < 0 || static_cast<uint64_t>(Block) >= NumBlocks)
+      return Fail("block id out of range");
+    PrevBlock = Block;
+    E.Block = static_cast<BlockId>(Block);
+    E.Insts = static_cast<uint32_t>(Insts);
+    Out.push_back(E);
+  }
+  if (Pos != Raw.size())
+    return Fail("trailing bytes after segment events");
+  return true;
+}
+
+namespace {
+
+constexpr char Magic[4] = {'T', 'P', 'D', 'T'};
+constexpr uint8_t SegmentedVersion = 3;
+
+} // namespace
+
+std::string tpdbt::core::assembleSegmentedTrace(
+    size_t NumBlocks, uint64_t NumEvents, uint64_t TotalInsts,
+    uint64_t Budget, const std::vector<profile::BlockCounters> &Final,
+    const std::vector<TraceSegmentRecord> &Segments) {
+  std::string Out(Magic, 4);
+  Out.push_back(static_cast<char>(SegmentedVersion));
+  putVarint(Out, NumBlocks);
+  putVarint(Out, NumEvents);
+  putVarint(Out, TotalInsts);
+  putVarint(Out, Budget);
+  putVarint(Out, Segments.size());
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    putVarint(Out, Final[B].Use);
+    putVarint(Out, Final[B].Taken);
+  }
+  for (const TraceSegmentRecord &S : Segments) {
+    putVarint(Out, S.Events);
+    putVarint(Out, S.Payload.size());
+    putVarint(Out, S.BaseInsts);
+    putVarint(Out, S.BaseTaken);
+  }
+  for (const TraceSegmentRecord &S : Segments)
+    Out += S.Payload;
+  return Out;
+}
+
+uint64_t SegmentedTraceHeader::takenEvents() const {
+  uint64_t Taken = 0;
+  for (const profile::BlockCounters &C : Final)
+    Taken += C.Taken;
+  return Taken;
+}
+
+bool tpdbt::core::parseSegmentedHeader(const std::string &Bytes,
+                                       uint64_t FileSize,
+                                       SegmentedTraceHeader &Out,
+                                       std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (Bytes.size() < 5 || Bytes.compare(0, 4, Magic, 4) != 0)
+    return Fail("bad trace magic");
+  if (static_cast<uint8_t>(Bytes[4]) != SegmentedVersion)
+    return Fail("not a segmented trace");
+  size_t Pos = 5;
+  SegmentedTraceHeader H;
+  uint64_t NumSegments = 0;
+  if (!getVarint(Bytes, Pos, H.NumBlocks) ||
+      !getVarint(Bytes, Pos, H.NumEvents) ||
+      !getVarint(Bytes, Pos, H.TotalInsts) ||
+      !getVarint(Bytes, Pos, H.SegmentBudget) ||
+      !getVarint(Bytes, Pos, NumSegments))
+    return Fail("truncated segmented trace header");
+  // Each block costs >= 2 counter-table bytes and each segment >= 4
+  // directory bytes plus a payload frame, so counts exceeding the file
+  // size mark corruption before any allocation. Segments hold at least
+  // one event each.
+  if (H.NumBlocks > FileSize || H.NumEvents >= (uint64_t(1) << 32) ||
+      NumSegments > H.NumEvents || NumSegments > FileSize)
+    return Fail("implausible segmented trace header");
+  if (H.SegmentBudget == 0)
+    return Fail("segmented trace with zero budget");
+
+  H.Final.resize(H.NumBlocks);
+  uint64_t SumUse = 0;
+  for (uint64_t B = 0; B < H.NumBlocks; ++B) {
+    if (!getVarint(Bytes, Pos, H.Final[B].Use) ||
+        !getVarint(Bytes, Pos, H.Final[B].Taken))
+      return Fail("truncated trace counter table");
+    SumUse += H.Final[B].Use;
+  }
+  if (SumUse != H.NumEvents)
+    return Fail("counter table disagrees with event count");
+
+  H.Directory.resize(NumSegments);
+  uint64_t SumEvents = 0, SumPayload = 0, RunInsts = 0, RunTaken = 0;
+  for (uint64_t S = 0; S < NumSegments; ++S) {
+    SegmentedTraceHeader::Entry &Ent = H.Directory[S];
+    uint64_t Events = 0;
+    if (!getVarint(Bytes, Pos, Events) ||
+        !getVarint(Bytes, Pos, Ent.PayloadBytes) ||
+        !getVarint(Bytes, Pos, Ent.BaseInsts) ||
+        !getVarint(Bytes, Pos, Ent.BaseTaken))
+      return Fail("truncated segment directory");
+    if (Events == 0 || Events > H.SegmentBudget)
+      return Fail("segment event count outside budget");
+    if (Ent.BaseInsts < RunInsts || Ent.BaseTaken < RunTaken)
+      return Fail("segment bases not monotone");
+    if (S == 0 && (Ent.BaseInsts != 0 || Ent.BaseTaken != 0))
+      return Fail("first segment bases nonzero");
+    Ent.Events = static_cast<uint32_t>(Events);
+    SumEvents += Events;
+    SumPayload += Ent.PayloadBytes;
+    RunInsts = Ent.BaseInsts;
+    RunTaken = Ent.BaseTaken;
+  }
+  if (SumEvents != H.NumEvents)
+    return Fail("segment directory disagrees with event count");
+  if (RunInsts > H.TotalInsts)
+    return Fail("segment bases exceed trace totals");
+
+  H.PayloadStart = Pos;
+  uint64_t Offset = Pos;
+  for (SegmentedTraceHeader::Entry &Ent : H.Directory) {
+    Ent.PayloadOffset = Offset;
+    Offset += Ent.PayloadBytes;
+  }
+  // The payload frames must tile the rest of the file exactly; a short
+  // file is torn, a long one has trailing bytes.
+  if (Offset != FileSize)
+    return Fail("segment payloads disagree with file size");
+  Out = std::move(H);
+  return true;
+}
+
+bool SegmentedTraceReader::open(const std::string &Path,
+                                SegmentedTraceReader &Out,
+                                std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  SegmentedTraceReader R;
+  R.File.open(Path, std::ios::binary);
+  if (!R.File)
+    return Fail("cannot open trace file");
+  R.File.seekg(0, std::ios::end);
+  const uint64_t FileSize = static_cast<uint64_t>(R.File.tellg());
+  // Grow-and-retry header read: varints make the header length
+  // data-dependent, so read a prefix, try to parse, and double until the
+  // parse stops failing or the prefix is the whole file (then the
+  // failure is real corruption, not truncation).
+  std::string Prefix;
+  for (uint64_t Want = std::min<uint64_t>(FileSize, 64 * 1024);;
+       Want = std::min<uint64_t>(FileSize, Want * 2)) {
+    Prefix.resize(Want);
+    R.File.seekg(0);
+    if (Want && !R.File.read(Prefix.data(), static_cast<std::streamsize>(Want)))
+      return Fail("cannot read trace file");
+    std::string ParseError;
+    if (parseSegmentedHeader(Prefix, FileSize, R.Header, &ParseError)) {
+      R.File.clear();
+      Out = std::move(R);
+      return true;
+    }
+    if (Want == FileSize) {
+      if (Error)
+        *Error = ParseError;
+      return false;
+    }
+  }
+}
+
+bool SegmentedTraceReader::readSegment(size_t I, std::vector<TraceEvent> &Out,
+                                       std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  assert(I < Header.Directory.size() && "segment index out of range");
+  const SegmentedTraceHeader::Entry &Ent = Header.Directory[I];
+  Compressed.resize(Ent.PayloadBytes);
+  File.clear();
+  File.seekg(static_cast<std::streamoff>(Ent.PayloadOffset));
+  if (Ent.PayloadBytes &&
+      !File.read(Compressed.data(),
+                 static_cast<std::streamsize>(Ent.PayloadBytes)))
+    return Fail("cannot read segment payload");
+  std::string Raw;
+  if (!decompressBytes(Compressed, Raw, Error))
+    return false;
+  Out.clear();
+  if (!decodeSegmentEvents(Raw, Ent.Events, Header.NumBlocks, Out, Error))
+    return false;
+  // The segment's own sums must land exactly on the next directory row's
+  // bases (or the trace totals for the last segment) — a purely local
+  // check, so random-access reads stay O(segment).
+  uint64_t SegInsts = 0, SegTaken = 0;
+  for (const TraceEvent &E : Out) {
+    SegInsts += E.Insts;
+    SegTaken += E.Branch == 2 ? 1 : 0;
+  }
+  const bool Last = I + 1 == Header.Directory.size();
+  const uint64_t WantInsts =
+      (Last ? Header.TotalInsts : Header.Directory[I + 1].BaseInsts) -
+      Ent.BaseInsts;
+  const uint64_t WantTaken =
+      (Last ? Header.takenEvents() : Header.Directory[I + 1].BaseTaken) -
+      Ent.BaseTaken;
+  if (SegInsts != WantInsts || SegTaken != WantTaken)
+    return Fail("segment events disagree with directory bases");
+  return true;
+}
+
+bool tpdbt::core::replaySweepStreamed(SegmentedTraceReader &Reader,
+                                      const Program &P,
+                                      const std::vector<uint64_t> &Thresholds,
+                                      const dbt::DbtOptions &Base,
+                                      SweepResult &Out, std::string *Error) {
+  const SegmentedTraceHeader &H = Reader.header();
+  assert(H.NumBlocks == P.numBlocks() &&
+         "trace does not match the program");
+  std::vector<TraceEvent> Buf;
+  size_t Seg = 0;
+  bool Failed = false;
+  SweepResult R = pumpSweepChunks(
+      P, Thresholds, Base, H.NumEvents, H.TotalInsts, H.takenEvents(),
+      H.Final, [&](const TraceEvent *&Chunk) -> size_t {
+        if (Failed || Seg >= Reader.numSegments())
+          return 0;
+        if (!Reader.readSegment(Seg++, Buf, Error)) {
+          Failed = true;
+          return 0;
+        }
+        Chunk = Buf.data();
+        return Buf.size();
+      });
+  if (Failed)
+    return false;
+  Out = std::move(R);
+  return true;
+}

@@ -1,0 +1,165 @@
+//===- core/TraceSegments.h - Sharded TPDT v3 trace container ---*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The segmented (TPDT v3) trace container: the event stream cut into
+/// fixed-event-budget segments, each independently delta-varint encoded
+/// and TPDZ-compressed, behind a header that carries the per-block final
+/// counter table and a segment directory (event count, payload size, and
+/// the global instruction/taken prefix-sum bases at each segment start).
+///
+/// Segment independence is the point of the format: because every
+/// segment's delta encoding restarts from block 0 and its TPDZ frame is
+/// self-contained, a segment can be compressed the moment the recorder
+/// crosses its boundary (core/TracePipeline.h overlaps that work with
+/// recording) and decompressed without touching any earlier segment
+/// (SegmentedTraceReader streams replay through one segment-sized buffer,
+/// keeping peak memory O(segment) instead of O(trace)).
+///
+/// The exact byte layout lives in docs/CACHE_FORMAT.md. Monolithic v1/v2
+/// entries remain fully readable; TPDBT_SEGMENT_EVENTS=0 switches the
+/// writer back to v2 (see segmentEventBudget()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_CORE_TRACESEGMENTS_H
+#define TPDBT_CORE_TRACESEGMENTS_H
+
+#include "core/Trace.h"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tpdbt {
+namespace core {
+
+/// Default per-segment event budget: 64Ki events (~1 MiB of decoded
+/// events, a few hundred KiB compressed) — big enough that per-segment
+/// overheads (TPDZ header, delta restart, directory row) are noise, small
+/// enough that dozens of segments are in flight even at bench scale.
+constexpr uint64_t DefaultSegmentEvents = uint64_t(1) << 16;
+
+/// Floor for the recording pipeline's budget: below this the per-segment
+/// fixed costs (a NumBlocks+1 CSR row per segment, ring handoffs) dwarf
+/// the work. Format readers accept any budget >= 1; only the writer-side
+/// env knob clamps.
+constexpr uint64_t MinSegmentEvents = 256;
+
+/// The TPDBT_SEGMENT_EVENTS knob, read fresh on every call (tests flip
+/// it mid-process): unset or unparsable -> DefaultSegmentEvents, 0 -> 0
+/// (the kill switch: record monolithically, write TPDT v2), otherwise
+/// the value clamped up to MinSegmentEvents.
+uint64_t segmentEventBudget();
+
+/// Delta-varint encodes \p N events (the TPDT v2 per-event encoding,
+/// with the block-id delta chain restarting from 0 at the slice start).
+std::string encodeSegmentEvents(const TraceEvent *Ev, size_t N);
+
+/// Decodes one segment's raw (decompressed) payload, appending exactly
+/// \p ExpectEvents events to \p Out. Rejects out-of-range block ids,
+/// corrupt branch bits, truncation, and trailing bytes.
+bool decodeSegmentEvents(const std::string &Raw, uint64_t ExpectEvents,
+                         size_t NumBlocks, std::vector<TraceEvent> &Out,
+                         std::string *Error);
+
+/// One finished segment, as the pipeline's consumer stage produces it:
+/// the directory row plus the compressed payload.
+struct TraceSegmentRecord {
+  uint32_t Events = 0;
+  /// Global prefix sums over events before this segment.
+  uint64_t BaseInsts = 0;
+  uint64_t BaseTaken = 0;
+  /// TPDZ-compressed encodeSegmentEvents() output.
+  std::string Payload;
+};
+
+/// Assembles the TPDT v3 container from finished segments (in stream
+/// order). The caller supplies the stream totals and the final counter
+/// table; BlockTrace::serializeSegmented and TracePipeline both land
+/// here.
+std::string
+assembleSegmentedTrace(size_t NumBlocks, uint64_t NumEvents,
+                       uint64_t TotalInsts, uint64_t Budget,
+                       const std::vector<profile::BlockCounters> &Final,
+                       const std::vector<TraceSegmentRecord> &Segments);
+
+/// A parsed TPDT v3 header: everything before the payload frames. Small
+/// (O(blocks + segments)) — this is all a streaming reader ever holds of
+/// the file besides one segment.
+struct SegmentedTraceHeader {
+  uint64_t NumBlocks = 0;
+  uint64_t NumEvents = 0;
+  uint64_t TotalInsts = 0;
+  uint64_t SegmentBudget = 0;
+  /// Final per-block use/taken counters (the v2 counter table).
+  std::vector<profile::BlockCounters> Final;
+  struct Entry {
+    uint32_t Events = 0;
+    uint64_t PayloadBytes = 0;
+    uint64_t BaseInsts = 0;
+    uint64_t BaseTaken = 0;
+    /// Absolute file offset of the segment's TPDZ frame (computed from
+    /// the directory's payload sizes).
+    uint64_t PayloadOffset = 0;
+  };
+  std::vector<Entry> Directory;
+  /// File offset of the first payload byte.
+  uint64_t PayloadStart = 0;
+
+  /// Taken-branch event total, derived from the counter table.
+  uint64_t takenEvents() const;
+};
+
+/// Parses a v3 header from \p Bytes (a prefix of the file is enough once
+/// it covers the header). \p FileSize anchors the payload-extent check:
+/// the directory's payload sizes must tile [PayloadStart, FileSize)
+/// exactly. Fails on truncated input — callers with a partial prefix
+/// retry with more bytes (see SegmentedTraceReader::open).
+bool parseSegmentedHeader(const std::string &Bytes, uint64_t FileSize,
+                          SegmentedTraceHeader &Out, std::string *Error);
+
+/// Streams a TPDT v3 file segment-at-a-time: open() reads and validates
+/// only the header; readSegment() seeks to one payload frame, inflates
+/// and decodes it into a caller-owned buffer. Peak memory is one segment
+/// (plus the header), independent of trace length. Single-threaded.
+class SegmentedTraceReader {
+public:
+  /// Opens \p Path and parses the header. False (with \p Error) when the
+  /// file is missing, not a v3 container, or fails header validation.
+  static bool open(const std::string &Path, SegmentedTraceReader &Out,
+                   std::string *Error);
+
+  const SegmentedTraceHeader &header() const { return Header; }
+  size_t numSegments() const { return Header.Directory.size(); }
+
+  /// Reads segment \p I into \p Out (replacing its contents; capacity is
+  /// reused across calls). Validates the decoded event count, block
+  /// range, and the segment's base prefix sums against the directory.
+  bool readSegment(size_t I, std::vector<TraceEvent> &Out,
+                   std::string *Error);
+
+private:
+  SegmentedTraceHeader Header;
+  std::ifstream File;
+  std::string Compressed; ///< payload scratch, reused across segments
+};
+
+/// Event-pump replay over a streamed trace: byte-identical to
+/// replaySweepEvents() on the parsed trace, but holds one segment at a
+/// time. Handles adaptive policies (no index needed). False when a
+/// segment fails to read mid-replay.
+bool replaySweepStreamed(SegmentedTraceReader &Reader,
+                         const guest::Program &P,
+                         const std::vector<uint64_t> &Thresholds,
+                         const dbt::DbtOptions &Base, SweepResult &Out,
+                         std::string *Error);
+
+} // namespace core
+} // namespace tpdbt
+
+#endif // TPDBT_CORE_TRACESEGMENTS_H

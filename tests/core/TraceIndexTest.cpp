@@ -182,9 +182,14 @@ TEST(TraceIndexTest, CacheWritesAndAdoptsSidecar) {
     TraceCache Cache(Dir);
     auto T = Cache.get("gzip", "ref", 0x1234, B.Ref, 5000);
     ASSERT_NE(T, nullptr);
-    EXPECT_EQ(Cache.stats().IndexBuilds.load(), 1u);
+    // The default miss path streams through the segment pipeline, which
+    // stitches the index from per-segment parts instead of a counted
+    // monolithic build.
+    EXPECT_EQ(Cache.stats().StreamedRecords.load(), 1u);
+    EXPECT_EQ(Cache.stats().IndexBuilds.load(), 0u);
     EXPECT_EQ(Cache.stats().IndexHits.load(), 0u);
-    // The sidecar sits next to the trace entry and parses cleanly.
+    // The sidecar sits next to the trace entry and parses cleanly, with
+    // the segment directory carried through (TPDX v2).
     const std::string Sidecar =
         TraceCache::indexPath(Cache.entryPath("gzip", "ref", 0x1234));
     auto Packed = readTextFile(Sidecar);
@@ -194,6 +199,7 @@ TEST(TraceIndexTest, CacheWritesAndAdoptsSidecar) {
     TraceIndex Idx;
     ASSERT_TRUE(TraceIndex::parse(Raw, Idx, &Error)) << Error;
     EXPECT_TRUE(Idx.matches(*T));
+    EXPECT_FALSE(Idx.segmentDirectory().empty());
   }
 
   {

@@ -1,0 +1,123 @@
+//===- tests/support/SpscRingTest.cpp - SPSC ring buffer tests --*- C++ -*-===//
+
+#include "support/SpscRing.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace tpdbt;
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+}
+
+TEST(SpscRingTest, FifoOrderSingleThread) {
+  SpscRing<int> R(4);
+  for (int I = 0; I < 4; ++I) {
+    int V = I;
+    EXPECT_TRUE(R.tryPush(V));
+  }
+  int Full = 99;
+  EXPECT_FALSE(R.tryPush(Full));
+  EXPECT_EQ(Full, 99); // left untouched on a full ring
+  for (int I = 0; I < 4; ++I) {
+    int Out = -1;
+    ASSERT_TRUE(R.tryPop(Out));
+    EXPECT_EQ(Out, I);
+  }
+  int Empty;
+  EXPECT_FALSE(R.tryPop(Empty));
+}
+
+TEST(SpscRingTest, FullEmptyDistinguishedAcrossWraparound) {
+  SpscRing<int> R(2);
+  // Cycle the ring far past its capacity so the monotonic counters wrap
+  // the mask many times; full/empty must stay unambiguous throughout.
+  for (int Round = 0; Round < 1000; ++Round) {
+    int A = Round, B = Round + 1;
+    ASSERT_TRUE(R.tryPush(A));
+    ASSERT_TRUE(R.tryPush(B));
+    int Rejected = 0;
+    ASSERT_FALSE(R.tryPush(Rejected));
+    ASSERT_EQ(R.size(), 2u);
+    int Out = -1;
+    ASSERT_TRUE(R.tryPop(Out));
+    ASSERT_EQ(Out, Round);
+    ASSERT_TRUE(R.tryPop(Out));
+    ASSERT_EQ(Out, Round + 1);
+    ASSERT_FALSE(R.tryPop(Out));
+    ASSERT_EQ(R.size(), 0u);
+  }
+}
+
+TEST(SpscRingTest, CloseDrainsRemainingItems) {
+  SpscRing<int> R(8);
+  for (int I = 0; I < 3; ++I) {
+    int V = I;
+    ASSERT_TRUE(R.tryPush(V));
+  }
+  R.close();
+  EXPECT_TRUE(R.closed());
+  // Items pushed before close() must still drain, then pop reports end
+  // of stream forever.
+  int Out = -1;
+  for (int I = 0; I < 3; ++I) {
+    ASSERT_TRUE(R.pop(Out));
+    EXPECT_EQ(Out, I);
+  }
+  EXPECT_FALSE(R.pop(Out));
+  EXPECT_FALSE(R.pop(Out));
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> R(2);
+  auto V = std::make_unique<int>(42);
+  ASSERT_TRUE(R.tryPush(V));
+  EXPECT_EQ(V, nullptr); // moved out
+  std::unique_ptr<int> Out;
+  ASSERT_TRUE(R.tryPop(Out));
+  ASSERT_NE(Out, nullptr);
+  EXPECT_EQ(*Out, 42);
+}
+
+TEST(SpscRingTest, ProducerConsumerStress) {
+  // A small ring forces constant wraparound and backpressure; every
+  // value must arrive exactly once, in order.
+  constexpr int N = 200000;
+  SpscRing<int> R(4);
+  std::thread Producer([&R] {
+    for (int I = 0; I < N; ++I)
+      R.push(I);
+    R.close();
+  });
+  int Expected = 0;
+  int Out = -1;
+  while (R.pop(Out)) {
+    ASSERT_EQ(Out, Expected);
+    ++Expected;
+  }
+  Producer.join();
+  EXPECT_EQ(Expected, N);
+}
+
+TEST(SpscRingTest, ConsumerBlocksUntilProducerCloses) {
+  SpscRing<int> R(4);
+  std::thread Producer([&R] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    int V = 7;
+    R.push(V);
+    R.close();
+  });
+  int Out = -1;
+  EXPECT_TRUE(R.pop(Out)); // blocks through the producer's sleep
+  EXPECT_EQ(Out, 7);
+  EXPECT_FALSE(R.pop(Out));
+  Producer.join();
+}
