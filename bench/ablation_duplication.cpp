@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "AblationCommon.h"
+#include "FigureBenchMain.h"
 
 #include "support/Statistics.h"
 
@@ -34,7 +35,12 @@ uint64_t countDuplicated(const dbt::DbtOptions &Opts) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (int Code = bench::handleBenchArgs(argc, argv, "ablation_duplication",
+                                        "Ablation: tail duplication on/off at T=2000");
+      Code >= 0)
+    return Code;
+
   Table T("Ablation: tail duplication / diamond absorption (threshold 2k)");
   T.setHeader({"config", "Sd.BP", "Sd.CP", "Sd.LP", "regions",
                "duplicated_blocks", "speedup_vs_full"});

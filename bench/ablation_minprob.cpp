@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "AblationCommon.h"
+#include "FigureBenchMain.h"
 
 #include "support/Format.h"
 #include "support/Statistics.h"
@@ -14,7 +15,12 @@
 using namespace tpdbt;
 using namespace tpdbt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  if (int Code = bench::handleBenchArgs(argc, argv, "ablation_minprob",
+                                        "Ablation: region-formation minimum branch probability at T=2000");
+      Code >= 0)
+    return Code;
+
   Table T("Ablation: minimum branch probability (threshold 2k, subset "
           "average)");
   T.setHeader({"min_prob", "Sd.BP", "Sd.CP", "regions",

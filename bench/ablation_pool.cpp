@@ -8,13 +8,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "AblationCommon.h"
+#include "FigureBenchMain.h"
 
 #include "support/Statistics.h"
 
 using namespace tpdbt;
 using namespace tpdbt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  if (int Code = bench::handleBenchArgs(argc, argv, "ablation_pool",
+                                        "Ablation: candidate-pool trigger size at T=2000 over the six-benchmark subset");
+      Code >= 0)
+    return Code;
+
   Table T("Ablation: candidate-pool limit (threshold 2k, subset average)");
   T.setHeader({"pool_limit", "Sd.BP", "Sd.CP", "Sd.LP", "regions",
                "speedup_vs_pool20"});

@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "FigureBenchMain.h"
+
 #include "analysis/Metrics.h"
 #include "core/Runner.h"
 #include "support/Format.h"
@@ -76,7 +78,12 @@ RunResult runOne(const workloads::GeneratedBenchmark &B,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (int Code = bench::handleBenchArgs(argc, argv, "ext_adaptive",
+                                        "Extension: adaptive re-optimization vs. the plain two-phase translator at T=2000");
+      Code >= 0)
+    return Code;
+
   double Scale = 0.5;
   if (const char *S = std::getenv("TPDBT_SCALE")) {
     double V = std::atof(S);

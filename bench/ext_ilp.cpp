@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "FigureBenchMain.h"
+
 #include "core/Runner.h"
 #include "sched/RegionIlp.h"
 #include "support/Format.h"
@@ -24,7 +26,12 @@
 using namespace tpdbt;
 using namespace tpdbt::sched;
 
-int main() {
+int main(int argc, char **argv) {
+  if (int Code = bench::handleBenchArgs(argc, argv, "ext_ilp",
+                                        "Extension: region ILP under the machine model");
+      Code >= 0)
+    return Code;
+
   double Scale = 0.25;
   if (const char *S = std::getenv("TPDBT_SCALE")) {
     double V = std::atof(S);

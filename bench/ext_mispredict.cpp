@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "FigureBenchMain.h"
+
 #include "analysis/Mispredict.h"
 #include "core/Runner.h"
 #include "core/WindowedProfile.h"
@@ -23,7 +25,12 @@
 using namespace tpdbt;
 using namespace tpdbt::analysis;
 
-int main() {
+int main(int argc, char **argv) {
+  if (int Code = bench::handleBenchArgs(argc, argv, "ext_mispredict",
+                                        "Extension: mispredicted-branch characterization across thresholds");
+      Code >= 0)
+    return Code;
+
   double Scale = 0.5;
   if (const char *S = std::getenv("TPDBT_SCALE")) {
     double V = std::atof(S);

@@ -11,10 +11,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench("fig08_sd_bp", [](core::ExperimentContext &C) {
-    return core::figureAverages(
-        C, core::MetricKind::SdBp,
-        "Figure 8: Sd.BP(T) suite averages (vs. Sd.BP(train))");
-  });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig08_sd_bp");
 }

@@ -10,11 +10,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig09_sd_bp_int", [](core::ExperimentContext &C) {
-        return core::figurePerBench(
-            C, core::MetricKind::SdBp, workloads::intBenchmarkNames(),
-            "Figure 9: Sd.BP(T) per INT benchmark");
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig09_sd_bp_int");
 }

@@ -9,11 +9,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig10_bp_mismatch", [](core::ExperimentContext &C) {
-        return core::figureAverages(
-            C, core::MetricKind::BpMismatch,
-            "Figure 10: branch probability mismatch rates (suite averages)");
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig10_bp_mismatch");
 }

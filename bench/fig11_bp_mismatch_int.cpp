@@ -10,11 +10,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig11_bp_mismatch_int", [](core::ExperimentContext &C) {
-        return core::figurePerBench(
-            C, core::MetricKind::BpMismatch, workloads::intBenchmarkNames(),
-            "Figure 11: branch probability mismatch rates (INT)");
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig11_bp_mismatch_int");
 }

@@ -10,11 +10,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig12_bp_mismatch_fp", [](core::ExperimentContext &C) {
-        return core::figurePerBench(
-            C, core::MetricKind::BpMismatch, workloads::fpBenchmarkNames(),
-            "Figure 12: branch probability mismatch rates (FP)");
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig12_bp_mismatch_fp");
 }

@@ -10,10 +10,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench("fig13_sd_cp", [](core::ExperimentContext &C) {
-    return core::figureAverages(
-        C, core::MetricKind::SdCp,
-        "Figure 13: Sd.CP(T) suite averages");
-  });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig13_sd_cp");
 }

@@ -9,10 +9,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench("fig14_sd_lp", [](core::ExperimentContext &C) {
-    return core::figureAverages(
-        C, core::MetricKind::SdLp,
-        "Figure 14: Sd.LP(T) suite averages");
-  });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig14_sd_lp");
 }

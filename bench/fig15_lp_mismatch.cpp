@@ -9,11 +9,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig15_lp_mismatch", [](core::ExperimentContext &C) {
-        return core::figureAverages(
-            C, core::MetricKind::LpMismatch,
-            "Figure 15: loop-back probability mismatch rates (averages)");
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig15_lp_mismatch");
 }

@@ -11,11 +11,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig16_lp_mismatch_int", [](core::ExperimentContext &C) {
-        return core::figurePerBench(
-            C, core::MetricKind::LpMismatch, workloads::intBenchmarkNames(),
-            "Figure 16: loop-back probability mismatch rates (INT)");
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig16_lp_mismatch_int");
 }

@@ -11,9 +11,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig17_performance", [](core::ExperimentContext &C) {
-        return core::figurePerformance(C);
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig17_performance");
 }

@@ -9,9 +9,6 @@
 
 using namespace tpdbt;
 
-int main() {
-  return bench::runFigureBench(
-      "fig18_profiling_ops", [](core::ExperimentContext &C) {
-        return core::figureProfilingOps(C);
-      });
+int main(int argc, char **argv) {
+  return bench::runFigureBench(argc, argv, "fig18_profiling_ops");
 }

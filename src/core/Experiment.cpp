@@ -106,7 +106,14 @@ uint64_t ExperimentConfig::fingerprint() const {
 }
 
 ExperimentContext::ExperimentContext(ExperimentConfig Config)
-    : Config(std::move(Config)), Traces(this->Config.CacheDir) {}
+    : Config(std::move(Config)),
+      Traces(std::make_shared<TraceCache>(this->Config.CacheDir)) {}
+
+ExperimentContext::ExperimentContext(ExperimentConfig Config,
+                                     std::shared_ptr<TraceCache> Shared)
+    : Config(std::move(Config)), Traces(std::move(Shared)) {
+  assert(Traces && "shared trace cache must not be null");
+}
 
 ExperimentContext::BenchData &
 ExperimentContext::data(const std::string &Name) {
@@ -237,7 +244,7 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
       auto I0 = std::chrono::steady_clock::now();
       Trace.index();
       auto I1 = std::chrono::steady_clock::now();
-      Traces.noteIndexBuild(
+      Traces->noteIndexBuild(
           std::chrono::duration_cast<std::chrono::microseconds>(I1 - I0)
               .count());
     }
@@ -252,7 +259,7 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   };
 
   std::shared_ptr<const BlockTrace> RefTrace =
-      Traces.get(Name, "ref", ExecFp, B.Ref, MaxBlocks);
+      Traces->get(Name, "ref", ExecFp, B.Ref, MaxBlocks);
   SweepResult RefSweep = timedReplay(*RefTrace, B.Ref, Config.Thresholds);
   for (size_t I = 0; I < Config.Thresholds.size(); ++I) {
     profile::ProfileSnapshot &S = RefSweep.PerThreshold[I];
@@ -265,7 +272,7 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   D.Avep = std::move(RefSweep.Average);
 
   std::shared_ptr<const BlockTrace> TrainTrace =
-      Traces.get(Name, "train", ExecFp, B.Train, MaxBlocks);
+      Traces->get(Name, "train", ExecFp, B.Train, MaxBlocks);
   SweepResult TrainSweep = timedReplay(*TrainTrace, B.Train, {});
   TrainSweep.Average.Benchmark = Name;
   TrainSweep.Average.Input = "train";
@@ -321,13 +328,14 @@ void ExperimentContext::warmUp(const std::vector<std::string> &Names,
 }
 
 std::string ExperimentContext::statsSummary() const {
-  const TraceCache::Counters &TC = Traces.stats();
+  const TraceCache::Counters &TC = Traces->stats();
   return formatString(
       "jobs=%u prof %llu hit / %llu miss (%llu corrupt), trace %llu hit / "
       "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
       "%.1fs replaying, index %llu hit / %llu build (%.1fs), "
       "host %llu chained / %llu folded (%llu closed) / %llu fallback, "
-      "stream %llu rec / %llu seg (%.1fs work, %.1fs flush)",
+      "stream %llu rec / %llu seg (%.1fs work, %.1fs flush), "
+      "evict %llu (%.1f MB)",
       Config.effectiveJobs(),
       static_cast<unsigned long long>(
           Stats.CacheHits.load(std::memory_order_relaxed)),
@@ -372,5 +380,10 @@ std::string ExperimentContext::statsSummary() const {
           1e6,
       static_cast<double>(
           TC.FlushMicros.load(std::memory_order_relaxed)) /
-          1e6);
+          1e6,
+      static_cast<unsigned long long>(
+          TC.Evictions.load(std::memory_order_relaxed)),
+      static_cast<double>(
+          TC.EvictedBytes.load(std::memory_order_relaxed)) /
+          (1024.0 * 1024.0));
 }

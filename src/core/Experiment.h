@@ -122,6 +122,14 @@ class ExperimentContext {
 public:
   explicit ExperimentContext(ExperimentConfig Config);
 
+  /// Like above, but recording into \p Shared instead of a private
+  /// TraceCache. The sweep daemon hands every per-configuration context
+  /// the same process-wide cache, so clients asking about the same
+  /// program at different policy knobs share one in-memory recording
+  /// (not just the disk layer). \p Shared must not be null.
+  ExperimentContext(ExperimentConfig Config,
+                    std::shared_ptr<TraceCache> Shared);
+
   const ExperimentConfig &config() const { return Config; }
 
   /// The generated benchmark (program + both inputs).
@@ -151,8 +159,9 @@ public:
   /// Cache and sweep counters accumulated so far.
   const ExperimentStats &stats() const { return Stats; }
 
-  /// Trace-cache counters (hits, misses, recording time).
-  const TraceCache::Counters &traceStats() const { return Traces.stats(); }
+  /// Trace-cache counters (hits, misses, recording time). With a shared
+  /// cache these aggregate over every context attached to it.
+  const TraceCache::Counters &traceStats() const { return Traces->stats(); }
 
   /// One-line human-readable rendering of stats() for the bench banners,
   /// e.g. "jobs=8 prof 20 hit / 6 miss (0 corrupt), trace 4 hit / 2 miss,
@@ -193,8 +202,10 @@ private:
   std::mutex DataLock;
   std::map<std::string, BenchData> Data;
   ExperimentStats Stats;
-  /// Recorded block traces, shared across inputs and (via disk) processes.
-  TraceCache Traces;
+  /// Recorded block traces, shared across inputs and (via disk)
+  /// processes; never null. Either privately owned or, under the sweep
+  /// daemon, one process-wide store shared by every context.
+  std::shared_ptr<TraceCache> Traces;
 };
 
 } // namespace core

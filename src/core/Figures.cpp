@@ -143,6 +143,108 @@ Table tpdbt::core::figurePerformance(ExperimentContext &Ctx) {
   return T;
 }
 
+namespace {
+
+Table buildFig08(ExperimentContext &C) {
+  return figureAverages(
+      C, MetricKind::SdBp,
+      "Figure 8: Sd.BP(T) suite averages (vs. Sd.BP(train))");
+}
+Table buildFig09(ExperimentContext &C) {
+  return figurePerBench(C, MetricKind::SdBp, workloads::intBenchmarkNames(),
+                        "Figure 9: Sd.BP(T) per INT benchmark");
+}
+Table buildFig10(ExperimentContext &C) {
+  return figureAverages(
+      C, MetricKind::BpMismatch,
+      "Figure 10: branch probability mismatch rates (suite averages)");
+}
+Table buildFig11(ExperimentContext &C) {
+  return figurePerBench(C, MetricKind::BpMismatch,
+                        workloads::intBenchmarkNames(),
+                        "Figure 11: branch probability mismatch rates (INT)");
+}
+Table buildFig12(ExperimentContext &C) {
+  return figurePerBench(C, MetricKind::BpMismatch,
+                        workloads::fpBenchmarkNames(),
+                        "Figure 12: branch probability mismatch rates (FP)");
+}
+Table buildFig13(ExperimentContext &C) {
+  return figureAverages(C, MetricKind::SdCp,
+                        "Figure 13: Sd.CP(T) suite averages");
+}
+Table buildFig14(ExperimentContext &C) {
+  return figureAverages(C, MetricKind::SdLp,
+                        "Figure 14: Sd.LP(T) suite averages");
+}
+Table buildFig15(ExperimentContext &C) {
+  return figureAverages(
+      C, MetricKind::LpMismatch,
+      "Figure 15: loop-back probability mismatch rates (averages)");
+}
+Table buildFig16(ExperimentContext &C) {
+  return figurePerBench(
+      C, MetricKind::LpMismatch, workloads::intBenchmarkNames(),
+      "Figure 16: loop-back probability mismatch rates (INT)");
+}
+Table buildFig17(ExperimentContext &C) { return figurePerformance(C); }
+Table buildFig18(ExperimentContext &C) { return figureProfilingOps(C); }
+
+} // namespace
+
+const std::vector<FigureSpec> &tpdbt::core::figureRegistry() {
+  static const std::vector<FigureSpec> Registry = {
+      {"fig08_sd_bp", "Sd.BP(T) suite averages vs. Sd.BP(train)",
+       buildFig08},
+      {"fig09_sd_bp_int", "Sd.BP(T) per INT benchmark", buildFig09},
+      {"fig10_bp_mismatch", "branch probability mismatch rates (averages)",
+       buildFig10},
+      {"fig11_bp_mismatch_int", "branch probability mismatch rates (INT)",
+       buildFig11},
+      {"fig12_bp_mismatch_fp", "branch probability mismatch rates (FP)",
+       buildFig12},
+      {"fig13_sd_cp", "Sd.CP(T) suite averages", buildFig13},
+      {"fig14_sd_lp", "Sd.LP(T) suite averages", buildFig14},
+      {"fig15_lp_mismatch", "loop-back probability mismatch rates (averages)",
+       buildFig15},
+      {"fig16_lp_mismatch_int", "loop-back probability mismatch rates (INT)",
+       buildFig16},
+      {"fig17_performance", "relative performance vs. threshold (base T=1)",
+       buildFig17},
+      {"fig18_profiling_ops",
+       "profiling operations normalized to the training run", buildFig18},
+  };
+  return Registry;
+}
+
+const FigureSpec *tpdbt::core::findFigure(const std::string &Name) {
+  for (const FigureSpec &F : figureRegistry())
+    if (Name == F.Name)
+      return &F;
+  return nullptr;
+}
+
+Table tpdbt::core::sweepTable(ExperimentContext &Ctx,
+                              const std::string &Bench) {
+  Table T(formatString("Sweep: %s (scale %.3f)", Bench.c_str(),
+                       Ctx.config().Scale));
+  T.setHeader({"threshold", "sd_bp", "bp_mismatch", "sd_cp", "sd_lp",
+               "lp_mismatch", "regions", "cycles"});
+  for (uint64_t Th : Ctx.config().Thresholds) {
+    const profile::ProfileSnapshot &Inip = Ctx.inip(Bench, Th);
+    T.addRow();
+    T.addCell(thresholdLabel(Th));
+    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::SdBp));
+    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::BpMismatch));
+    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::SdCp));
+    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::SdLp));
+    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::LpMismatch));
+    T.addCell(static_cast<uint64_t>(Inip.Regions.size()));
+    T.addCell(Inip.Cycles);
+  }
+  return T;
+}
+
 Table tpdbt::core::figureProfilingOps(ExperimentContext &Ctx) {
   std::vector<std::string> Int = workloads::intBenchmarkNames();
   std::vector<std::string> Fp = workloads::fpBenchmarkNames();

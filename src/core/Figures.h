@@ -64,6 +64,31 @@ Table figurePerformance(ExperimentContext &Ctx);
 /// run (ratio of sums per group).
 Table figureProfilingOps(ExperimentContext &Ctx);
 
+/// One servable figure: the canonical name shared by the bench binary,
+/// its CSV under tpdbt_results/, and the sweep daemon's REQUEST(figure)
+/// message, plus the builder that produces its table.
+struct FigureSpec {
+  const char *Name;        ///< e.g. "fig08_sd_bp"
+  const char *Description; ///< one-liner for --help / --list
+  Table (*Build)(ExperimentContext &Ctx);
+};
+
+/// Every figure the bench binaries and the sweep daemon can build, in
+/// paper order. This is the single source of truth for figure names:
+/// bench/FigureBenchMain.h resolves each binary through it and
+/// service/SweepService serves REQUEST(figure) from it, so the CLI and
+/// daemon name sets cannot drift (satellite of ISSUE 7).
+const std::vector<FigureSpec> &figureRegistry();
+
+/// Registry lookup; nullptr when \p Name is unknown.
+const FigureSpec *findFigure(const std::string &Name);
+
+/// Per-threshold accuracy and modeled-performance metrics for one
+/// benchmark at the context's configured thresholds — the entry point
+/// behind the daemon's REQUEST(sweep), callable against any context
+/// without per-process setup.
+Table sweepTable(ExperimentContext &Ctx, const std::string &Bench);
+
 } // namespace core
 } // namespace tpdbt
 

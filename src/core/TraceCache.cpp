@@ -10,10 +10,79 @@
 #include "support/TextFile.h"
 #include "vm/HostTier.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 using namespace tpdbt;
 using namespace tpdbt::core;
+
+uint64_t tpdbt::core::cacheMaxBytes() {
+  const char *Env = std::getenv("TPDBT_CACHE_MAX_BYTES");
+  if (!Env || !*Env)
+    return 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Env, &End, 10);
+  if (End == Env || *End != '\0')
+    return 0;
+  return V;
+}
+
+void TraceCache::touchEntry(const std::string &Path) {
+  std::error_code Ec;
+  const auto Now = std::filesystem::file_time_type::clock::now();
+  std::filesystem::last_write_time(Path, Now, Ec);
+  std::filesystem::last_write_time(indexPath(Path), Now, Ec);
+}
+
+void TraceCache::enforceBudget() {
+  const uint64_t Budget = cacheMaxBytes();
+  if (Budget == 0 || Dir.empty())
+    return;
+  std::lock_guard<std::mutex> Guard(EvictLock);
+  struct Entry {
+    std::string TracePath;
+    uint64_t Bytes = 0;
+    std::filesystem::file_time_type Used;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  std::error_code Ec;
+  for (const auto &E : std::filesystem::directory_iterator(Dir, Ec)) {
+    if (E.path().extension() != ".trace")
+      continue;
+    Entry Ent;
+    Ent.TracePath = E.path().string();
+    Ent.Bytes = std::filesystem::file_size(E.path(), Ec);
+    if (Ec)
+      continue; // raced with a concurrent eviction or rewrite
+    Ent.Used = std::filesystem::last_write_time(E.path(), Ec);
+    const uint64_t IdxBytes =
+        std::filesystem::file_size(indexPath(Ent.TracePath), Ec);
+    if (!Ec)
+      Ent.Bytes += IdxBytes;
+    Total += Ent.Bytes;
+    Entries.push_back(std::move(Ent));
+  }
+  if (Total <= Budget)
+    return;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.Used < B.Used; });
+  for (const Entry &Ent : Entries) {
+    if (Total <= Budget)
+      break;
+    // Removing a disk entry never invalidates live users: the in-memory
+    // layer holds its own reference, and the next cold lookup simply
+    // re-records (stampede-protected by the per-slot lock as usual).
+    std::filesystem::remove(Ent.TracePath, Ec);
+    std::filesystem::remove(indexPath(Ent.TracePath), Ec);
+    Total -= std::min(Total, Ent.Bytes);
+    Stats.Evictions.fetch_add(1, std::memory_order_relaxed);
+    Stats.EvictedBytes.fetch_add(Ent.Bytes, std::memory_order_relaxed);
+  }
+}
 
 std::string TraceCache::entryPath(const std::string &Name,
                                   const std::string &Input,
@@ -112,6 +181,7 @@ TraceCache::get(const std::string &Name, const std::string &Input,
     if (auto FromDisk = loadDisk(Path, Program)) {
       Stats.DiskHits.fetch_add(1, std::memory_order_relaxed);
       ensureIndex(Path, *FromDisk);
+      touchEntry(Path); // refresh LRU recency for the bounded store
       S->Trace = FromDisk;
       return FromDisk;
     }
@@ -165,6 +235,8 @@ TraceCache::get(const std::string &Name, const std::string &Input,
     storeDisk(Path, *Recorded);
     ensureIndex(Path, *Recorded);
   }
+  if (!Dir.empty())
+    enforceBudget();
   S->Trace = Recorded;
   return Recorded;
 }

@@ -27,6 +27,14 @@
 /// as a miss; the trace is then re-recorded and the entry rewritten
 /// atomically (write-then-rename, like the .prof snapshot cache).
 ///
+/// The disk layer is size-bounded: when TPDBT_CACHE_MAX_BYTES is set, the
+/// .trace entries (each with its .trace.idx sidecar) are LRU-evicted
+/// after every store until they fit the budget. Disk hits refresh an
+/// entry's recency (its mtime), so a long-running sweep service keeps
+/// hot programs warm while cold recordings age out. The .prof snapshot
+/// files sharing the directory are never evicted — they are tiny and
+/// belong to the Experiment layer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDBT_CORE_TRACECACHE_H
@@ -43,6 +51,11 @@
 
 namespace tpdbt {
 namespace core {
+
+/// The TPDBT_CACHE_MAX_BYTES knob, read fresh on every call (tests and
+/// long-running daemons flip it mid-process): unset, unparsable, or 0
+/// means unbounded; otherwise the trace store's disk budget in bytes.
+uint64_t cacheMaxBytes();
 
 /// Thread-safe two-layer store of recorded traces.
 class TraceCache {
@@ -100,6 +113,11 @@ public:
     std::atomic<uint64_t> HostFoldedIters{0};
     std::atomic<uint64_t> HostClosedFormIters{0};
     std::atomic<uint64_t> HostFallbacks{0};
+    /// LRU evictions from the size-bounded disk layer
+    /// (TPDBT_CACHE_MAX_BYTES): entries removed and the trace+sidecar
+    /// bytes they freed.
+    std::atomic<uint64_t> Evictions{0};
+    std::atomic<uint64_t> EvictedBytes{0};
 
     uint64_t hits() const {
       return MemoryHits.load(std::memory_order_relaxed) +
@@ -127,6 +145,12 @@ public:
     return TracePath + ".idx";
   }
 
+  /// Applies the TPDBT_CACHE_MAX_BYTES budget to the disk layer now:
+  /// deletes least-recently-used .trace entries (with their sidecars)
+  /// until the store fits. Called after every store; exposed so tests
+  /// and the daemon's STATS path can force a pass.
+  void enforceBudget();
+
 private:
   struct Slot {
     std::mutex Lock;
@@ -136,6 +160,9 @@ private:
   std::shared_ptr<const BlockTrace> loadDisk(const std::string &Path,
                                              const guest::Program &Program);
   void storeDisk(const std::string &Path, const BlockTrace &Trace) const;
+  /// Marks a disk entry as recently used (bumps its and its sidecar's
+  /// mtime) so LRU eviction sees hits, not just writes.
+  static void touchEntry(const std::string &Path);
 
   /// Attaches the analytic replay index to \p Trace: adopts the sidecar
   /// next to \p TracePath when it is intact and matches, otherwise builds
@@ -146,6 +173,7 @@ private:
   std::string Dir;
   std::mutex SlotsLock; ///< guards the map structure only
   std::map<std::string, Slot> Slots;
+  std::mutex EvictLock; ///< serializes budget-enforcement scans
   Counters Stats;
 };
 

@@ -286,9 +286,12 @@ bool TraceIndex::parse(const std::string &Bytes, TraceIndex &Out,
         !getVarint(Bytes, Pos, NumSegments))
       return Fail("truncated index segment directory");
     // A segment holds at least one event, so more segments than events
-    // (or than bytes) marks corruption before any allocation.
-    if (NumSegments > E || NumSegments > Bytes.size())
+    // (or than a third of the directory bytes) marks corruption before
+    // any allocation is sized from an attacker-controlled count.
+    if (NumSegments > E || NumSegments > Bytes.size() / 3)
       return Fail("implausible index segment count");
+    if (NumSegments > 0 && Idx.SegmentBudget == 0)
+      return Fail("index segment directory with zero budget");
     Idx.Directory.resize(NumSegments);
     uint64_t SumEvents = 0, RunInsts = 0, RunTaken = 0;
     for (uint64_t S = 0; S < NumSegments; ++S) {
@@ -297,11 +300,17 @@ bool TraceIndex::parse(const std::string &Bytes, TraceIndex &Out,
           !getVarint(Bytes, Pos, BaseInsts) ||
           !getVarint(Bytes, Pos, BaseTaken))
         return Fail("truncated index segment directory");
+      // Zero-length and oversized entries are rejected per row, before
+      // the uint32 narrowing below and before SumEvents can wrap.
+      if (Events == 0 || Events > Idx.SegmentBudget || Events > E)
+        return Fail("index segment event count outside budget");
       if (BaseInsts < RunInsts || BaseTaken < RunTaken)
         return Fail("index segment bases not monotone");
       Idx.Directory[S] = {static_cast<uint32_t>(Events), BaseInsts,
                           BaseTaken};
       SumEvents += Events;
+      if (SumEvents > E)
+        return Fail("index segment directory disagrees with event count");
       RunInsts = BaseInsts;
       RunTaken = BaseTaken;
     }

@@ -61,6 +61,8 @@ bool tpdbt::core::decodeSegmentEvents(const std::string &Raw,
     const int64_t Block = PrevBlock + zigzagDecode(Packed >> 2);
     if (Block < 0 || static_cast<uint64_t>(Block) >= NumBlocks)
       return Fail("block id out of range");
+    if (Insts >= (uint64_t(1) << 32))
+      return Fail("event instruction count overflows");
     PrevBlock = Block;
     E.Block = static_cast<BlockId>(Block);
     E.Insts = static_cast<uint32_t>(Insts);
@@ -134,11 +136,12 @@ bool tpdbt::core::parseSegmentedHeader(const std::string &Bytes,
       !getVarint(Bytes, Pos, NumSegments))
     return Fail("truncated segmented trace header");
   // Each block costs >= 2 counter-table bytes and each segment >= 4
-  // directory bytes plus a payload frame, so counts exceeding the file
-  // size mark corruption before any allocation. Segments hold at least
+  // directory bytes plus a payload frame, so counts exceeding those
+  // budgets against the file size mark corruption before any allocation
+  // is sized from an attacker-controlled field. Segments hold at least
   // one event each.
-  if (H.NumBlocks > FileSize || H.NumEvents >= (uint64_t(1) << 32) ||
-      NumSegments > H.NumEvents || NumSegments > FileSize)
+  if (H.NumBlocks > FileSize / 2 || H.NumEvents >= (uint64_t(1) << 32) ||
+      NumSegments > H.NumEvents || NumSegments > FileSize / 4)
     return Fail("implausible segmented trace header");
   if (H.SegmentBudget == 0)
     return Fail("segmented trace with zero budget");
@@ -149,7 +152,13 @@ bool tpdbt::core::parseSegmentedHeader(const std::string &Bytes,
     if (!getVarint(Bytes, Pos, H.Final[B].Use) ||
         !getVarint(Bytes, Pos, H.Final[B].Taken))
       return Fail("truncated trace counter table");
+    // Per-entry bounds before accumulating, so a crafted huge counter can
+    // never wrap SumUse back onto the expected total.
+    if (H.Final[B].Use > H.NumEvents || H.Final[B].Taken > H.Final[B].Use)
+      return Fail("counter table entry exceeds event count");
     SumUse += H.Final[B].Use;
+    if (SumUse > H.NumEvents)
+      return Fail("counter table disagrees with event count");
   }
   if (SumUse != H.NumEvents)
     return Fail("counter table disagrees with event count");
@@ -164,8 +173,14 @@ bool tpdbt::core::parseSegmentedHeader(const std::string &Bytes,
         !getVarint(Bytes, Pos, Ent.BaseInsts) ||
         !getVarint(Bytes, Pos, Ent.BaseTaken))
       return Fail("truncated segment directory");
-    if (Events == 0 || Events > H.SegmentBudget)
+    if (Events == 0 || Events > H.SegmentBudget || Events > H.NumEvents)
       return Fail("segment event count outside budget");
+    // A segment holds >= 1 event, so its compressed payload is never
+    // empty; and no payload can exceed the file that contains it. Both
+    // checks keep readSegment's payload buffer (sized from this field)
+    // bounded by the real file size.
+    if (Ent.PayloadBytes == 0 || Ent.PayloadBytes > FileSize)
+      return Fail("segment payload size implausible");
     if (Ent.BaseInsts < RunInsts || Ent.BaseTaken < RunTaken)
       return Fail("segment bases not monotone");
     if (S == 0 && (Ent.BaseInsts != 0 || Ent.BaseTaken != 0))
@@ -173,12 +188,14 @@ bool tpdbt::core::parseSegmentedHeader(const std::string &Bytes,
     Ent.Events = static_cast<uint32_t>(Events);
     SumEvents += Events;
     SumPayload += Ent.PayloadBytes;
+    if (SumEvents > H.NumEvents || SumPayload > FileSize)
+      return Fail("segment directory sums exceed file");
     RunInsts = Ent.BaseInsts;
     RunTaken = Ent.BaseTaken;
   }
   if (SumEvents != H.NumEvents)
     return Fail("segment directory disagrees with event count");
-  if (RunInsts > H.TotalInsts)
+  if (RunInsts > H.TotalInsts || RunTaken > H.takenEvents())
     return Fail("segment bases exceed trace totals");
 
   H.PayloadStart = Pos;

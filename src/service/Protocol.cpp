@@ -1,0 +1,225 @@
+//===- service/Protocol.cpp - Sweep-service wire protocol ------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/Varint.h"
+
+#include <cstring>
+
+using namespace tpdbt;
+using namespace tpdbt::service;
+
+namespace {
+
+void putString(std::string &Out, const std::string &S) {
+  putVarint(Out, S.size());
+  Out += S;
+}
+
+bool getString(const std::string &In, size_t &Pos, std::string &Out) {
+  uint64_t Len = 0;
+  if (!getVarint(In, Pos, Len))
+    return false;
+  // The string must fit in what remains of the body — a hostile length
+  // can never size an allocation past the (already bounded) frame.
+  if (Len > In.size() - Pos)
+    return false;
+  Out.assign(In, Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+bool atEnd(const std::string &In, size_t Pos) { return Pos == In.size(); }
+
+} // namespace
+
+std::string tpdbt::service::encodeFrame(MsgType Type,
+                                        const std::string &Body) {
+  const uint32_t PayloadLen = static_cast<uint32_t>(2 + Body.size());
+  std::string Out;
+  Out.reserve(4 + PayloadLen);
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((PayloadLen >> (8 * I)) & 0xff));
+  Out.push_back(static_cast<char>(ProtocolVersion));
+  Out.push_back(static_cast<char>(Type));
+  Out += Body;
+  return Out;
+}
+
+std::string tpdbt::service::encodeRequest(const SweepRequest &R) {
+  std::string B;
+  putVarint(B, R.Id);
+  B.push_back(static_cast<char>(R.RequestKind));
+  putString(B, R.Name);
+  uint64_t ScaleBits;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&ScaleBits, &R.Scale, 8);
+  putVarint(B, ScaleBits);
+  putVarint(B, R.Thresholds.size());
+  for (uint64_t T : R.Thresholds)
+    putVarint(B, T);
+  return B;
+}
+
+bool tpdbt::service::decodeRequest(const std::string &Body,
+                                   SweepRequest &Out) {
+  size_t Pos = 0;
+  SweepRequest R;
+  if (!getVarint(Body, Pos, R.Id))
+    return false;
+  if (Pos >= Body.size())
+    return false;
+  R.RequestKind = static_cast<uint8_t>(Body[Pos++]);
+  if (R.RequestKind != SweepRequest::Figure &&
+      R.RequestKind != SweepRequest::Sweep)
+    return false;
+  if (!getString(Body, Pos, R.Name))
+    return false;
+  uint64_t ScaleBits = 0;
+  if (!getVarint(Body, Pos, ScaleBits))
+    return false;
+  std::memcpy(&R.Scale, &ScaleBits, 8);
+  uint64_t N = 0;
+  if (!getVarint(Body, Pos, N))
+    return false;
+  // Each threshold costs at least one body byte.
+  if (N > Body.size() - Pos)
+    return false;
+  R.Thresholds.resize(N);
+  for (uint64_t I = 0; I < N; ++I)
+    if (!getVarint(Body, Pos, R.Thresholds[I]))
+      return false;
+  if (!atEnd(Body, Pos))
+    return false;
+  Out = std::move(R);
+  return true;
+}
+
+std::string tpdbt::service::encodeResult(const SweepResult &R) {
+  std::string B;
+  putVarint(B, R.Id);
+  B.push_back(static_cast<char>(R.ResultStatus));
+  B.push_back(R.Coalesced ? 1 : 0);
+  putString(B, R.Payload);
+  return B;
+}
+
+bool tpdbt::service::decodeResult(const std::string &Body,
+                                  SweepResult &Out) {
+  size_t Pos = 0;
+  SweepResult R;
+  if (!getVarint(Body, Pos, R.Id))
+    return false;
+  if (Pos + 2 > Body.size())
+    return false;
+  const uint8_t St = static_cast<uint8_t>(Body[Pos++]);
+  if (St > static_cast<uint8_t>(Status::Internal))
+    return false;
+  R.ResultStatus = static_cast<Status>(St);
+  const uint8_t Co = static_cast<uint8_t>(Body[Pos++]);
+  if (Co > 1)
+    return false;
+  R.Coalesced = Co == 1;
+  if (!getString(Body, Pos, R.Payload) || !atEnd(Body, Pos))
+    return false;
+  Out = std::move(R);
+  return true;
+}
+
+std::string tpdbt::service::encodeProgress(const ProgressMsg &M) {
+  std::string B;
+  putVarint(B, M.Id);
+  putString(B, M.Stage);
+  return B;
+}
+
+bool tpdbt::service::decodeProgress(const std::string &Body,
+                                    ProgressMsg &Out) {
+  size_t Pos = 0;
+  ProgressMsg M;
+  if (!getVarint(Body, Pos, M.Id) || !getString(Body, Pos, M.Stage) ||
+      !atEnd(Body, Pos))
+    return false;
+  Out = std::move(M);
+  return true;
+}
+
+std::string tpdbt::service::encodeStats(const StatsMsg &M) {
+  std::string B;
+  putVarint(B, M.Counters.size());
+  for (const auto &[Name, Value] : M.Counters) {
+    putString(B, Name);
+    putVarint(B, Value);
+  }
+  return B;
+}
+
+bool tpdbt::service::decodeStats(const std::string &Body, StatsMsg &Out) {
+  size_t Pos = 0;
+  uint64_t N = 0;
+  if (!getVarint(Body, Pos, N))
+    return false;
+  if (N > Body.size() - Pos) // each counter costs >= 2 bytes
+    return false;
+  StatsMsg M;
+  M.Counters.resize(N);
+  for (uint64_t I = 0; I < N; ++I)
+    if (!getString(Body, Pos, M.Counters[I].first) ||
+        !getVarint(Body, Pos, M.Counters[I].second))
+      return false;
+  if (!atEnd(Body, Pos))
+    return false;
+  Out = std::move(M);
+  return true;
+}
+
+std::string tpdbt::service::encodeError(const ErrorMsg &M) {
+  std::string B;
+  putString(B, M.Message);
+  return B;
+}
+
+bool tpdbt::service::decodeError(const std::string &Body, ErrorMsg &Out) {
+  size_t Pos = 0;
+  ErrorMsg M;
+  if (!getString(Body, Pos, M.Message) || !atEnd(Body, Pos))
+    return false;
+  Out = std::move(M);
+  return true;
+}
+
+bool tpdbt::service::readFrame(UnixSocket &Sock, MsgType &Type,
+                               std::string &Body, std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  uint8_t LenBytes[4];
+  if (!Sock.recvAll(LenBytes, 4))
+    return Fail("connection closed");
+  uint32_t PayloadLen = 0;
+  for (int I = 0; I < 4; ++I)
+    PayloadLen |= static_cast<uint32_t>(LenBytes[I]) << (8 * I);
+  if (PayloadLen < 2)
+    return Fail("frame too short");
+  if (PayloadLen > MaxFramePayload)
+    return Fail("frame exceeds payload bound");
+  std::string Payload(PayloadLen, '\0');
+  if (!Sock.recvAll(Payload.data(), PayloadLen))
+    return Fail("truncated frame");
+  if (static_cast<uint8_t>(Payload[0]) != ProtocolVersion)
+    return Fail("unsupported protocol version");
+  const uint8_t T = static_cast<uint8_t>(Payload[1]);
+  if (T < static_cast<uint8_t>(MsgType::Request) ||
+      T > static_cast<uint8_t>(MsgType::Error))
+    return Fail("unknown message type");
+  Type = static_cast<MsgType>(T);
+  Body.assign(Payload, 2, Payload.size() - 2);
+  return true;
+}
+
+bool tpdbt::service::writeFrame(UnixSocket &Sock, MsgType Type,
+                                const std::string &Body) {
+  return Sock.sendAll(encodeFrame(Type, Body));
+}

@@ -1,0 +1,134 @@
+//===- service/Protocol.h - Sweep-service wire protocol ---------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed framed protocol between tpdbt-sweep clients and
+/// the tpdbt-sweepd daemon (docs/PROTOCOL.md is the normative spec):
+///
+///   frame := u32le payload-length | payload
+///   payload := u8 version | u8 type | body
+///
+/// Bodies are varint/length-prefixed-string encoded with the same
+/// support/Varint.h primitives as the TPDT/TPDX file formats. Frames are
+/// bounded (MaxFramePayload) so a corrupt or hostile length prefix never
+/// sizes an allocation; every decoder returns false on truncated,
+/// oversized, or trailing bytes instead of trusting the peer.
+///
+/// Versioning rule: the version byte covers the whole payload. A server
+/// receiving a frame with an unknown version replies ERROR and closes;
+/// adding message types or appending fields to existing bodies bumps the
+/// version only when an old peer could misparse them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SERVICE_PROTOCOL_H
+#define TPDBT_SERVICE_PROTOCOL_H
+
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tpdbt {
+namespace service {
+
+/// Current protocol version (the first payload byte of every frame).
+constexpr uint8_t ProtocolVersion = 1;
+
+/// Hard bound on a frame payload; a length prefix beyond this is treated
+/// as a corrupt stream, not an allocation request.
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+/// Message types (the second payload byte).
+enum class MsgType : uint8_t {
+  Request = 1,  ///< client -> server: run a figure or a benchmark sweep
+  Progress = 2, ///< server -> client: stage note for a pending request
+  Result = 3,   ///< server -> client: terminal reply for a request
+  Stats = 4,    ///< both directions: counters request / reply
+  Shutdown = 5, ///< client -> server: stop the daemon after a Result ack
+  Error = 6,    ///< server -> client: protocol-level failure, then close
+};
+
+/// REQUEST body: what to compute. Thresholds apply to sweep requests
+/// only; figures always run the paper's threshold sweep so their output
+/// stays byte-identical to the figure binaries.
+struct SweepRequest {
+  enum Kind : uint8_t { Figure = 1, Sweep = 2 };
+  uint64_t Id = 0; ///< client-chosen; echoed in Progress/Result
+  uint8_t RequestKind = Figure;
+  std::string Name; ///< figure name (core::figureRegistry) or benchmark
+  double Scale = 1.0;
+  std::vector<uint64_t> Thresholds; ///< empty = paper defaults (sweep only)
+};
+
+/// RESULT status codes.
+enum class Status : uint8_t {
+  Ok = 0,
+  BadRequest = 1,   ///< unknown figure/benchmark or invalid field
+  Busy = 2,         ///< per-client queue depth exceeded; retry later
+  ShuttingDown = 3, ///< daemon is stopping
+  Internal = 4,     ///< computation failed server-side
+};
+
+/// RESULT body: terminal reply. Payload is the CSV table on Ok, a
+/// human-readable message otherwise. Coalesced marks replies served by
+/// fanning out another client's identical in-flight computation.
+struct SweepResult {
+  uint64_t Id = 0;
+  Status ResultStatus = Status::Ok;
+  bool Coalesced = false;
+  std::string Payload;
+};
+
+/// PROGRESS body: a stage note ("queued", "building", ...).
+struct ProgressMsg {
+  uint64_t Id = 0;
+  std::string Stage;
+};
+
+/// STATS body: ordered (name, value) counters. The empty list is the
+/// client's request; the daemon replies with the populated list.
+struct StatsMsg {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+};
+
+/// ERROR body: a message; the server closes the connection after sending.
+struct ErrorMsg {
+  std::string Message;
+};
+
+/// Encodes a complete frame (length prefix + version + type + body).
+std::string encodeFrame(MsgType Type, const std::string &Body);
+
+/// Body encoders.
+std::string encodeRequest(const SweepRequest &R);
+std::string encodeResult(const SweepResult &R);
+std::string encodeProgress(const ProgressMsg &M);
+std::string encodeStats(const StatsMsg &M);
+std::string encodeError(const ErrorMsg &M);
+
+/// Body decoders; false on truncation, bounds violations, or trailing
+/// bytes.
+bool decodeRequest(const std::string &Body, SweepRequest &Out);
+bool decodeResult(const std::string &Body, SweepResult &Out);
+bool decodeProgress(const std::string &Body, ProgressMsg &Out);
+bool decodeStats(const std::string &Body, StatsMsg &Out);
+bool decodeError(const std::string &Body, ErrorMsg &Out);
+
+/// Reads one frame from \p Sock. False on EOF, a malformed length, an
+/// unknown version, or an oversized payload; \p Error explains which.
+bool readFrame(UnixSocket &Sock, MsgType &Type, std::string &Body,
+               std::string *Error);
+
+/// Sends one frame; false when the peer is gone.
+bool writeFrame(UnixSocket &Sock, MsgType Type, const std::string &Body);
+
+} // namespace service
+} // namespace tpdbt
+
+#endif // TPDBT_SERVICE_PROTOCOL_H

@@ -1,0 +1,173 @@
+//===- support/Socket.cpp - Unix-domain stream sockets ---------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tpdbt;
+
+namespace {
+
+bool fillAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string *Error) {
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long: " + Path;
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+UnixSocket &UnixSocket::operator=(UnixSocket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+UnixSocket UnixSocket::connectTo(const std::string &Path,
+                                 std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return UnixSocket();
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return UnixSocket();
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Error)
+      *Error = "connect " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return UnixSocket();
+  }
+  return UnixSocket(Fd);
+}
+
+bool UnixSocket::sendAll(const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool UnixSocket::recvAll(void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  while (Len > 0) {
+    ssize_t N = ::recv(Fd, P, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF mid-buffer
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+void UnixSocket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void UnixSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+UnixListener::UnixListener(UnixListener &&O) noexcept
+    : Fd(O.Fd), Path(std::move(O.Path)) {
+  O.Fd = -1;
+  O.Path.clear();
+}
+
+UnixListener &UnixListener::operator=(UnixListener &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    Path = std::move(O.Path);
+    O.Fd = -1;
+    O.Path.clear();
+  }
+  return *this;
+}
+
+bool UnixListener::listenOn(const std::string &Path, UnixListener &Out,
+                            std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return false;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Path.c_str()); // a stale socket file never blocks a restart
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    if (Error)
+      *Error = "bind/listen " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  Out.close();
+  Out.Fd = Fd;
+  Out.Path = Path;
+  return true;
+}
+
+UnixSocket UnixListener::accept() {
+  while (Fd >= 0) {
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn >= 0)
+      return UnixSocket(Conn);
+    if (errno == EINTR)
+      continue;
+    break; // shut down or failed: report end-of-listening
+  }
+  return UnixSocket();
+}
+
+void UnixListener::shutdownListener() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void UnixListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!Path.empty()) {
+    ::unlink(Path.c_str());
+    Path.clear();
+  }
+}

@@ -1,0 +1,104 @@
+//===- support/Socket.h - Unix-domain stream sockets ------------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal RAII wrappers over AF_UNIX stream sockets, the transport under
+/// the sweep-service daemon (service/Daemon.h). Deliberately tiny: a
+/// connected socket with whole-buffer send/recv (short reads and writes
+/// are looped internally), and a listener whose accept() can be unblocked
+/// from another thread via shutdown() — the daemon's clean-stop path.
+///
+/// SIGPIPE is never raised: sends use MSG_NOSIGNAL, so a client that
+/// disappears mid-reply surfaces as a false return, not a dead daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SUPPORT_SOCKET_H
+#define TPDBT_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+
+namespace tpdbt {
+
+/// A connected AF_UNIX stream socket (client side or an accepted peer).
+class UnixSocket {
+public:
+  UnixSocket() = default;
+  /// Adopts an already-connected file descriptor (accept(), socketpair()).
+  explicit UnixSocket(int Fd) : Fd(Fd) {}
+  ~UnixSocket() { close(); }
+
+  UnixSocket(UnixSocket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  UnixSocket &operator=(UnixSocket &&O) noexcept;
+  UnixSocket(const UnixSocket &) = delete;
+  UnixSocket &operator=(const UnixSocket &) = delete;
+
+  /// Connects to the Unix-domain socket at \p Path. Invalid (with
+  /// \p Error) when the daemon is not listening there.
+  static UnixSocket connectTo(const std::string &Path, std::string *Error);
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Sends all \p Len bytes; false on any error (peer gone, EPIPE).
+  bool sendAll(const void *Data, size_t Len);
+  bool sendAll(const std::string &Bytes) {
+    return sendAll(Bytes.data(), Bytes.size());
+  }
+
+  /// Receives exactly \p Len bytes; false on error or EOF before \p Len.
+  bool recvAll(void *Data, size_t Len);
+
+  /// Half-closes both directions (unblocks a peer's recv) without
+  /// releasing the descriptor.
+  void shutdownBoth();
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// A listening AF_UNIX socket bound to a filesystem path. The path is
+/// unlinked on bind (stale socket files never block a restart) and again
+/// on destruction.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener() { close(); }
+
+  UnixListener(UnixListener &&O) noexcept;
+  UnixListener &operator=(UnixListener &&O) noexcept;
+  UnixListener(const UnixListener &) = delete;
+  UnixListener &operator=(const UnixListener &) = delete;
+
+  /// Binds and listens on \p Path. False (with \p Error) on failure.
+  static bool listenOn(const std::string &Path, UnixListener &Out,
+                       std::string *Error);
+
+  bool valid() const { return Fd >= 0; }
+  /// The listening descriptor — exposed so signal handlers can issue an
+  /// async-signal-safe shutdown(2) to unblock accept().
+  int fd() const { return Fd; }
+
+  /// Blocks for the next connection; an invalid socket means the
+  /// listener failed or was shut down (the daemon's stop signal).
+  UnixSocket accept();
+
+  /// Unblocks a concurrent accept() from another thread.
+  void shutdownListener();
+
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+} // namespace tpdbt
+
+#endif // TPDBT_SUPPORT_SOCKET_H

@@ -40,6 +40,12 @@ void ThreadPool::submit(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Guard(Lock);
   AllDone.wait(Guard, [this] { return InFlight == 0; });
+  if (FirstError) {
+    std::exception_ptr Err = nullptr;
+    std::swap(Err, FirstError);
+    Guard.unlock();
+    std::rethrow_exception(Err);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -57,8 +63,15 @@ void ThreadPool::workerLoop() {
     std::function<void()> Task = std::move(Queue.front());
     Queue.pop_front();
     Guard.unlock();
-    Task();
+    std::exception_ptr Err;
+    try {
+      Task();
+    } catch (...) {
+      Err = std::current_exception();
+    }
     Guard.lock();
+    if (Err && !FirstError)
+      FirstError = Err;
     if (--InFlight == 0)
       AllDone.notify_all();
   }

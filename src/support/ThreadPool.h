@@ -12,7 +12,11 @@
 ///
 /// The pool is deliberately minimal: submit() enqueues a task, wait()
 /// blocks until every submitted task has finished, and the destructor
-/// drains the queue before joining. Tasks must not throw.
+/// drains the queue before joining. A task that throws does not take the
+/// worker down: the first exception is captured and rethrown from the
+/// next wait() call (later ones are dropped), so callers like
+/// parallelFor() — and the sweep daemon's dispatch layer — observe task
+/// failures on their own thread instead of via std::terminate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -46,8 +51,9 @@ public:
   /// Enqueues \p Task; it runs on some worker in FIFO order.
   void submit(std::function<void()> Task);
 
-  /// Blocks until every task submitted so far has completed. The pool is
-  /// reusable afterwards.
+  /// Blocks until every task submitted so far has completed, then
+  /// rethrows the first exception any of them raised (if any). The pool
+  /// is reusable afterwards either way.
   void wait();
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
@@ -63,12 +69,17 @@ private:
   std::condition_variable AllDone;
   size_t InFlight = 0; ///< queued + currently-running tasks
   bool Stopping = false;
+  /// First exception thrown by a task since the last wait(); rethrown
+  /// there. The destructor drops it — nothing can be thrown from a join.
+  std::exception_ptr FirstError;
 };
 
 /// Runs Body(0..Count-1), using up to \p Threads workers. With Threads <= 1
 /// (or Count <= 1) the calls happen inline on the caller's thread, in index
 /// order — the exact serial behaviour, no threads spawned. Blocks until
-/// every index has been processed.
+/// every index has been processed. If a Body call throws, the remaining
+/// indexes still run and the first exception is rethrown to the caller
+/// (inline mode stops at the throwing index, exactly like a plain loop).
 void parallelFor(size_t Count, unsigned Threads,
                  const std::function<void(size_t)> &Body);
 

@@ -6,6 +6,7 @@
 #include "core/TraceCache.h"
 #include "support/Compression.h"
 #include "support/TextFile.h"
+#include "support/Varint.h"
 #include "workloads/BenchSpec.h"
 #include "workloads/Generator.h"
 
@@ -230,4 +231,75 @@ TEST(TraceIndexTest, CacheWritesAndAdoptsSidecar) {
   }
 
   std::filesystem::remove_all(Dir);
+}
+
+TEST(TraceIndexTest, ParseRejectsHostileSegmentDirectories) {
+  // Hand-built TPDX v2 prefixes: every hostile field must fail its own
+  // bound check, never size an allocation or narrow through uint32.
+  auto header = [](uint64_t Blocks, uint64_t Events, uint64_t Insts,
+                   uint64_t Taken, uint64_t Budget, uint64_t Segments) {
+    std::string Out("TPDX", 4);
+    Out.push_back(2); // segmented version
+    putVarint(Out, Blocks);
+    putVarint(Out, Events);
+    putVarint(Out, Insts);
+    putVarint(Out, Taken);
+    putVarint(Out, Budget);
+    putVarint(Out, Segments);
+    return Out;
+  };
+  TraceIndex Q;
+
+  // Segment count beyond the event count (and the byte budget).
+  {
+    std::string Bytes = header(2, 8, 20, 3, 256, uint64_t(1) << 40);
+    Bytes.resize(Bytes.size() + 32, '\0');
+    std::string Error;
+    EXPECT_FALSE(TraceIndex::parse(Bytes, Q, &Error));
+    EXPECT_NE(Error.find("implausible index segment count"),
+              std::string::npos);
+  }
+  // Nonzero directory with a zero budget.
+  {
+    std::string Bytes = header(2, 8, 20, 3, 0, 1);
+    Bytes.resize(Bytes.size() + 32, '\0');
+    std::string Error;
+    EXPECT_FALSE(TraceIndex::parse(Bytes, Q, &Error));
+    EXPECT_NE(Error.find("zero budget"), std::string::npos);
+  }
+  // A zero-length directory row.
+  {
+    std::string Bytes = header(2, 8, 20, 3, 256, 1);
+    putVarint(Bytes, 0); // Events = 0
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    Bytes.resize(Bytes.size() + 32, '\0');
+    std::string Error;
+    EXPECT_FALSE(TraceIndex::parse(Bytes, Q, &Error));
+    EXPECT_NE(Error.find("outside budget"), std::string::npos);
+  }
+  // A row whose event count overflows the budget and the uint32 cast.
+  {
+    std::string Bytes = header(2, 8, 20, 3, 256, 1);
+    putVarint(Bytes, (uint64_t(1) << 32) + 8);
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    Bytes.resize(Bytes.size() + 32, '\0');
+    EXPECT_FALSE(TraceIndex::parse(Bytes, Q, nullptr));
+  }
+  // Rows summing past the trace's event count fail at the second row,
+  // before the sum could wrap.
+  {
+    std::string Bytes = header(2, 8, 20, 3, 8, 2);
+    putVarint(Bytes, 8);
+    putVarint(Bytes, 10);
+    putVarint(Bytes, 2);
+    putVarint(Bytes, 8); // second row: sum = 16 > 8 events
+    putVarint(Bytes, 20);
+    putVarint(Bytes, 3);
+    Bytes.resize(Bytes.size() + 32, '\0');
+    std::string Error;
+    EXPECT_FALSE(TraceIndex::parse(Bytes, Q, &Error));
+    EXPECT_NE(Error.find("disagrees with event count"), std::string::npos);
+  }
 }

@@ -486,3 +486,114 @@ TEST(TraceSegmentsTest, ReaderRejectsTruncatedAndForeignFiles) {
   EXPECT_FALSE(R2.readSegment(0, Events, &Error));
   std::filesystem::remove_all(Dir);
 }
+
+TEST(TraceSegmentsTest, HeaderRejectsHostileDirectoryEntries) {
+  // Hand-built v3 containers exercising the parser's per-entry bounds:
+  // none of these may size an allocation from the attacker's field, and
+  // all must fail cleanly rather than truncate through a uint32 cast.
+  auto header = [](uint64_t Blocks, uint64_t Events, uint64_t Insts,
+                   uint64_t Budget, uint64_t Segments) {
+    std::string Out("TPDT", 4);
+    Out.push_back(3); // segmented version
+    putVarint(Out, Blocks);
+    putVarint(Out, Events);
+    putVarint(Out, Insts);
+    putVarint(Out, Budget);
+    putVarint(Out, Segments);
+    return Out;
+  };
+  SegmentedTraceHeader H;
+
+  // Segment count far beyond what the file could hold: rejected before
+  // the directory vector is sized.
+  {
+    std::string Bytes = header(1, 4, 10, 256, uint64_t(1) << 40);
+    EXPECT_FALSE(parseSegmentedHeader(Bytes, Bytes.size(), H, nullptr));
+  }
+  // Block count beyond the file size.
+  {
+    std::string Bytes = header(uint64_t(1) << 40, 4, 10, 256, 1);
+    EXPECT_FALSE(parseSegmentedHeader(Bytes, Bytes.size(), H, nullptr));
+  }
+  // Zero segment budget.
+  {
+    std::string Bytes = header(1, 4, 10, 0, 1);
+    EXPECT_FALSE(parseSegmentedHeader(Bytes, Bytes.size(), H, nullptr));
+  }
+  // A counter-table entry claiming more uses than the trace has events
+  // (would previously rely on the final sum check, which a second huge
+  // entry could wrap past).
+  {
+    std::string Bytes = header(2, 4, 10, 256, 1);
+    putVarint(Bytes, 5); // block 0: Use > NumEvents
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    std::string Error;
+    EXPECT_FALSE(
+        parseSegmentedHeader(Bytes, Bytes.size() + 64, H, &Error));
+    EXPECT_NE(Error.find("counter table"), std::string::npos);
+  }
+  // Taken > Use within one entry.
+  {
+    std::string Bytes = header(1, 4, 10, 256, 1);
+    putVarint(Bytes, 4);
+    putVarint(Bytes, 5);
+    EXPECT_FALSE(
+        parseSegmentedHeader(Bytes, Bytes.size() + 64, H, nullptr));
+  }
+  auto counters = [](std::string &Out, uint64_t Use, uint64_t Taken) {
+    putVarint(Out, Use);
+    putVarint(Out, Taken);
+  };
+  // A zero-length directory entry.
+  {
+    std::string Bytes = header(1, 4, 10, 256, 1);
+    counters(Bytes, 4, 0);
+    putVarint(Bytes, 0); // Events = 0
+    putVarint(Bytes, 8); // PayloadBytes
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    std::string Error;
+    EXPECT_FALSE(
+        parseSegmentedHeader(Bytes, Bytes.size() + 8, H, &Error));
+    EXPECT_NE(Error.find("outside budget"), std::string::npos);
+  }
+  // An entry whose event count overflows its segment budget (and would
+  // otherwise be narrowed to uint32).
+  {
+    std::string Bytes = header(1, 4, 10, 256, 1);
+    counters(Bytes, 4, 0);
+    putVarint(Bytes, (uint64_t(1) << 32) + 4); // Events >> budget
+    putVarint(Bytes, 8);
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    EXPECT_FALSE(
+        parseSegmentedHeader(Bytes, Bytes.size() + 8, H, nullptr));
+  }
+  // A zero-byte payload (segments always hold >= 1 event, so their
+  // compressed payload can never be empty).
+  {
+    std::string Bytes = header(1, 4, 10, 256, 1);
+    counters(Bytes, 4, 0);
+    putVarint(Bytes, 4);
+    putVarint(Bytes, 0); // PayloadBytes = 0
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    std::string Error;
+    EXPECT_FALSE(
+        parseSegmentedHeader(Bytes, Bytes.size() + 8, H, &Error));
+    EXPECT_NE(Error.find("payload size"), std::string::npos);
+  }
+  // A payload claiming more bytes than the whole file.
+  {
+    std::string Bytes = header(1, 4, 10, 256, 1);
+    counters(Bytes, 4, 0);
+    putVarint(Bytes, 4);
+    putVarint(Bytes, uint64_t(1) << 40);
+    putVarint(Bytes, 0);
+    putVarint(Bytes, 0);
+    EXPECT_FALSE(
+        parseSegmentedHeader(Bytes, Bytes.size() + 8, H, nullptr));
+  }
+}

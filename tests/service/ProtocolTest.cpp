@@ -1,0 +1,192 @@
+//===- tests/service/ProtocolTest.cpp - Wire protocol tests -----*- C++ -*-===//
+
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+using namespace tpdbt;
+using namespace tpdbt::service;
+
+namespace {
+
+/// A connected in-process socket pair for exercising the frame I/O layer
+/// without a filesystem path.
+struct SocketPair {
+  UnixSocket A, B;
+  SocketPair() {
+    int Fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = UnixSocket(Fds[0]);
+    B = UnixSocket(Fds[1]);
+  }
+};
+
+SweepRequest sampleRequest() {
+  SweepRequest R;
+  R.Id = 42;
+  R.RequestKind = SweepRequest::Sweep;
+  R.Name = "gzip";
+  R.Scale = 0.25;
+  R.Thresholds = {100, 2000, 4000000};
+  return R;
+}
+
+} // namespace
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  SweepRequest In = sampleRequest();
+  SweepRequest Out;
+  ASSERT_TRUE(decodeRequest(encodeRequest(In), Out));
+  EXPECT_EQ(Out.Id, 42u);
+  EXPECT_EQ(Out.RequestKind, SweepRequest::Sweep);
+  EXPECT_EQ(Out.Name, "gzip");
+  EXPECT_DOUBLE_EQ(Out.Scale, 0.25);
+  EXPECT_EQ(Out.Thresholds, In.Thresholds);
+}
+
+TEST(ProtocolTest, ResultRoundTrips) {
+  SweepResult In;
+  In.Id = 7;
+  In.ResultStatus = Status::Busy;
+  In.Coalesced = true;
+  In.Payload = "threshold,sd_bp\n100,0.5\n";
+  SweepResult Out;
+  ASSERT_TRUE(decodeResult(encodeResult(In), Out));
+  EXPECT_EQ(Out.Id, 7u);
+  EXPECT_EQ(Out.ResultStatus, Status::Busy);
+  EXPECT_TRUE(Out.Coalesced);
+  EXPECT_EQ(Out.Payload, In.Payload);
+}
+
+TEST(ProtocolTest, ProgressStatsErrorRoundTrip) {
+  ProgressMsg P{9, "building"};
+  ProgressMsg P2;
+  ASSERT_TRUE(decodeProgress(encodeProgress(P), P2));
+  EXPECT_EQ(P2.Id, 9u);
+  EXPECT_EQ(P2.Stage, "building");
+
+  StatsMsg S;
+  S.Counters = {{"served", 12}, {"computed", 3}};
+  StatsMsg S2;
+  ASSERT_TRUE(decodeStats(encodeStats(S), S2));
+  ASSERT_EQ(S2.Counters.size(), 2u);
+  EXPECT_EQ(S2.Counters[0].first, "served");
+  EXPECT_EQ(S2.Counters[1].second, 3u);
+
+  ErrorMsg E{"bad frame"};
+  ErrorMsg E2;
+  ASSERT_TRUE(decodeError(encodeError(E), E2));
+  EXPECT_EQ(E2.Message, "bad frame");
+}
+
+TEST(ProtocolTest, DecodersRejectTruncationAndTrailingBytes) {
+  const std::string Body = encodeRequest(sampleRequest());
+  SweepRequest Out;
+  // Every strict prefix must fail, never crash or mis-decode.
+  for (size_t Len = 0; Len < Body.size(); ++Len)
+    EXPECT_FALSE(decodeRequest(Body.substr(0, Len), Out)) << Len;
+  EXPECT_FALSE(decodeRequest(Body + "x", Out));
+}
+
+TEST(ProtocolTest, DecoderRejectsHostileStringLength) {
+  // A request whose name length claims gigabytes but whose body holds a
+  // handful of bytes must be rejected without allocating the claim.
+  std::string Body;
+  Body.push_back(1);                      // Id = 1
+  Body.push_back(SweepRequest::Figure);   // kind
+  // Varint 0xFFFFFFFF (4 GiB) as the name length, then nothing.
+  Body += std::string("\xff\xff\xff\xff\x0f", 5);
+  SweepRequest Out;
+  EXPECT_FALSE(decodeRequest(Body, Out));
+}
+
+TEST(ProtocolTest, DecoderRejectsUnknownKindAndStatus) {
+  SweepRequest R = sampleRequest();
+  std::string Body = encodeRequest(R);
+  // The kind byte sits right after the one-byte Id varint.
+  Body[1] = 9;
+  SweepRequest Out;
+  EXPECT_FALSE(decodeRequest(Body, Out));
+
+  SweepResult Res;
+  Res.Id = 1;
+  std::string RBody = encodeResult(Res);
+  RBody[1] = 0x7f; // status byte
+  SweepResult ROut;
+  EXPECT_FALSE(decodeResult(RBody, ROut));
+}
+
+TEST(ProtocolTest, FrameLayoutIsLengthVersionType) {
+  const std::string Frame = encodeFrame(MsgType::Stats, "abc");
+  ASSERT_EQ(Frame.size(), 4u + 2u + 3u);
+  // Little-endian payload length covers version + type + body.
+  EXPECT_EQ(static_cast<uint8_t>(Frame[0]), 5u);
+  EXPECT_EQ(static_cast<uint8_t>(Frame[1]), 0u);
+  EXPECT_EQ(static_cast<uint8_t>(Frame[4]), ProtocolVersion);
+  EXPECT_EQ(static_cast<uint8_t>(Frame[5]),
+            static_cast<uint8_t>(MsgType::Stats));
+  EXPECT_EQ(Frame.substr(6), "abc");
+}
+
+TEST(ProtocolTest, FramesCrossASocket) {
+  SocketPair P;
+  ASSERT_TRUE(writeFrame(P.A, MsgType::Request,
+                         encodeRequest(sampleRequest())));
+  MsgType Type;
+  std::string Body, Error;
+  ASSERT_TRUE(readFrame(P.B, Type, Body, &Error)) << Error;
+  EXPECT_EQ(Type, MsgType::Request);
+  SweepRequest Out;
+  ASSERT_TRUE(decodeRequest(Body, Out));
+  EXPECT_EQ(Out.Name, "gzip");
+}
+
+TEST(ProtocolTest, ReadFrameRejectsOversizedPayload) {
+  SocketPair P;
+  // Hand-craft a header claiming MaxFramePayload + 1 bytes.
+  const uint32_t Claim = MaxFramePayload + 1;
+  uint8_t Header[6] = {static_cast<uint8_t>(Claim),
+                       static_cast<uint8_t>(Claim >> 8),
+                       static_cast<uint8_t>(Claim >> 16),
+                       static_cast<uint8_t>(Claim >> 24),
+                       ProtocolVersion,
+                       static_cast<uint8_t>(MsgType::Stats)};
+  ASSERT_TRUE(P.A.sendAll(Header, sizeof(Header)));
+  MsgType Type;
+  std::string Body, Error;
+  EXPECT_FALSE(readFrame(P.B, Type, Body, &Error));
+  EXPECT_EQ(Error, "frame exceeds payload bound");
+}
+
+TEST(ProtocolTest, ReadFrameRejectsWrongVersionAndShortFrames) {
+  {
+    SocketPair P;
+    std::string Frame = encodeFrame(MsgType::Stats, "");
+    Frame[4] = static_cast<char>(ProtocolVersion + 1);
+    ASSERT_TRUE(P.A.sendAll(Frame));
+    MsgType Type;
+    std::string Body, Error;
+    EXPECT_FALSE(readFrame(P.B, Type, Body, &Error));
+    EXPECT_EQ(Error, "unsupported protocol version");
+  }
+  {
+    SocketPair P;
+    const uint8_t Header[4] = {1, 0, 0, 0}; // payload too short for v+type
+    ASSERT_TRUE(P.A.sendAll(Header, sizeof(Header)));
+    MsgType Type;
+    std::string Body, Error;
+    EXPECT_FALSE(readFrame(P.B, Type, Body, &Error));
+    EXPECT_EQ(Error, "frame too short");
+  }
+}
+
+TEST(ProtocolTest, ReadFrameReportsEofAsConnectionClosed) {
+  SocketPair P;
+  P.A.close();
+  MsgType Type;
+  std::string Body, Error;
+  EXPECT_FALSE(readFrame(P.B, Type, Body, &Error));
+  EXPECT_EQ(Error, "connection closed");
+}

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -119,5 +120,52 @@ TEST(SpscRingTest, ConsumerBlocksUntilProducerCloses) {
   EXPECT_TRUE(R.pop(Out)); // blocks through the producer's sleep
   EXPECT_EQ(Out, 7);
   EXPECT_FALSE(R.pop(Out));
+  Producer.join();
+}
+
+TEST(SpscRingTest, CloseWhileFullStillDrainsEverything) {
+  // Producer closes while the ring is at capacity: every queued item must
+  // still pop out in order, and only then does pop() report end-of-stream.
+  SpscRing<int> R(4);
+  const size_t Cap = R.capacity();
+  for (size_t I = 0; I < Cap; ++I) {
+    int V = static_cast<int>(I);
+    ASSERT_TRUE(R.tryPush(V));
+  }
+  int Rejected = 99;
+  EXPECT_FALSE(R.tryPush(Rejected)); // full
+  R.close();
+  EXPECT_TRUE(R.closed());
+  int Out = -1;
+  for (size_t I = 0; I < Cap; ++I) {
+    ASSERT_TRUE(R.pop(Out));
+    EXPECT_EQ(Out, static_cast<int>(I));
+  }
+  EXPECT_FALSE(R.pop(Out));
+  EXPECT_FALSE(R.pop(Out)); // end-of-stream is sticky
+}
+
+TEST(SpscRingTest, ProducerBlockedInPushSurvivesConsumerDrain) {
+  // A producer blocked on a full ring (backpressure) resumes as soon as
+  // the consumer frees a slot; nothing is lost or reordered around the
+  // wrap.
+  SpscRing<int> R(2);
+  const size_t Cap = R.capacity();
+  const int N = 200;
+  std::thread Producer([&R] {
+    for (int I = 0; I < N; ++I)
+      R.push(I); // blocks whenever the consumer lags Cap items behind
+    R.close();
+  });
+  // Give the producer time to fill the ring and park in push().
+  while (R.size() < Cap)
+    std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int Out = -1, Expected = 0;
+  while (R.pop(Out)) {
+    EXPECT_EQ(Out, Expected);
+    ++Expected;
+  }
+  EXPECT_EQ(Expected, N);
   Producer.join();
 }

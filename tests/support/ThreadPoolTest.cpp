@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <vector>
 
 using namespace tpdbt;
@@ -92,4 +93,65 @@ TEST(ParallelForTest, HandlesZeroCount) {
   bool Ran = false;
   parallelFor(0, 4, [&](size_t) { Ran = true; });
   EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  Pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int I = 0; I < 20; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The throwing task never takes a worker down: everything else ran.
+  EXPECT_EQ(Ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotStickAcrossWaits) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The pool is reusable and the error was consumed by the first wait().
+  std::atomic<int> Ran{0};
+  Pool.submit([&Ran] { Ran.fetch_add(1); });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfManyExceptionsIsReported) {
+  ThreadPool Pool(4);
+  for (int I = 0; I < 16; ++I)
+    Pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_NO_THROW(Pool.wait()); // the rest were dropped, not queued
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsTaskExceptions) {
+  // No wait() before destruction: the join must not terminate.
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("dropped at join"); });
+}
+
+TEST(ParallelForTest, RethrowsBodyExceptionAfterFinishing) {
+  std::atomic<size_t> Ran{0};
+  EXPECT_THROW(parallelFor(64, 4,
+                           [&Ran](size_t I) {
+                             Ran.fetch_add(1);
+                             if (I == 7)
+                               throw std::runtime_error("body failed");
+                           }),
+               std::runtime_error);
+  // Threaded mode completes the remaining indexes before rethrowing.
+  EXPECT_EQ(Ran.load(), 64u);
+}
+
+TEST(ParallelForTest, InlineModeStopsAtThrowingIndex) {
+  size_t Ran = 0;
+  EXPECT_THROW(parallelFor(10, 1,
+                           [&Ran](size_t I) {
+                             ++Ran;
+                             if (I == 3)
+                               throw std::runtime_error("inline");
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(Ran, 4u); // indexes 0..3, exactly like a plain loop
 }

@@ -1,0 +1,363 @@
+//===- tools/tpdbt_sweep.cpp - Sweep-service client ------------------------===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+// Command-line client for tpdbt-sweepd: requests a figure or a
+// per-benchmark sweep over the Unix-domain socket, optionally with N
+// concurrent identical connections (--count, for exercising the daemon's
+// request coalescing), and can compute the same table in-process
+// (--local) so CI can byte-diff daemon output against the library path.
+//
+//===-----------------------------------------------------------------------===//
+
+#include "core/Figures.h"
+#include "service/Protocol.h"
+#include "service/SweepService.h"
+#include "support/TextFile.h"
+#include "workloads/BenchSpec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tpdbt;
+using namespace tpdbt::service;
+
+namespace {
+
+int usage(const char *Prog, int Code) {
+  std::printf(
+      "usage: %s [options] (--figure NAME | --sweep BENCH | --list |\n"
+      "                     --stats | --shutdown)\n"
+      "\n"
+      "options:\n"
+      "  --socket PATH      daemon socket (default $TPDBT_SWEEPD_SOCKET or\n"
+      "                     /tmp/tpdbt-sweepd.sock)\n"
+      "  --scale X          workload scale (default $TPDBT_SCALE or 1.0)\n"
+      "  --thresholds A,B   sweep thresholds (sweep only; default: paper "
+      "sweep)\n"
+      "  --count N          send N concurrent identical requests and report\n"
+      "                     how many coalesced (default 1)\n"
+      "  --out FILE         write the result CSV to FILE (default stdout)\n"
+      "  --local            compute in-process instead of asking the daemon\n"
+      "  --quiet            suppress progress lines\n"
+      "\n"
+      "exit status: 0 ok, 1 connection/protocol failure, 2 usage,\n"
+      "             3 daemon reported an error status\n",
+      Prog);
+  return Code;
+}
+
+struct Options {
+  std::string Socket = "/tmp/tpdbt-sweepd.sock";
+  SweepRequest Request;
+  bool HaveRequest = false;
+  bool List = false;
+  bool Stats = false;
+  bool Shutdown = false;
+  bool Local = false;
+  bool Quiet = false;
+  unsigned Count = 1;
+  std::string OutFile;
+};
+
+bool parseThresholds(const char *Arg, std::vector<uint64_t> &Out) {
+  std::string S(Arg);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(S.c_str() + Pos, &End, 10);
+    if (End != S.c_str() + Comma || V == 0)
+      return false;
+    Out.push_back(V);
+    Pos = Comma + 1;
+  }
+  return !Out.empty();
+}
+
+struct OneResult {
+  bool Ok = false; ///< transport-level success (a RESULT arrived)
+  SweepResult Reply;
+  std::string Error;
+};
+
+OneResult runOne(const Options &Opts, uint64_t Id) {
+  OneResult R;
+  UnixSocket Sock = UnixSocket::connectTo(Opts.Socket, &R.Error);
+  if (!Sock.valid())
+    return R;
+  SweepRequest Req = Opts.Request;
+  Req.Id = Id;
+  if (!writeFrame(Sock, MsgType::Request, encodeRequest(Req))) {
+    R.Error = "send failed";
+    return R;
+  }
+  for (;;) {
+    MsgType Type;
+    std::string Body;
+    if (!readFrame(Sock, Type, Body, &R.Error))
+      return R;
+    if (Type == MsgType::Progress) {
+      ProgressMsg P;
+      if (decodeProgress(Body, P) && !Opts.Quiet)
+        std::fprintf(stderr, "tpdbt-sweep: [%llu] %s\n",
+                     static_cast<unsigned long long>(P.Id),
+                     P.Stage.c_str());
+      continue;
+    }
+    if (Type == MsgType::Result) {
+      if (!decodeResult(Body, R.Reply)) {
+        R.Error = "malformed RESULT";
+        return R;
+      }
+      R.Ok = true;
+      return R;
+    }
+    if (Type == MsgType::Error) {
+      ErrorMsg E;
+      R.Error = decodeError(Body, E) ? E.Message : "malformed ERROR";
+      return R;
+    }
+    R.Error = "unexpected frame from daemon";
+    return R;
+  }
+}
+
+int emitPayload(const Options &Opts, const std::string &Payload) {
+  if (Opts.OutFile.empty()) {
+    std::fwrite(Payload.data(), 1, Payload.size(), stdout);
+    return 0;
+  }
+  if (!writeTextFileAtomic(Opts.OutFile, Payload)) {
+    std::fprintf(stderr, "tpdbt-sweep: cannot write %s\n",
+                 Opts.OutFile.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int runLocal(const Options &Opts) {
+  core::ExperimentConfig C;
+  std::string Error;
+  if (SweepService::resolveConfig(core::ExperimentConfig::fromEnv(),
+                                  Opts.Request, C,
+                                  &Error) != Status::Ok) {
+    std::fprintf(stderr, "tpdbt-sweep: %s\n", Error.c_str());
+    return 3;
+  }
+  core::ExperimentContext Ctx(C);
+  Table T = SweepService::buildTable(Ctx, Opts.Request);
+  if (!Opts.Quiet)
+    std::fprintf(stderr, "tpdbt-sweep: local build: %s\n",
+                 Ctx.statsSummary().c_str());
+  return emitPayload(Opts, T.toCsv());
+}
+
+int runRequests(const Options &Opts) {
+  std::vector<OneResult> Results(Opts.Count);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Opts.Count);
+  for (unsigned I = 0; I < Opts.Count; ++I)
+    Threads.emplace_back(
+        [&Results, &Opts, I] { Results[I] = runOne(Opts, I); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  unsigned Ok = 0, Coalesced = 0, Failed = 0;
+  const std::string *Payload = nullptr;
+  bool Mismatch = false;
+  for (const OneResult &R : Results) {
+    if (!R.Ok) {
+      ++Failed;
+      std::fprintf(stderr, "tpdbt-sweep: %s\n", R.Error.c_str());
+      continue;
+    }
+    if (R.Reply.ResultStatus != Status::Ok) {
+      ++Failed;
+      std::fprintf(stderr, "tpdbt-sweep: daemon: %s\n",
+                   R.Reply.Payload.c_str());
+      continue;
+    }
+    ++Ok;
+    if (R.Reply.Coalesced)
+      ++Coalesced;
+    if (!Payload)
+      Payload = &R.Reply.Payload;
+    else if (*Payload != R.Reply.Payload)
+      Mismatch = true;
+  }
+
+  if (Opts.Count > 1 || !Opts.Quiet)
+    std::fprintf(stderr,
+                 "tpdbt-sweep: %u ok, computed=%u coalesced=%u failed=%u\n",
+                 Ok, Ok - Coalesced, Coalesced, Failed);
+  if (Mismatch) {
+    std::fprintf(stderr,
+                 "tpdbt-sweep: identical requests returned different "
+                 "payloads\n");
+    return 1;
+  }
+  if (!Payload)
+    return Failed ? 3 : 1;
+  int Code = emitPayload(Opts, *Payload);
+  if (Code != 0)
+    return Code;
+  return Failed ? 3 : 0;
+}
+
+int runStats(const Options &Opts) {
+  std::string Error;
+  UnixSocket Sock = UnixSocket::connectTo(Opts.Socket, &Error);
+  if (!Sock.valid()) {
+    std::fprintf(stderr, "tpdbt-sweep: %s\n", Error.c_str());
+    return 1;
+  }
+  StatsMsg Empty;
+  if (!writeFrame(Sock, MsgType::Stats, encodeStats(Empty))) {
+    std::fprintf(stderr, "tpdbt-sweep: send failed\n");
+    return 1;
+  }
+  MsgType Type;
+  std::string Body;
+  if (!readFrame(Sock, Type, Body, &Error) || Type != MsgType::Stats) {
+    std::fprintf(stderr, "tpdbt-sweep: %s\n",
+                 Error.empty() ? "unexpected reply" : Error.c_str());
+    return 1;
+  }
+  StatsMsg M;
+  if (!decodeStats(Body, M)) {
+    std::fprintf(stderr, "tpdbt-sweep: malformed STATS reply\n");
+    return 1;
+  }
+  for (const auto &[Name, Value] : M.Counters)
+    std::printf("%s %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(Value));
+  return 0;
+}
+
+int runShutdown(const Options &Opts) {
+  std::string Error;
+  UnixSocket Sock = UnixSocket::connectTo(Opts.Socket, &Error);
+  if (!Sock.valid()) {
+    std::fprintf(stderr, "tpdbt-sweep: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!writeFrame(Sock, MsgType::Shutdown, std::string())) {
+    std::fprintf(stderr, "tpdbt-sweep: send failed\n");
+    return 1;
+  }
+  MsgType Type;
+  std::string Body;
+  SweepResult Ack;
+  if (!readFrame(Sock, Type, Body, &Error) || Type != MsgType::Result ||
+      !decodeResult(Body, Ack) || Ack.ResultStatus != Status::Ok) {
+    std::fprintf(stderr, "tpdbt-sweep: shutdown not acknowledged%s%s\n",
+                 Error.empty() ? "" : ": ", Error.c_str());
+    return 1;
+  }
+  if (!Opts.Quiet)
+    std::fprintf(stderr, "tpdbt-sweep: daemon acknowledged shutdown\n");
+  return 0;
+}
+
+int runList() {
+  std::printf("figures (--figure NAME):\n");
+  for (const core::FigureSpec &Spec : core::figureRegistry())
+    std::printf("  %-22s %s\n", Spec.Name, Spec.Description);
+  std::printf("\nbenchmarks (--sweep BENCH):\n");
+  for (const workloads::BenchSpec &Spec : workloads::spec2000Suite())
+    std::printf("  %s\n", Spec.Name.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  if (const char *Env = std::getenv("TPDBT_SWEEPD_SOCKET"))
+    if (*Env)
+      Opts.Socket = Env;
+  Opts.Request.Scale = core::ExperimentConfig::fromEnv().Scale;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h"))
+      return usage(argv[0], 0);
+    if (!std::strcmp(Arg, "--list")) {
+      Opts.List = true;
+    } else if (!std::strcmp(Arg, "--stats")) {
+      Opts.Stats = true;
+    } else if (!std::strcmp(Arg, "--shutdown")) {
+      Opts.Shutdown = true;
+    } else if (!std::strcmp(Arg, "--local")) {
+      Opts.Local = true;
+    } else if (!std::strcmp(Arg, "--quiet")) {
+      Opts.Quiet = true;
+    } else if (!std::strcmp(Arg, "--figure")) {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0], 2);
+      Opts.Request.RequestKind = SweepRequest::Figure;
+      Opts.Request.Name = V;
+      Opts.HaveRequest = true;
+    } else if (!std::strcmp(Arg, "--sweep")) {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0], 2);
+      Opts.Request.RequestKind = SweepRequest::Sweep;
+      Opts.Request.Name = V;
+      Opts.HaveRequest = true;
+    } else if (!std::strcmp(Arg, "--scale")) {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0], 2);
+      Opts.Request.Scale = std::atof(V);
+    } else if (!std::strcmp(Arg, "--thresholds")) {
+      const char *V = Value();
+      if (!V || !parseThresholds(V, Opts.Request.Thresholds)) {
+        std::fprintf(stderr, "%s: bad --thresholds list\n", argv[0]);
+        return 2;
+      }
+    } else if (!std::strcmp(Arg, "--count")) {
+      const char *V = Value();
+      long N = V ? std::strtol(V, nullptr, 10) : 0;
+      if (N < 1 || N > 1024) {
+        std::fprintf(stderr, "%s: --count wants 1..1024\n", argv[0]);
+        return 2;
+      }
+      Opts.Count = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Arg, "--out")) {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0], 2);
+      Opts.OutFile = V;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], Arg);
+      return usage(argv[0], 2);
+    }
+  }
+
+  if (Opts.List)
+    return runList();
+  if (Opts.Stats)
+    return runStats(Opts);
+  if (Opts.Shutdown)
+    return runShutdown(Opts);
+  if (!Opts.HaveRequest) {
+    std::fprintf(stderr, "%s: nothing to do (try --help)\n", argv[0]);
+    return 2;
+  }
+  if (Opts.Local)
+    return runLocal(Opts);
+  return runRequests(Opts);
+}

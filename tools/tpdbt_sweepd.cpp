@@ -1,0 +1,113 @@
+//===- tools/tpdbt_sweepd.cpp - Sweep-service daemon -----------------------===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+// The long-running sweep daemon: listens on a Unix-domain socket, serves
+// figure and per-benchmark sweep requests from tpdbt-sweep clients, and
+// keeps one process-wide trace/profile cache warm across all of them.
+// See docs/PROTOCOL.md for the wire format and ARCHITECTURE.md for the
+// service layering.
+//
+//===-----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+
+using namespace tpdbt;
+using namespace tpdbt::service;
+
+namespace {
+
+// Signal path: handlers may only touch async-signal-safe calls, so they
+// shutdown(2) the listener fd; accept() then returns and run() performs
+// the orderly stop on its own thread.
+std::atomic<int> ListenerFd{-1};
+
+void onSignal(int) {
+  int Fd = ListenerFd.load();
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+int usage(const char *Prog, int Code) {
+  std::printf(
+      "usage: %s [--socket PATH] [--quiet]\n"
+      "\n"
+      "Serves tpdbt figure and sweep requests over a Unix-domain socket\n"
+      "(protocol: docs/PROTOCOL.md; client: tpdbt-sweep). Identical\n"
+      "concurrent requests are coalesced into one computation; all\n"
+      "configurations share one size-bounded trace cache.\n"
+      "\n"
+      "environment:\n"
+      "  TPDBT_SWEEPD_SOCKET        socket path (default "
+      "/tmp/tpdbt-sweepd.sock)\n"
+      "  TPDBT_SWEEPD_MAX_ACTIVE    concurrent computations (default: "
+      "hardware)\n"
+      "  TPDBT_SWEEPD_CLIENT_DEPTH  outstanding requests per client "
+      "(default 16)\n"
+      "  TPDBT_CACHE_DIR            shared cache directory (default "
+      "./tpdbt_cache)\n"
+      "  TPDBT_CACHE_MAX_BYTES      trace-store disk budget (0/unset = "
+      "unbounded)\n"
+      "  TPDBT_JOBS                 worker threads per computation\n",
+      Prog);
+  return Code;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  DaemonOptions Opts = DaemonOptions::fromEnv();
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h"))
+      return usage(argv[0], 0);
+    if (!std::strcmp(Arg, "--quiet")) {
+      Opts.Quiet = true;
+      continue;
+    }
+    if (!std::strcmp(Arg, "--socket") && I + 1 < argc) {
+      Opts.SocketPath = argv[++I];
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], Arg);
+    return usage(argv[0], 2);
+  }
+
+  Daemon D(Opts);
+  std::string Error;
+  if (!D.start(&Error)) {
+    std::fprintf(stderr, "tpdbt-sweepd: %s\n", Error.c_str());
+    return 1;
+  }
+  ListenerFd.store(D.listenerFd());
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr,
+               "tpdbt-sweepd: listening on %s (max_active=%u, "
+               "client_depth=%u, cache=%s, budget=%llu bytes)\n",
+               Opts.SocketPath.c_str(), Opts.Limits.effectiveMaxActive(),
+               Opts.Limits.ClientDepth, Opts.Base.CacheDir.c_str(),
+               static_cast<unsigned long long>(core::cacheMaxBytes()));
+
+  D.run();
+
+  const ServiceCounters &S = D.service().stats();
+  std::fprintf(stderr,
+               "tpdbt-sweepd: stopped (served=%llu computed=%llu "
+               "coalesced=%llu queued=%llu rejected=%llu)\n",
+               static_cast<unsigned long long>(S.Served.load()),
+               static_cast<unsigned long long>(S.Computed.load()),
+               static_cast<unsigned long long>(S.Coalesced.load()),
+               static_cast<unsigned long long>(S.Queued.load()),
+               static_cast<unsigned long long>(S.Rejected.load()));
+  return 0;
+}
