@@ -120,6 +120,31 @@ BENCHMARK_CAPTURE(BM_RecordBenchmark, swim, "swim")
 BENCHMARK_CAPTURE(BM_RecordBenchmark, mcf, "mcf")
     ->Unit(benchmark::kMillisecond);
 
+/// The same record pass with the jit tier switched off (TPDBT_HOST_JIT=0,
+/// pre-decoded dispatch only): the gap to the plain BM_RecordBenchmark
+/// row is the native-code speedup of the hottest chains and self-loops.
+/// The knob is read per HostTier construction, so flipping it around the
+/// timed region is enough.
+void BM_RecordBenchmarkNoJit(benchmark::State &State, const char *Name) {
+  auto B = workloads::generateBenchmark(
+      workloads::scaledSpec(*workloads::findSpec(Name), 0.02));
+  setenv("TPDBT_HOST_JIT", "0", 1);
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    core::BlockTrace T = core::BlockTrace::record(B.Ref, ~0ull);
+    Events += T.numEvents();
+    benchmark::DoNotOptimize(T.totalInsts());
+  }
+  unsetenv("TPDBT_HOST_JIT");
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK_CAPTURE(BM_RecordBenchmarkNoJit, gzip, "gzip")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RecordBenchmarkNoJit, swim, "swim")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RecordBenchmarkNoJit, mcf, "mcf")
+    ->Unit(benchmark::kMillisecond);
+
 /// The full cold-record cache miss — interpret, serialize, compress,
 /// index, write .trace + .trace.idx — through the segmented pipeline
 /// (TPDBT_SEGMENT_EVENTS at its default) vs. the monolithic v2 writer

@@ -334,6 +334,8 @@ std::string ExperimentContext::statsSummary() const {
       "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
       "%.1fs replaying, index %llu hit / %llu build (%.1fs), "
       "host %llu chained / %llu folded (%llu closed) / %llu fallback, "
+      "jit %llu units / %llu blk / %llu iter / %llu deopt / %llu flush "
+      "(%.2fs compile), "
       "stream %llu rec / %llu seg (%.1fs work, %.1fs flush), "
       "evict %llu (%.1f MB)",
       Config.effectiveJobs(),
@@ -371,6 +373,19 @@ std::string ExperimentContext::statsSummary() const {
           TC.HostClosedFormIters.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           TC.HostFallbacks.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.JitUnits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.JitBlocks.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.JitLoopIters.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.JitDeopts.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          TC.JitFlushes.load(std::memory_order_relaxed)),
+      static_cast<double>(
+          TC.JitCompileMicros.load(std::memory_order_relaxed)) /
+          1e6,
       static_cast<unsigned long long>(
           TC.StreamedRecords.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(

@@ -215,6 +215,13 @@ TraceCache::get(const std::string &Name, const std::string &Input,
   Stats.HostClosedFormIters.fetch_add(Tier.ClosedFormIters,
                                       std::memory_order_relaxed);
   Stats.HostFallbacks.fetch_add(Tier.Fallbacks, std::memory_order_relaxed);
+  Stats.JitUnits.fetch_add(Tier.JitUnits, std::memory_order_relaxed);
+  Stats.JitBlocks.fetch_add(Tier.JitBlocks, std::memory_order_relaxed);
+  Stats.JitLoopIters.fetch_add(Tier.JitLoopIters, std::memory_order_relaxed);
+  Stats.JitDeopts.fetch_add(Tier.JitDeopts, std::memory_order_relaxed);
+  Stats.JitFlushes.fetch_add(Tier.JitFlushes, std::memory_order_relaxed);
+  Stats.JitCompileMicros.fetch_add(Tier.JitCompileMicros,
+                                   std::memory_order_relaxed);
   if (Pipe) {
     // Streamed path: the pipeline already compressed and indexed every
     // segment behind the recording; finish() drains the tail, assembles

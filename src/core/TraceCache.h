@@ -113,6 +113,17 @@ public:
     std::atomic<uint64_t> HostFoldedIters{0};
     std::atomic<uint64_t> HostClosedFormIters{0};
     std::atomic<uint64_t> HostFallbacks{0};
+    /// Jit tier coverage (see src/jit): units compiled to native code,
+    /// chain block events and self-loop iterations executed natively,
+    /// deopt exits (guard mismatch or fault in compiled code — disjoint
+    /// from HostFallbacks, which counts the pre-decoded tier only),
+    /// whole-code-cache flushes, and compile+install wall time.
+    std::atomic<uint64_t> JitUnits{0};
+    std::atomic<uint64_t> JitBlocks{0};
+    std::atomic<uint64_t> JitLoopIters{0};
+    std::atomic<uint64_t> JitDeopts{0};
+    std::atomic<uint64_t> JitFlushes{0};
+    std::atomic<uint64_t> JitCompileMicros{0};
     /// LRU evictions from the size-bounded disk layer
     /// (TPDBT_CACHE_MAX_BYTES): entries removed and the trace+sidecar
     /// bytes they freed.

@@ -1,0 +1,76 @@
+//===- jit/CodeBuffer.cpp - W^X executable code cache ----------------------===//
+
+#include "jit/CodeBuffer.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define TPDBT_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define TPDBT_JIT_HAVE_MMAP 0
+#endif
+
+using namespace tpdbt::jit;
+
+CodeBuffer::CodeBuffer(size_t MaxBytes) : Cap(MaxBytes) {}
+
+bool CodeBuffer::supported() { return TPDBT_JIT_HAVE_MMAP != 0; }
+
+#if TPDBT_JIT_HAVE_MMAP
+
+CodeBuffer::~CodeBuffer() {
+  if (Base)
+    ::munmap(Base, Cap);
+}
+
+bool CodeBuffer::ensureMapped() {
+  if (Base)
+    return true;
+  if (MapFailed)
+    return false;
+  const size_t Page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  Cap = (Cap + Page - 1) / Page * Page;
+  if (Cap == 0)
+    Cap = Page;
+  void *P = ::mmap(nullptr, Cap, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED) {
+    MapFailed = true;
+    return false;
+  }
+  Base = static_cast<uint8_t *>(P);
+  return true;
+}
+
+const void *CodeBuffer::install(const uint8_t *Code, size_t Size) {
+  if (!ensureMapped())
+    return nullptr;
+  const size_t Aligned = (Cursor + 15) & ~static_cast<size_t>(15);
+  if (Size > Cap || Aligned > Cap - Size)
+    return nullptr;
+  // W^X: the whole mapping flips to RW for the copy and back to RX before
+  // the entry point is handed out. Nothing in the cache executes while we
+  // are here (single-threaded dispatch, no jitted frames live).
+  if (::mprotect(Base, Cap, PROT_READ | PROT_WRITE) != 0) {
+    MapFailed = true;
+    return nullptr;
+  }
+  std::memcpy(Base + Aligned, Code, Size);
+  if (::mprotect(Base, Cap, PROT_READ | PROT_EXEC) != 0) {
+    MapFailed = true;
+    return nullptr;
+  }
+  Cursor = Aligned + Size;
+  return Base + Aligned;
+}
+
+#else // !TPDBT_JIT_HAVE_MMAP
+
+CodeBuffer::~CodeBuffer() = default;
+
+bool CodeBuffer::ensureMapped() { return false; }
+
+const void *CodeBuffer::install(const uint8_t *, size_t) { return nullptr; }
+
+#endif

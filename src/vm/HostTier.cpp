@@ -3,6 +3,7 @@
 #include "vm/HostTier.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 using namespace tpdbt;
@@ -17,12 +18,157 @@ bool HostTier::enabled() {
   return Enabled;
 }
 
-HostTier::HostTier(const Interpreter &I) : I(I) {
+bool HostTier::jitEnabled() {
+  if (!jit::CodeBuffer::supported())
+    return false;
+  const char *V = std::getenv("TPDBT_HOST_JIT");
+  return !(V && V[0] == '0' && V[1] == '\0');
+}
+
+uint32_t HostTier::jitHeat() {
+  const char *V = std::getenv("TPDBT_JIT_HEAT");
+  if (!V || !V[0])
+    return DefaultJitHeat;
+  const unsigned long long N = std::strtoull(V, nullptr, 10);
+  if (N < 1)
+    return 1;
+  return N > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(N);
+}
+
+size_t HostTier::jitCacheBytes() {
+  const char *V = std::getenv("TPDBT_JIT_CACHE_BYTES");
+  if (!V || !V[0])
+    return DefaultJitCacheBytes;
+  const unsigned long long N = std::strtoull(V, nullptr, 10);
+  return N < 4096 ? 4096 : static_cast<size_t>(N);
+}
+
+HostTier::HostTier(const Interpreter &I) : I(I), Cache(jitCacheBytes()) {
   const size_t N = I.program().numBlocks();
   SbOf.assign(N, -1);
   Heat.assign(N, 0);
   LastNext.assign(N, InvalidBlock);
   SameCount.assign(N, 0);
+  JitOn = jitEnabled();
+  JitHeatVal = jitHeat();
+  LoopFn.assign(N, nullptr);
+  LoopNoJit.assign(N, 0);
+  LoopHeat.assign(N, 0);
+}
+
+bool HostTier::jitChainReady(Superblock &S) {
+  if (S.Fn)
+    return true;
+  if (S.NoJit)
+    return false;
+  if (++S.Uses < JitHeatVal)
+    return false;
+  return compileChainFn(S) != nullptr;
+}
+
+bool HostTier::jitLoopReady(BlockId B) {
+  if (LoopFn[B])
+    return true;
+  if (LoopNoJit[B])
+    return false;
+  if (LoopHeat[B] < JitHeatVal)
+    return false;
+  return compileLoopFn(B) != nullptr;
+}
+
+jit::JitFn HostTier::compileChainFn(Superblock &S) {
+  const auto T0 = std::chrono::steady_clock::now();
+  std::vector<jit::JitSegment> Segs(S.Segs.size());
+  for (size_t K = 0; K < S.Segs.size(); ++K) {
+    const Seg &G = S.Segs[K];
+    Segs[K].Begin = SbOps.data() + G.OpBegin;
+    Segs[K].End = SbOps.data() + G.OpEnd;
+    Segs[K].Term = G.Term;
+    Segs[K].ExpectTaken = S.Events[K].Branch == 2;
+  }
+  const std::vector<uint8_t> Code = jit::compileChain(Segs.data(), Segs.size());
+  const void *Entry = installCode(Code);
+  St.JitCompileMicros += std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+  if (!Entry) {
+    S.NoJit = true;
+    return nullptr;
+  }
+  ++St.JitUnits;
+  return S.Fn = reinterpret_cast<jit::JitFn>(const_cast<void *>(Entry));
+}
+
+jit::JitFn HostTier::compileLoopFn(BlockId B) {
+  const auto T0 = std::chrono::steady_clock::now();
+  const std::vector<uint8_t> Code = jit::compileSelfLoop(
+      I.Ops.data() + I.First[B], I.Ops.data() + I.First[B + 1], I.Terms[B],
+      I.selfLoop(B).StayBranch);
+  const void *Entry = installCode(Code);
+  St.JitCompileMicros += std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+  if (!Entry) {
+    LoopNoJit[B] = 1;
+    return nullptr;
+  }
+  ++St.JitUnits;
+  return LoopFn[B] = reinterpret_cast<jit::JitFn>(const_cast<void *>(Entry));
+}
+
+const void *HostTier::installCode(const std::vector<uint8_t> &Code) {
+  const void *Entry = Cache.install(Code.data(), Code.size());
+  if (Entry)
+    return Entry;
+  // Cache full: drop every translation and let heat re-derive the hot
+  // set — the classic whole-cache flush-on-full policy. A unit that
+  // still does not fit is bigger than the entire cache and is marked
+  // NoJit by the caller.
+  flushJit();
+  return Cache.install(Code.data(), Code.size());
+}
+
+void HostTier::flushJit() {
+  Cache.flush();
+  ++St.JitFlushes;
+  for (Superblock &S : Sbs) {
+    S.Fn = nullptr;
+    S.Uses = 0; // re-accumulate heat: rate-limits recompile thrash
+  }
+  std::fill(LoopFn.begin(), LoopFn.end(), nullptr);
+  std::fill(LoopHeat.begin(), LoopHeat.end(), 0u);
+}
+
+uint64_t HostTier::runJitSelfLoop(BlockId B, Machine &M, uint64_t MaxIters,
+                                  BlockResult &Exit, bool &ExitValid) {
+  const jit::JitExit R = LoopFn[B](M.Regs.data(), M.Mem.data(),
+                                   M.Mem.size(), MaxIters);
+  St.JitLoopIters += R.Done;
+  switch (jit::exitKind(R.Info)) {
+  case jit::ExitKind::Ok:
+    // The iteration budget ran out with the loop still spinning; there
+    // is no exit execution (mirrors Interpreter::runSelfLoop).
+    ExitValid = false;
+    break;
+  case jit::ExitKind::OffChain: {
+    // The latch finally left the loop: a normal exit execution, not a
+    // deopt — the interpreted tier does not count these either.
+    const Interpreter::DecodedTerm &T = I.Terms[B];
+    Exit.IsCondBranch = true;
+    Exit.Taken = jit::exitTaken(R.Info);
+    Exit.Next = Exit.Taken ? T.Taken : T.Fall;
+    Exit.InstsExecuted = I.selfLoop(B).FullInsts;
+    ExitValid = true;
+    break;
+  }
+  case jit::ExitKind::Fault:
+    Exit.Reason = StopReason::MemFault;
+    Exit.InstsExecuted = jit::exitFaultOp(R.Info) + 1;
+    ExitValid = true;
+    ++St.JitDeopts;
+    break;
+  }
+  return R.Done;
 }
 
 void HostTier::observe(BlockId B, const BlockResult &R) {
@@ -111,7 +257,7 @@ void HostTier::tryPromote(BlockId Head) {
 }
 
 void HostTier::demote(int32_t Sb) {
-  // A head whose first guard keeps failing has changed phase: return it
+  // A chain whose guards keep failing has changed phase: return its head
   // to the cold tier and let fresh profiling decide on a new chain. The
   // superblock slot stays allocated (demotion is rare) but unreachable.
   const BlockId Head = Sbs[Sb].Events.front().Block;

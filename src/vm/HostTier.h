@@ -30,22 +30,48 @@
 ///  3. Cold tier — plain executeBlock with successor profiling. A block
 ///     that reaches PromoteHeat executions (conditional members also need
 ///     StableMin consecutive identical outcomes) becomes a chain head;
-///     heads whose first guard keeps failing (a phase change) are demoted
-///     back to cold.
+///     chains whose guards keep failing (a phase change) are demoted
+///     back to cold, and deviating executions feed the successor profile
+///     so re-promotion learns the new direction.
+///
+/// On top of the ladder sits the *jit tier* (src/jit): superblock chains
+/// and non-closed-form self-loops that stay hot past TPDBT_JIT_HEAT
+/// uses are compiled to real x86-64 machine code and executed from an
+/// mmap'd W^X code cache (TPDBT_JIT_CACHE_BYTES, whole-cache flush on
+/// overflow). Compiled units carry the same per-terminator guards as
+/// deopt exits: a branch leaving the chain or a memory fault materializes
+/// interpreter state (host-allocated guest registers are flushed back to
+/// the register array) and returns a packed exit record from which the
+/// dispatch loop rebuilds the exact deviating BlockResult — the event
+/// stream stays byte-identical to plain interpretation, jit or not.
+/// TPDBT_HOST_JIT=0 disables only the jit tier (pre-decoded dispatch
+/// remains); non-x86-64 builds degrade the same way automatically. The
+/// jit knobs are re-read per HostTier construction, so tests and benches
+/// can flip them without a process restart.
+///
+/// Fallback accounting: a deviating chain execution bumps exactly one
+/// counter — Fallbacks when the guard fired in the pre-decoded tier,
+/// JitDeopts when it fired in compiled code — so a head that is demoted
+/// and later re-promoted never double-counts its guard mismatches across
+/// promotions or across tiers.
 ///
 /// The tier holds mutable per-run state (heat, successor history,
-/// superblocks), so unlike Interpreter one HostTier serves one run.
-/// TPDBT_HOST_TRANS=0 disables the tier process-wide; every pump site
-/// (BlockTrace::record, runSweep's fused pass, DbtEngine) then uses plain
-/// Interpreter::run — the A/B switch for debugging and benchmarking.
+/// superblocks, the code cache), so unlike Interpreter one HostTier
+/// serves one run. TPDBT_HOST_TRANS=0 disables the whole tier
+/// process-wide; every pump site (BlockTrace::record, runSweep's fused
+/// pass, DbtEngine) then uses plain Interpreter::run — the A/B switch for
+/// debugging and benchmarking.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TPDBT_VM_HOSTTIER_H
 #define TPDBT_VM_HOSTTIER_H
 
+#include "jit/ChainCompiler.h"
+#include "jit/CodeBuffer.h"
 #include "vm/Interpreter.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -59,7 +85,15 @@ struct HostTierStats {
   uint64_t ChainedBlocks = 0;   ///< block events delivered via onChain
   uint64_t RunFoldedIters = 0;  ///< self-loop iterations delivered via onRun
   uint64_t ClosedFormIters = 0; ///< subset of RunFoldedIters never executed
-  uint64_t Fallbacks = 0;       ///< superblock guard mismatches
+  uint64_t Fallbacks = 0;       ///< guard mismatches in the pre-decoded tier
+  // Jit tier coverage. A deviating execution increments either Fallbacks
+  // or JitDeopts, never both — the tiers are disjoint counter families.
+  uint64_t JitUnits = 0;         ///< chains + self-loops compiled
+  uint64_t JitBlocks = 0;        ///< chain block events executed natively
+  uint64_t JitLoopIters = 0;     ///< self-loop iterations executed natively
+  uint64_t JitDeopts = 0;        ///< guard/fault exits from compiled code
+  uint64_t JitFlushes = 0;       ///< whole-code-cache flushes (cache full)
+  uint64_t JitCompileMicros = 0; ///< wall time spent compiling + installing
 
   HostTierStats &operator+=(const HostTierStats &O) {
     Superblocks += O.Superblocks;
@@ -67,6 +101,12 @@ struct HostTierStats {
     RunFoldedIters += O.RunFoldedIters;
     ClosedFormIters += O.ClosedFormIters;
     Fallbacks += O.Fallbacks;
+    JitUnits += O.JitUnits;
+    JitBlocks += O.JitBlocks;
+    JitLoopIters += O.JitLoopIters;
+    JitDeopts += O.JitDeopts;
+    JitFlushes += O.JitFlushes;
+    JitCompileMicros += O.JitCompileMicros;
     return *this;
   }
 };
@@ -93,6 +133,24 @@ public:
   /// The TPDBT_HOST_TRANS kill switch, read once per process. Any value
   /// other than "0" (including unset) enables the tier.
   static bool enabled();
+
+  /// The TPDBT_HOST_JIT kill switch (any value other than "0" enables),
+  /// AND-ed with CodeBuffer::supported(). Unlike enabled() this is
+  /// re-read per HostTier construction so tests can flip it in-process.
+  static bool jitEnabled();
+
+  /// TPDBT_JIT_HEAT: executions of a promoted chain (or iterations of a
+  /// self-loop) before it is compiled. Defaults to DefaultJitHeat, which
+  /// sits above PromoteHeat so only chains that survive promotion pay
+  /// compile cost. Clamped to >= 1.
+  static uint32_t jitHeat();
+
+  /// TPDBT_JIT_CACHE_BYTES: code cache capacity (default 1 MiB, rounded
+  /// up to whole pages, clamped to >= 4096).
+  static size_t jitCacheBytes();
+
+  /// True when this run's jit tier is active (knob + host support).
+  bool jitActive() const { return JitOn; }
 
   const HostTierStats &stats() const { return St; }
 
@@ -163,8 +221,10 @@ public:
   static constexpr uint16_t PromoteHeat = 8;  ///< executions to promote
   static constexpr uint16_t StableMin = 4;    ///< same-successor streak
   static constexpr size_t MaxChainLen = 16;    ///< segments per superblock
-  static constexpr uint32_t DemoteStreak = 32; ///< head misses to demote
+  static constexpr uint32_t DemoteStreak = 32; ///< chain misses to demote
   static constexpr size_t MaxSuperblocks = 4096;
+  static constexpr uint32_t DefaultJitHeat = 16; ///< above PromoteHeat
+  static constexpr size_t DefaultJitCacheBytes = 1u << 20;
 
 private:
   /// One chained block: its op range in the concatenated stream, its
@@ -180,6 +240,9 @@ private:
     std::vector<Seg> Segs;
     std::vector<SbEvent> Events; ///< parallel to Segs
     uint32_t MissStreak = 0;     ///< consecutive first-segment deviations
+    jit::JitFn Fn = nullptr;     ///< compiled entry, or null
+    uint32_t Uses = 0;           ///< executions while not yet compiled
+    bool NoJit = false;          ///< compilation failed; do not retry
   };
 
   /// Batches all consecutive iterations of the self-loop at \p Cur.
@@ -191,8 +254,25 @@ private:
     uint64_t Folded = 0;
     BlockResult Exit;
     bool ExitValid = false;
-    const uint64_t Stays = I.runSelfLoop(
-        Cur, M, MaxBlocks - Out.BlocksExecuted, Exit, ExitValid, Folded);
+    uint64_t Stays;
+    // Closed-form loops stay interpreted: folding K iterations into one
+    // register update beats any machine code that executes them.
+    const bool Jittable =
+        JitOn && SL.Kind != Interpreter::SelfLoop::Level::ClosedForm;
+    if (Jittable && jitLoopReady(Cur)) {
+      Stays = runJitSelfLoop(Cur, M, MaxBlocks - Out.BlocksExecuted, Exit,
+                             ExitValid);
+    } else {
+      Stays = I.runSelfLoop(Cur, M, MaxBlocks - Out.BlocksExecuted, Exit,
+                            ExitValid, Folded);
+      if (Jittable) {
+        // Heat is iterations, not entries: a loop that spins a thousand
+        // times on its first arrival is hot immediately.
+        const uint64_t H = LoopHeat[Cur] + Stays + 1;
+        LoopHeat[Cur] = H > UINT32_MAX ? UINT32_MAX
+                                       : static_cast<uint32_t>(H);
+      }
+    }
     if (Stays) {
       BlockResult Stay;
       Stay.Next = Cur;
@@ -240,6 +320,42 @@ private:
     uint64_t InstsDone = 0;
     BlockResult Dev;
     bool HasDev = false;
+    if (JitOn && jitChainReady(S)) {
+      // Jit tier: the whole chain runs as one native call; the packed
+      // exit record plus the static chain metadata reconstruct exactly
+      // the deviating BlockResult the interpreter would have produced.
+      const uint64_t MaxSegs =
+          std::min<uint64_t>(NSegs, MaxBlocks - Out.BlocksExecuted);
+      const jit::JitExit R = S.Fn(Regs, Mem, MemSize, MaxSegs);
+      Done = static_cast<size_t>(R.Done);
+      for (size_t K = 0; K < Done; ++K)
+        InstsDone += S.Events[K].Insts;
+      switch (jit::exitKind(R.Info)) {
+      case jit::ExitKind::Ok:
+        break;
+      case jit::ExitKind::OffChain: {
+        const Seg &G = S.Segs[Done];
+        Dev.IsCondBranch = true;
+        Dev.Taken = jit::exitTaken(R.Info);
+        Dev.Next = Dev.Taken ? G.Term.Taken : G.Term.Fall;
+        Dev.InstsExecuted =
+            (G.OpEnd - G.OpBegin) +
+            (G.Term.Code == Interpreter::TermCode::FusedBr ? 2u : 1u);
+        HasDev = true;
+        break;
+      }
+      case jit::ExitKind::Fault:
+        Dev.Reason = StopReason::MemFault;
+        Dev.InstsExecuted = jit::exitFaultOp(R.Info) + 1;
+        HasDev = true;
+        break;
+      }
+      St.JitBlocks += Done;
+      if (HasDev)
+        ++St.JitDeopts;
+      return finishChain(S, Sb, Cur, Done, InstsDone, Dev, HasDev, Out,
+                         Sink);
+    }
     while (Done < NSegs && Out.BlocksExecuted + Done < MaxBlocks) {
       const Seg &G = S.Segs[Done];
       const intptr_t Fault =
@@ -289,7 +405,20 @@ private:
       HasDev = true;
       break;
     }
+    if (HasDev)
+      ++St.Fallbacks;
+    return finishChain(S, Sb, Cur, Done, InstsDone, Dev, HasDev, Out, Sink);
+  }
 
+  /// The tail shared by both chain tiers: deliver the matched prefix,
+  /// account the deviation (the caller already bumped its own tier's
+  /// mismatch counter), maintain the demotion streak, and pick the next
+  /// dispatch block. Returns false when the run is over.
+  template <typename SinkT>
+  bool finishChain(Superblock &S, int32_t Sb, guest::BlockId &Cur,
+                   size_t Done, uint64_t InstsDone, const BlockResult &Dev,
+                   bool HasDev, RunOutcome &Out, SinkT &Sink) {
+    const size_t NSegs = S.Segs.size();
     if (Done) {
       Sink.onChain(S.Events.data(), Done);
       Out.BlocksExecuted += Done;
@@ -298,13 +427,12 @@ private:
       St.ChainedBlocks += Done;
     }
     if (HasDev) {
-      ++St.Fallbacks;
-      if (Done == 0) {
-        if (++S.MissStreak >= DemoteStreak)
-          demote(Sb);
-      } else {
-        S.MissStreak = 0;
-      }
+      // Any deviating execution counts toward demotion (a full match
+      // resets the streak): a chain that keeps missing — at the head or
+      // mid-chain against a stale successor profile — goes back to cold
+      // so fresh profiling can build the right chain.
+      if (++S.MissStreak >= DemoteStreak)
+        demote(Sb);
       const guest::BlockId DevBlock = S.Events[Done].Block;
       ++Out.BlocksExecuted;
       Out.InstsExecuted += Dev.InstsExecuted;
@@ -314,6 +442,10 @@ private:
         Out.Reason = Dev.Reason;
         return false;
       }
+      // The deviation is a real execution the cold tier never saw: feed
+      // it to the successor profile so a phase change re-learns the new
+      // direction instead of replaying the stale one forever.
+      observe(DevBlock, Dev);
       Cur = Dev.Next;
       return true;
     }
@@ -329,6 +461,22 @@ private:
   void tryPromote(guest::BlockId Head);
   void demote(int32_t Sb);
 
+  /// True when chain \p S should run compiled this dispatch. Counts a use,
+  /// and compiles (once) when the chain crosses JitHeatVal uses.
+  bool jitChainReady(Superblock &S);
+  /// Same gate for the self-loop at block \p B, on accumulated iterations.
+  bool jitLoopReady(guest::BlockId B);
+  /// Runs the compiled self-loop body; mirrors Interpreter::runSelfLoop's
+  /// contract (returns Stays; Exit/ExitValid describe the exit execution).
+  uint64_t runJitSelfLoop(guest::BlockId B, Machine &M, uint64_t MaxIters,
+                          BlockResult &Exit, bool &ExitValid);
+  jit::JitFn compileChainFn(Superblock &S);
+  jit::JitFn compileLoopFn(guest::BlockId B);
+  /// Installs \p Code into the cache; on overflow flushes everything once
+  /// and retries. Null means the unit is bigger than the whole cache.
+  const void *installCode(const std::vector<uint8_t> &Code);
+  void flushJit();
+
   const Interpreter &I;
   /// Concatenated op streams of all superblocks (segments back to back,
   /// so a chain executes from one contiguous range).
@@ -339,6 +487,16 @@ private:
   std::vector<guest::BlockId> LastNext; ///< last successor (cond blocks)
   std::vector<uint16_t> SameCount;    ///< consecutive identical successors
   HostTierStats St;
+
+  // Jit tier state. LoopFn/LoopNoJit/LoopHeat are per guest block (only
+  // self-loop blocks ever use their slots); chain state lives on the
+  // Superblock itself.
+  jit::CodeBuffer Cache;
+  bool JitOn = false;
+  uint32_t JitHeatVal = DefaultJitHeat;
+  std::vector<jit::JitFn> LoopFn;  ///< compiled self-loop entry, or null
+  std::vector<uint8_t> LoopNoJit;  ///< compilation failed; do not retry
+  std::vector<uint32_t> LoopHeat;  ///< accumulated interpreted iterations
 };
 
 } // namespace vm

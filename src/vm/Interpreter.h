@@ -165,11 +165,12 @@ public:
                        BlockResult &Exit, bool &ExitValid,
                        uint64_t &ClosedFolded) const;
 
-private:
-  friend class HostTier;
-
   /// One pre-decoded body instruction (16 bytes; the opcode/register
-  /// fields share a word, the immediate rides alongside).
+  /// fields share a word, the immediate rides alongside). The decoded
+  /// forms below are public: they are the contract consumed by the host
+  /// translation tier (vm/HostTier.h) and the machine-code compiler
+  /// (src/jit), both of which must reproduce executeOps() semantics
+  /// exactly.
   struct DecodedOp {
     guest::Opcode Op;
     uint8_t Rd, Ra, Rb;
@@ -199,7 +200,8 @@ private:
   /// Executes decoded body instructions [Begin, End). Returns the index
   /// of the instruction that faulted, or -1 on completion. The single
   /// source of op semantics: executeBlock(), the counted-loop runner, and
-  /// the host tier's superblock dispatch all execute through it.
+  /// the host tier's superblock dispatch all execute through it; the jit
+  /// lowering is differential-tested against it op by op.
   static intptr_t executeOps(const DecodedOp *Begin, const DecodedOp *End,
                              int64_t *Regs, int64_t *Mem, uint64_t MemSize);
 
@@ -209,6 +211,9 @@ private:
   /// Evaluates a TermCode::FusedBr compare; the caller writes the result
   /// to Regs[T.Rd] and derives the branch condition via T.Invert.
   static int64_t evalFusedCmp(const DecodedTerm &T, const int64_t *Regs);
+
+private:
+  friend class HostTier;
 
   /// Exact count of consecutive staying iterations a Counted/ClosedForm
   /// loop performs from the current register state. Stays happen while

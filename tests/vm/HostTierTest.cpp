@@ -129,7 +129,9 @@ TEST(HostTierTest, MemFaultMidChainMatchesPlain) {
   guest::Program P = makeChainProgram(200, 64);
   HostTierStats St = expectTierMatchesPlain(P, ~0ull, "mid-chain fault");
   EXPECT_GT(St.ChainedBlocks, 0u);
-  EXPECT_GT(St.Fallbacks, 0u);
+  // The fault is a guard exit in whichever chain tier was active: the
+  // pre-decoded tier counts it as a fallback, the jit tier as a deopt.
+  EXPECT_GT(St.Fallbacks + St.JitDeopts, 0u);
 }
 
 TEST(HostTierTest, BlockLimitMidChainMatchesPlain) {
