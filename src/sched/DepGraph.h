@@ -46,7 +46,10 @@ struct DepNode {
 /// Dependence DAG over one flattened sequence.
 class DepGraph {
 public:
-  /// Appends a plain instruction.
+  /// Appends a plain instruction. Pre-decoded jit ops feed through here
+  /// too: vm::Interpreter::DecodedOp carries the same Op/Rd/Ra/Rb/Imm
+  /// fields as guest::Inst, and the jit backend converts at the call
+  /// site to keep this library independent of the vm layer.
   void addInst(const guest::Inst &In);
 
   /// Appends a block terminator (conditional branches read their
@@ -73,9 +76,23 @@ private:
   int LastStore = NoDef;
   std::vector<uint32_t> LoadsSinceStore;
   int LastTerminator = NoDef;
+  /// FaultBarriers mode (see the constructor).
+  bool FaultBarriers = false;
+  int LastFaultPoint = NoDef;
+  std::vector<uint32_t> SinceFaultPoint;
 
 public:
-  DepGraph() {
+  /// With \p FaultBarriers set (the jit backend's decoded-op mode),
+  /// every Load/Store is a full ordering barrier in *both* directions:
+  /// nothing crosses a potentially-faulting op. A faulting execution
+  /// must observe exactly the program-order register prefix — the
+  /// interpreter it is differentially tested against executed everything
+  /// before the faulting op and nothing after it — so reordering is
+  /// confined to the pure-op windows between memory accesses. The
+  /// default keeps the classic region-scheduling rules (loads reorder
+  /// with loads and float past independent ALU ops).
+  explicit DepGraph(bool WithFaultBarriers = false)
+      : FaultBarriers(WithFaultBarriers) {
     for (auto &D : LastDef)
       D = NoDef;
   }

@@ -25,6 +25,11 @@ bool HostTier::jitEnabled() {
   return !(V && V[0] == '0' && V[1] == '\0');
 }
 
+bool HostTier::jitSchedEnabled() {
+  const char *V = std::getenv("TPDBT_JIT_SCHED");
+  return !(V && V[0] == '0' && V[1] == '\0');
+}
+
 uint32_t HostTier::jitHeat() {
   const char *V = std::getenv("TPDBT_JIT_HEAT");
   if (!V || !V[0])
@@ -50,6 +55,7 @@ HostTier::HostTier(const Interpreter &I) : I(I), Cache(jitCacheBytes()) {
   LastNext.assign(N, InvalidBlock);
   SameCount.assign(N, 0);
   JitOn = jitEnabled();
+  JitOpts.Schedule = jitSchedEnabled();
   JitHeatVal = jitHeat();
   LoopFn.assign(N, nullptr);
   LoopNoJit.assign(N, 0);
@@ -86,7 +92,9 @@ jit::JitFn HostTier::compileChainFn(Superblock &S) {
     Segs[K].Term = G.Term;
     Segs[K].ExpectTaken = S.Events[K].Branch == 2;
   }
-  const std::vector<uint8_t> Code = jit::compileChain(Segs.data(), Segs.size());
+  jit::CompileStats CS;
+  const std::vector<uint8_t> Code =
+      jit::compileChain(Segs.data(), Segs.size(), JitOpts, &CS);
   const void *Entry = installCode(Code);
   St.JitCompileMicros += std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - T0)
@@ -96,14 +104,18 @@ jit::JitFn HostTier::compileChainFn(Superblock &S) {
     return nullptr;
   }
   ++St.JitUnits;
+  St.JitSchedUnits += CS.SchedSegments;
+  St.JitReorderedOps += CS.ReorderedOps;
+  St.JitStubsDeduped += CS.StubsDeduped;
   return S.Fn = reinterpret_cast<jit::JitFn>(const_cast<void *>(Entry));
 }
 
 jit::JitFn HostTier::compileLoopFn(BlockId B) {
   const auto T0 = std::chrono::steady_clock::now();
+  jit::CompileStats CS;
   const std::vector<uint8_t> Code = jit::compileSelfLoop(
       I.Ops.data() + I.First[B], I.Ops.data() + I.First[B + 1], I.Terms[B],
-      I.selfLoop(B).StayBranch);
+      I.selfLoop(B).StayBranch, JitOpts, &CS);
   const void *Entry = installCode(Code);
   St.JitCompileMicros += std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - T0)
@@ -113,6 +125,9 @@ jit::JitFn HostTier::compileLoopFn(BlockId B) {
     return nullptr;
   }
   ++St.JitUnits;
+  St.JitSchedUnits += CS.SchedSegments;
+  St.JitReorderedOps += CS.ReorderedOps;
+  St.JitStubsDeduped += CS.StubsDeduped;
   return LoopFn[B] = reinterpret_cast<jit::JitFn>(const_cast<void *>(Entry));
 }
 

@@ -12,6 +12,8 @@
 #include "guest/Isa.h"
 #include "jit/ChainCompiler.h"
 #include "jit/CodeBuffer.h"
+#include "sched/DepGraph.h"
+#include "sched/ListScheduler.h"
 #include "vm/Interpreter.h"
 
 #include <gtest/gtest.h>
@@ -55,8 +57,22 @@ jit::JitExit runJit(const std::vector<Op> &Ops, MachineState &S) {
   return Fn(S.Regs.data(), S.Mem.data(), S.Mem.size(), 1);
 }
 
+/// The backend asserts Schedule::verify only in debug builds; the tests
+/// re-check it here so Release runs catch an infeasible schedule too.
+void expectScheduleVerifies(const std::vector<Op> &Ops) {
+  if (!jit::schedulingWorthwhile(Ops.size()))
+    return;
+  sched::DepGraph G(/*WithFaultBarriers=*/true);
+  for (const Op &O : Ops)
+    G.addInst(guest::Inst{O.Op, O.Rd, O.Ra, O.Rb, O.Imm});
+  const sched::MachineModel M = sched::MachineModel::hostX86();
+  std::string Err;
+  EXPECT_TRUE(sched::listSchedule(G, M).verify(G, M, &Err)) << Err;
+}
+
 /// Runs \p Ops both ways from \p Init and requires identical end state.
 void expectSame(const std::vector<Op> &Ops, const MachineState &Init) {
+  expectScheduleVerifies(Ops);
   MachineState Ref = Init;
   const intptr_t Fault =
       Interpreter::executeOps(Ops.data(), Ops.data() + Ops.size(),

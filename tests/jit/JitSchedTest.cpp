@@ -1,0 +1,435 @@
+//===- tests/jit/JitSchedTest.cpp - scheduled backend differentials --------===//
+//
+// The scheduled jit backend (jit::CompileOptions::Schedule) must change
+// only the emitted bytes, never the architecture: randomized op soups,
+// chains, and self-loops are compiled with the pass on and off and both
+// versions must agree with each other and with the interpreter on every
+// register, memory word, fault index, and packed exit record — including
+// bodies that fault mid-segment, where the fault-barrier rule forbids any
+// reordering across the faulting op. Layout itself must be deterministic
+// (same input, same bytes), and the CompileStats counters must prove the
+// pass actually fired: segments scheduled, ops reordered, stub bodies
+// shared.
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Isa.h"
+#include "jit/ChainCompiler.h"
+#include "jit/CodeBuffer.h"
+#include "sched/DepGraph.h"
+#include "sched/ListScheduler.h"
+#include "support/Rng.h"
+#include "vm/HostTier.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace tpdbt;
+using guest::Opcode;
+using vm::Interpreter;
+
+namespace {
+
+using Op = Interpreter::DecodedOp;
+using Term = Interpreter::DecodedTerm;
+
+struct MachineState {
+  std::array<int64_t, guest::NumRegs> Regs{};
+  std::vector<int64_t> Mem;
+};
+
+Op op(Opcode O, uint8_t Rd, uint8_t Ra, uint8_t Rb, int64_t Imm = 0) {
+  return Op{O, Rd, Ra, Rb, Imm};
+}
+
+Term jumpTerm() {
+  Term T{};
+  T.Code = Interpreter::TermCode::Jump;
+  T.Taken = 1;
+  T.Fall = 1;
+  return T;
+}
+
+Term branchTerm(guest::CondKind CK, uint8_t Ra, uint8_t Rb, int64_t Imm,
+                guest::BlockId Taken, guest::BlockId Fall) {
+  Term T{};
+  T.Code = Interpreter::TermCode::Branch;
+  T.Cond = static_cast<uint8_t>(CK);
+  T.Ra = Ra;
+  T.Rb = Rb;
+  T.Imm = Imm;
+  T.Taken = Taken;
+  T.Fall = Fall;
+  return T;
+}
+
+jit::CompileOptions sched(bool On) {
+  jit::CompileOptions O;
+  O.Schedule = On;
+  return O;
+}
+
+struct ExecResult {
+  jit::JitExit R;
+  MachineState S;
+};
+
+ExecResult execCode(const std::vector<uint8_t> &Code, const MachineState &Init,
+                    uint64_t Budget) {
+  jit::CodeBuffer CB(1 << 18);
+  const void *Entry = CB.install(Code.data(), Code.size());
+  EXPECT_NE(Entry, nullptr);
+  ExecResult E{jit::JitExit{}, Init};
+  const jit::JitFn Fn =
+      reinterpret_cast<jit::JitFn>(const_cast<void *>(Entry));
+  E.R = Fn(E.S.Regs.data(), E.S.Mem.data(), E.S.Mem.size(), Budget);
+  return E;
+}
+
+/// Compiles \p Segs with the pass on and off, runs both from \p Init, and
+/// requires bit-identical exits and end states. Returns the sched-on run.
+ExecResult expectAB(const std::vector<jit::JitSegment> &Segs,
+                    const MachineState &Init, uint64_t Budget,
+                    jit::CompileStats *OnStats = nullptr) {
+  const std::vector<uint8_t> OnCode =
+      jit::compileChain(Segs.data(), Segs.size(), sched(true), OnStats);
+  const std::vector<uint8_t> OffCode =
+      jit::compileChain(Segs.data(), Segs.size(), sched(false));
+  ExecResult On = execCode(OnCode, Init, Budget);
+  ExecResult Off = execCode(OffCode, Init, Budget);
+  EXPECT_EQ(On.R.Done, Off.R.Done);
+  EXPECT_EQ(On.R.Info, Off.R.Info);
+  EXPECT_EQ(On.S.Regs, Off.S.Regs);
+  EXPECT_EQ(On.S.Mem, Off.S.Mem);
+  return On;
+}
+
+/// Random op soup over a small register window: every opcode the decoder
+/// can produce, immediates that stress both encodings, memory indices
+/// that hit and overrun the 8-word array so faults occur mid-body.
+std::vector<Op> randomBody(Rng &R, size_t N) {
+  static const Opcode Pool[] = {
+      Opcode::Add,    Opcode::Sub,    Opcode::Mul,    Opcode::Divs,
+      Opcode::Rems,   Opcode::And,    Opcode::Or,     Opcode::Xor,
+      Opcode::Shl,    Opcode::Shr,    Opcode::Sar,    Opcode::AddI,
+      Opcode::MulI,   Opcode::AndI,   Opcode::OrI,    Opcode::XorI,
+      Opcode::ShlI,   Opcode::ShrI,   Opcode::CmpEq,  Opcode::CmpLt,
+      Opcode::CmpLtU, Opcode::CmpEqI, Opcode::CmpLtI, Opcode::CmpLtUI,
+      Opcode::MovI,   Opcode::Mov,    Opcode::Load,   Opcode::Store,
+      Opcode::FAdd,   Opcode::FSub,   Opcode::FMul,   Opcode::FDiv,
+      Opcode::FConst, Opcode::FCmpLt, Opcode::IToF,   Opcode::FToI,
+      Opcode::Nop,
+  };
+  static const int64_t Imms[] = {0, 1, -1, 3, 7, 63, -64, 0x7fffffffLL,
+                                 -0x80000000LL, 0x1234567890LL};
+  std::vector<Op> Body;
+  for (size_t I = 0; I < N; ++I) {
+    const Opcode O = Pool[R.next() % (sizeof(Pool) / sizeof(Pool[0]))];
+    const uint8_t Rd = static_cast<uint8_t>(R.next() % 12);
+    const uint8_t Ra = static_cast<uint8_t>(R.next() % 12);
+    const uint8_t Rb = static_cast<uint8_t>(R.next() % 12);
+    int64_t Imm = Imms[R.next() % (sizeof(Imms) / sizeof(Imms[0]))];
+    if (O == Opcode::Load || O == Opcode::Store)
+      Imm = static_cast<int64_t>(R.next() % 12) - 2; // in range and out
+    Body.push_back(op(O, Rd, Ra, Rb, Imm));
+  }
+  return Body;
+}
+
+MachineState randomState(Rng &R) {
+  MachineState S;
+  S.Mem.assign(8, 0);
+  for (auto &W : S.Mem)
+    W = static_cast<int64_t>(R.next());
+  for (unsigned G = 0; G < guest::NumRegs; ++G)
+    S.Regs[G] = static_cast<int64_t>(R.next() % 32) - 4; // small indices
+  return S;
+}
+
+class JitSchedTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!jit::CodeBuffer::supported())
+      GTEST_SKIP() << "no executable mappings on this host";
+  }
+};
+
+// --- Randomized differentials -------------------------------------------
+
+TEST_F(JitSchedTest, RandomBodiesMatchInterpreterBothBackends) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    Rng R(Seed * 0x9e3779b9u);
+    const size_t N = 1 + R.next() % 24;
+    const std::vector<Op> Body = randomBody(R, N);
+    const MachineState Init = randomState(R);
+
+    MachineState Ref = Init;
+    const intptr_t Fault = Interpreter::executeOps(
+        Body.data(), Body.data() + Body.size(), Ref.Regs.data(),
+        Ref.Mem.data(), Ref.Mem.size());
+
+    const jit::JitSegment Seg{Body.data(), Body.data() + Body.size(),
+                              jumpTerm(), false};
+    const ExecResult On = expectAB({Seg}, Init, 1);
+    if (Fault >= 0) {
+      ASSERT_EQ(jit::exitKind(On.R.Info), jit::ExitKind::Fault)
+          << "seed " << Seed;
+      EXPECT_EQ(jit::exitFaultOp(On.R.Info), static_cast<uint32_t>(Fault))
+          << "seed " << Seed;
+    } else {
+      ASSERT_EQ(jit::exitKind(On.R.Info), jit::ExitKind::Ok)
+          << "seed " << Seed;
+    }
+    EXPECT_EQ(Ref.Regs, On.S.Regs) << "seed " << Seed;
+    EXPECT_EQ(Ref.Mem, On.S.Mem) << "seed " << Seed;
+  }
+}
+
+TEST_F(JitSchedTest, RandomChainsAgreeAcrossBackends) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    Rng R(Seed * 0x51ed2701u);
+    const size_t NSegs = 2 + R.next() % 3;
+    std::vector<std::vector<Op>> Bodies;
+    std::vector<jit::JitSegment> Segs;
+    for (size_t K = 0; K < NSegs; ++K)
+      Bodies.push_back(randomBody(R, 2 + R.next() % 10));
+    for (size_t K = 0; K < NSegs; ++K) {
+      jit::JitSegment S;
+      S.Begin = Bodies[K].data();
+      S.End = Bodies[K].data() + Bodies[K].size();
+      static const guest::CondKind Kinds[] = {
+          guest::CondKind::Eq, guest::CondKind::Ne,  guest::CondKind::Lt,
+          guest::CondKind::Ge, guest::CondKind::LtU, guest::CondKind::LtI};
+      S.Term = branchTerm(Kinds[R.next() % 6],
+                          static_cast<uint8_t>(R.next() % 12),
+                          static_cast<uint8_t>(R.next() % 12),
+                          static_cast<int64_t>(R.next() % 16) - 8,
+                          /*Taken=*/static_cast<guest::BlockId>(K + 1),
+                          /*Fall=*/static_cast<guest::BlockId>(K + 7));
+      S.ExpectTaken = (R.next() & 1) != 0;
+      Segs.push_back(S);
+    }
+    const MachineState Init = randomState(R);
+    expectAB(Segs, Init, 1 + R.next() % (NSegs + 1));
+  }
+}
+
+TEST_F(JitSchedTest, RandomSelfLoopsAgreeAcrossBackends) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    Rng R(Seed * 0xc2b2ae35u);
+    // A counter-driven latch so most loops actually spin: r0 += 1 each
+    // iteration, stay while r0 < bound; the rest of the body is soup.
+    std::vector<Op> Body = randomBody(R, 1 + R.next() % 10);
+    Body.push_back(op(Opcode::AddI, 0, 0, 0, 1));
+    const int64_t Bound = static_cast<int64_t>(R.next() % 40);
+    const uint8_t StayBranch = (R.next() & 1) ? 2 : 1;
+    const Term T =
+        StayBranch == 2
+            ? branchTerm(guest::CondKind::LtI, 0, 0, Bound, 1, 2)
+            : branchTerm(guest::CondKind::GeI, 0, 0, Bound, 1, 2);
+    MachineState Init = randomState(R);
+    Init.Regs[0] = 0;
+    const uint64_t Budget = R.next() % 64;
+
+    const std::vector<uint8_t> OnCode = jit::compileSelfLoop(
+        Body.data(), Body.data() + Body.size(), T, StayBranch, sched(true));
+    const std::vector<uint8_t> OffCode = jit::compileSelfLoop(
+        Body.data(), Body.data() + Body.size(), T, StayBranch, sched(false));
+    const ExecResult On = execCode(OnCode, Init, Budget);
+    const ExecResult Off = execCode(OffCode, Init, Budget);
+    EXPECT_EQ(On.R.Done, Off.R.Done) << "seed " << Seed;
+    EXPECT_EQ(On.R.Info, Off.R.Info) << "seed " << Seed;
+    EXPECT_EQ(On.S.Regs, Off.S.Regs) << "seed " << Seed;
+    EXPECT_EQ(On.S.Mem, Off.S.Mem) << "seed " << Seed;
+  }
+}
+
+// --- Layout determinism --------------------------------------------------
+
+TEST_F(JitSchedTest, CompilationIsDeterministic) {
+  Rng R(0x5eed);
+  const std::vector<Op> Body = randomBody(R, 20);
+  const jit::JitSegment Seg{Body.data(), Body.data() + Body.size(),
+                            jumpTerm(), false};
+  for (bool On : {true, false}) {
+    const std::vector<uint8_t> A = jit::compileChain(&Seg, 1, sched(On));
+    const std::vector<uint8_t> B = jit::compileChain(&Seg, 1, sched(On));
+    EXPECT_EQ(A, B) << "sched=" << On;
+  }
+  const Term T = branchTerm(guest::CondKind::LtI, 0, 0, 10, 1, 2);
+  for (bool On : {true, false}) {
+    const std::vector<uint8_t> A = jit::compileSelfLoop(
+        Body.data(), Body.data() + Body.size(), T, 2, sched(On));
+    const std::vector<uint8_t> B = jit::compileSelfLoop(
+        Body.data(), Body.data() + Body.size(), T, 2, sched(On));
+    EXPECT_EQ(A, B) << "sched=" << On;
+  }
+}
+
+// --- The pass provably fires --------------------------------------------
+
+TEST_F(JitSchedTest, ReordersIndependentOpsAroundLongLatency) {
+  // A multiply feeding an add, then independent constant loads: list
+  // scheduling issues the constants into the multiply's shadow, so the
+  // add is no longer emitted second. (Big enough to clear the CostModel
+  // break-even.)
+  std::vector<Op> Body = {
+      op(Opcode::Mul, 1, 1, 1),
+      op(Opcode::Add, 2, 2, 1), // RAW on the multiply
+  };
+  for (uint8_t G = 3; G < 10; ++G)
+    Body.push_back(op(Opcode::MovI, G, 0, 0, G * 111));
+  const jit::JitSegment Seg{Body.data(), Body.data() + Body.size(),
+                            jumpTerm(), false};
+  jit::CompileStats CS;
+  MachineState Init;
+  Init.Mem.assign(4, 0);
+  Init.Regs[1] = 7;
+  Init.Regs[2] = 5;
+  const ExecResult On = expectAB({Seg}, Init, 1, &CS);
+  EXPECT_EQ(CS.SchedSegments, 1u);
+  EXPECT_GT(CS.ReorderedOps, 0u);
+  EXPECT_EQ(On.S.Regs[1], 49);
+  EXPECT_EQ(On.S.Regs[2], 54);
+  EXPECT_EQ(On.S.Regs[3], 333);
+
+  jit::CompileStats OffCS;
+  jit::compileChain(&Seg, 1, sched(false), &OffCS);
+  EXPECT_EQ(OffCS.SchedSegments, 0u);
+  EXPECT_EQ(OffCS.ReorderedOps, 0u);
+  EXPECT_EQ(OffCS.StubsDeduped, 0u);
+}
+
+TEST_F(JitSchedTest, FaultingOpsNeverReorder) {
+  // Every op neighbours a Load/Store, so the fault-barrier rule pins the
+  // whole body to program order — the backend detects that no window of
+  // two consecutive pure ops exists and skips scheduling entirely.
+  std::vector<Op> Body;
+  for (int K = 0; K < 6; ++K) {
+    Body.push_back(op(Opcode::Load, static_cast<uint8_t>(K % 4 + 1), 0, 0, K));
+    Body.push_back(op(Opcode::AddI, 2, 2, 0, 1));
+  }
+  const jit::JitSegment Seg{Body.data(), Body.data() + Body.size(),
+                            jumpTerm(), false};
+  jit::CompileStats CS;
+  jit::compileChain(&Seg, 1, sched(true), &CS);
+  EXPECT_EQ(CS.SchedSegments, 0u);
+  EXPECT_EQ(CS.ReorderedOps, 0u);
+}
+
+TEST_F(JitSchedTest, FaultStubsShareOneEpilogueTail) {
+  // Five potential fault sites in one segment: five distinct stub bodies
+  // (each reports its own op index) but one shared Done tail.
+  std::vector<Op> Body;
+  for (int K = 0; K < 5; ++K)
+    Body.push_back(op(Opcode::Load, static_cast<uint8_t>(K + 1), 0, 0, K));
+  const jit::JitSegment Seg{Body.data(), Body.data() + Body.size(),
+                            jumpTerm(), false};
+  jit::CompileStats CS;
+  const std::vector<uint8_t> OnCode =
+      jit::compileChain(&Seg, 1, sched(true), &CS);
+  EXPECT_GE(CS.StubsDeduped, 4u);
+  const std::vector<uint8_t> OffCode = jit::compileChain(&Seg, 1, sched(false));
+  EXPECT_LT(OnCode.size(), OffCode.size()); // shared tails save bytes
+
+  // Each site still reports its own program-order fault index: with K
+  // memory words, loads 0..K-1 land and load K is the first to overrun.
+  for (int K = 0; K < 5; ++K) {
+    MachineState S;
+    S.Mem.assign(static_cast<size_t>(K), 7);
+    const ExecResult On = execCode(OnCode, S, 1);
+    ASSERT_EQ(jit::exitKind(On.R.Info), jit::ExitKind::Fault);
+    EXPECT_EQ(jit::exitFaultOp(On.R.Info), static_cast<uint32_t>(K));
+  }
+}
+
+TEST_F(JitSchedTest, CostFloorSkipsTinySegments) {
+  // With the default CostParams the break-even lands at nine ops:
+  // 1024 * (N - 1) >= 900 * N first holds at N = 9.
+  EXPECT_FALSE(jit::schedulingWorthwhile(0));
+  EXPECT_FALSE(jit::schedulingWorthwhile(4));
+  EXPECT_FALSE(jit::schedulingWorthwhile(8));
+  EXPECT_TRUE(jit::schedulingWorthwhile(9));
+  EXPECT_TRUE(jit::schedulingWorthwhile(64));
+
+  const std::vector<Op> Tiny = {op(Opcode::MovI, 1, 0, 0, 1),
+                                op(Opcode::MovI, 2, 0, 0, 2)};
+  const jit::JitSegment Seg{Tiny.data(), Tiny.data() + Tiny.size(),
+                            jumpTerm(), false};
+  jit::CompileStats CS;
+  jit::compileChain(&Seg, 1, sched(true), &CS);
+  EXPECT_EQ(CS.SchedSegments, 0u); // below the floor: program order
+  EXPECT_EQ(CS.ReorderedOps, 0u);
+}
+
+// --- Schedule feasibility (fault-barrier dep graphs) ---------------------
+
+TEST_F(JitSchedTest, FaultBarrierSchedulesVerify) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    Rng R(Seed * 0x85ebca6bu);
+    const std::vector<Op> Body = randomBody(R, 4 + R.next() % 28);
+    sched::DepGraph G(/*WithFaultBarriers=*/true);
+    for (const Op &O : Body)
+      G.addInst(guest::Inst{O.Op, O.Rd, O.Ra, O.Rb, O.Imm});
+    const sched::MachineModel M = sched::MachineModel::hostX86();
+    const sched::Schedule S = sched::listSchedule(G, M);
+    std::string Err;
+    EXPECT_TRUE(S.verify(G, M, &Err)) << "seed " << Seed << ": " << Err;
+    // The barrier rule: memory ops issue in strictly increasing cycles
+    // relative to *every* other op on either side.
+    for (size_t I = 0; I < Body.size(); ++I) {
+      if (Body[I].Op != Opcode::Load && Body[I].Op != Opcode::Store)
+        continue;
+      for (size_t J = 0; J < I; ++J)
+        EXPECT_LT(S.CycleOf[J], S.CycleOf[I]) << "seed " << Seed;
+      for (size_t J = I + 1; J < Body.size(); ++J)
+        EXPECT_GT(S.CycleOf[J], S.CycleOf[I]) << "seed " << Seed;
+    }
+  }
+}
+
+// --- The TPDBT_JIT_SCHED knob -------------------------------------------
+
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Prev = std::getenv(Name);
+    Had = Prev != nullptr;
+    if (Had)
+      Old = Prev;
+    setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() {
+    if (Had)
+      setenv(Name.c_str(), Old.c_str(), 1);
+    else
+      unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name;
+  std::string Old;
+  bool Had = false;
+};
+
+TEST(JitSchedKnobTest, EnvParse) {
+  {
+    ScopedEnv E("TPDBT_JIT_SCHED", "0");
+    EXPECT_FALSE(vm::HostTier::jitSchedEnabled());
+  }
+  {
+    ScopedEnv E("TPDBT_JIT_SCHED", "1");
+    EXPECT_TRUE(vm::HostTier::jitSchedEnabled());
+  }
+  {
+    ScopedEnv E("TPDBT_JIT_SCHED", "00"); // only exactly "0" disables
+    EXPECT_TRUE(vm::HostTier::jitSchedEnabled());
+  }
+}
+
+} // namespace
