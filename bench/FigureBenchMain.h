@@ -56,7 +56,12 @@ inline int handleBenchArgs(int argc, char **argv, const std::string &Name,
           "  TPDBT_JOBS             worker threads for per-benchmark "
           "sweeps\n"
           "  TPDBT_SEGMENT_EVENTS   events per trace segment "
-          "(0 = monolithic record path)\n",
+          "(0 = monolithic record path)\n"
+          "  TPDBT_SAMPLE_MODE      'stratified' estimates the sweep from "
+          "a segment sample with 95%% CIs (default off = exact)\n"
+          "  TPDBT_SAMPLE_BUDGET    sampled fraction of segments in (0,1] "
+          "(default 0.25)\n"
+          "  TPDBT_SAMPLE_SEED      sampling seed (default 0x5eed)\n",
           Name.c_str(), Description.c_str());
       return 0;
     }

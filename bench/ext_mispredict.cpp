@@ -49,7 +49,10 @@ int main(int argc, char **argv) {
         workloads::scaledSpec(*workloads::findSpec(Name), Scale));
     core::SweepResult Sweep =
         core::runSweep(B.Ref, {2000}, dbt::DbtOptions(), ~0ull);
-    core::WindowedProfile WP = core::collectWindowedProfile(B.Ref, 16);
+    // Window from a recording instead of executing twice more.
+    core::BlockTrace Trace = core::BlockTrace::record(B.Ref);
+    core::WindowedProfile WP =
+        core::collectWindowedProfile(B.Ref, 16, Trace);
     cfg::Cfg G(B.Ref);
 
     auto Ds = characterizeBranches(Sweep.PerThreshold[0], Sweep.Average,

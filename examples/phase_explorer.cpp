@@ -40,7 +40,11 @@ int main(int argc, char **argv) {
   GeneratedBenchmark B = generateBenchmark(scaledSpec(*Spec, Scale));
   cfg::Cfg G(B.Ref);
   const int NumWindows = 8;
-  core::WindowedProfile WP = core::collectWindowedProfile(B.Ref, NumWindows);
+  // Record once, then size and fill the windows from the trace — half the
+  // executions of the sizing-run-plus-filling-run path.
+  core::BlockTrace Trace = core::BlockTrace::record(B.Ref);
+  core::WindowedProfile WP =
+      core::collectWindowedProfile(B.Ref, NumWindows, Trace);
   const auto &Windows = WP.Windows;
 
   // Pick the hottest conditional branches.

@@ -2,6 +2,7 @@
 
 #include "core/Experiment.h"
 
+#include "core/TraceSegments.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "support/TextFile.h"
@@ -55,6 +56,7 @@ ExperimentConfig ExperimentConfig::fromEnv() {
     if (V > 0)
       C.Jobs = static_cast<unsigned>(V);
   }
+  C.Sample = sample::SampleConfig::fromEnv();
   return C;
 }
 
@@ -215,6 +217,11 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   std::lock_guard<std::mutex> Guard(D.Lock);
   if (D.ProfilesReady.load(std::memory_order_relaxed))
     return; // another worker finished while we waited on the lock
+  if (sampling()) {
+    ensureEstimates(Name, D, ReplayJobs);
+    D.ProfilesReady.store(true, std::memory_order_release);
+    return;
+  }
   if (loadCached(Name, D)) {
     Stats.CacheHits.fetch_add(1, std::memory_order_relaxed);
     D.ProfilesReady.store(true, std::memory_order_release);
@@ -289,6 +296,138 @@ void ExperimentContext::ensureProfiles(const std::string &Name,
   D.ProfilesReady.store(true, std::memory_order_release);
 }
 
+bool ExperimentContext::sampling() const {
+  // Adaptive re-optimization reshapes the event stream itself; the
+  // estimator has no model for it, so adaptive configs stay exact.
+  return Config.Sample.enabled() && !Config.Dbt.Adaptive.Enabled;
+}
+
+void ExperimentContext::ensureEstimates(const std::string &Name,
+                                        BenchData &D, unsigned ReplayJobs) {
+  const GeneratedBenchmark &B = *D.Bench;
+  const uint64_t MaxBlocks = B.Spec.MaxBlockEvents;
+  const uint64_t ExecFp = combineSeeds(
+      combineSeeds(Config.executionFingerprint(), specFingerprint(B.Spec)),
+      MaxBlocks);
+  // Per-benchmark seed: figure suites stay deterministic while different
+  // benchmarks draw independent samples.
+  const uint64_t BenchSeed =
+      combineSeeds(Config.Sample.Seed, specFingerprint(B.Spec));
+  auto Start = std::chrono::steady_clock::now();
+
+  // Reference input: estimate the whole threshold sweep from a stratified
+  // segment sample. Disk-first — a warm TPDT v3 entry streams its
+  // directory and only the drawn segments, so the unsampled payload is
+  // never decompressed (the out-of-core win). Cold traces record once
+  // through the shared cache, then sample the in-memory event vector at
+  // the same segment budget the writer uses, so cold and warm runs draw
+  // the identical sample.
+  sample::SampledSweep Sweep;
+  std::string Error;
+  bool Ok = false;
+  {
+    SegmentedTraceReader Reader;
+    if (Traces->openSegmented(Name, "ref", ExecFp, Reader, nullptr)) {
+      sample::DiskSegmentSource Src(Reader);
+      Ok = sample::sampledSweep(Src, B.Ref, Config.Thresholds, Config.Dbt,
+                                Config.Sample, BenchSeed, ReplayJobs, Sweep,
+                                &Error);
+    }
+  }
+  if (!Ok) {
+    std::shared_ptr<const BlockTrace> Trace =
+        Traces->get(Name, "ref", ExecFp, B.Ref, MaxBlocks);
+    uint64_t Budget = segmentEventBudget();
+    if (Budget == 0)
+      Budget = DefaultSegmentEvents; // v2 kill switch: slice as v3 would
+    sample::MemorySegmentSource Src(*Trace, Budget);
+    Ok = sample::sampledSweep(Src, B.Ref, Config.Thresholds, Config.Dbt,
+                              Config.Sample, BenchSeed, ReplayJobs, Sweep,
+                              &Error);
+  }
+  assert(Ok && "sampled sweep cannot fail on a recorded trace");
+  (void)Ok;
+  Traces->noteSampleReplay(Sweep.Stats.Decoded,
+                           Sweep.Stats.Segments - Sweep.Stats.Decoded);
+
+  for (size_t I = 0; I < Config.Thresholds.size(); ++I) {
+    profile::ProfileSnapshot &S = Sweep.PerThreshold[I];
+    S.Benchmark = Name;
+    S.Input = "ref";
+    D.Inips[Config.Thresholds[I]] = std::move(S);
+  }
+  Sweep.Average.Benchmark = Name;
+  Sweep.Average.Input = "ref";
+  D.Avep = std::move(Sweep.Average);
+  D.Sampled = std::make_unique<SampledProfiles>();
+  D.Sampled->Replicates = std::move(Sweep.Replicates);
+  D.Sampled->Stats = Sweep.Stats;
+
+  // Training input: only the profiling-only average is needed, and it is
+  // exact from stream totals — a warm v3 entry answers it from the header
+  // alone, decoding nothing.
+  {
+    const cfg::Cfg TrainGraph(B.Train);
+    SegmentedTraceReader Reader;
+    if (Traces->openSegmented(Name, "train", ExecFp, Reader, nullptr)) {
+      const SegmentedTraceHeader &H = Reader.header();
+      D.Train = sample::profilingAverage(B.Train, TrainGraph, Config.Dbt,
+                                         H.Final, H.NumEvents,
+                                         H.takenEvents(), H.TotalInsts);
+      Traces->noteSampleReplay(0, Reader.numSegments());
+    } else {
+      std::shared_ptr<const BlockTrace> Trace =
+          Traces->get(Name, "train", ExecFp, B.Train, MaxBlocks);
+      D.Train = sample::profilingAverage(
+          B.Train, TrainGraph, Config.Dbt, Trace->finalCounts(),
+          Trace->numEvents(), Trace->takenEvents(), Trace->totalInsts());
+    }
+    D.Train.Benchmark = Name;
+    D.Train.Input = "train";
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  Stats.SweepsRun.fetch_add(2, std::memory_order_relaxed);
+  Stats.SweepMicros.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count(),
+      std::memory_order_relaxed);
+  Stats.SampleStrata.fetch_add(D.Sampled->Stats.Strata,
+                               std::memory_order_relaxed);
+}
+
+const SampledProfiles *ExperimentContext::sampled(const std::string &Name) {
+  if (!sampling())
+    return nullptr;
+  BenchData &D = data(Name);
+  ensureProfiles(Name, D, Config.effectiveJobs());
+  return D.Sampled.get();
+}
+
+void ExperimentContext::noteHalfWidth(double RelativeHalf) {
+  if (!(RelativeHalf > 0.0))
+    return;
+  uint64_t Bits;
+  std::memcpy(&Bits, &RelativeHalf, 8);
+  uint64_t Cur = Stats.MaxHalfWidthBits.load(std::memory_order_relaxed);
+  for (;;) {
+    double CurVal;
+    std::memcpy(&CurVal, &Cur, 8);
+    if (RelativeHalf <= CurVal)
+      return;
+    if (Stats.MaxHalfWidthBits.compare_exchange_weak(
+            Cur, Bits, std::memory_order_relaxed))
+      return;
+  }
+}
+
+double ExperimentContext::maxHalfWidth() const {
+  uint64_t Bits = Stats.MaxHalfWidthBits.load(std::memory_order_relaxed);
+  double V;
+  std::memcpy(&V, &Bits, 8);
+  return V;
+}
+
 const profile::ProfileSnapshot &
 ExperimentContext::inip(const std::string &Name, uint64_t Threshold) {
   BenchData &D = data(Name);
@@ -329,7 +468,7 @@ void ExperimentContext::warmUp(const std::vector<std::string> &Names,
 
 std::string ExperimentContext::statsSummary() const {
   const TraceCache::Counters &TC = Traces->stats();
-  return formatString(
+  std::string Out = formatString(
       "jobs=%u prof %llu hit / %llu miss (%llu corrupt), trace %llu hit / "
       "%llu miss (%llu corrupt), %llu sweeps, %.1fs recording, "
       "%.1fs replaying, index %llu hit / %llu build (%.1fs), "
@@ -408,4 +547,21 @@ std::string ExperimentContext::statsSummary() const {
       static_cast<double>(
           TC.EvictedBytes.load(std::memory_order_relaxed)) /
           (1024.0 * 1024.0));
+  // Appended only in sampled mode so exact-mode banners stay
+  // byte-identical to builds without the feature.
+  if (sampling()) {
+    const uint64_t Dec =
+        TC.SampleSegmentsDecoded.load(std::memory_order_relaxed);
+    const uint64_t Skip =
+        TC.SampleSegmentsSkipped.load(std::memory_order_relaxed);
+    Out += formatString(
+        ", sample %llu strata, %llu/%llu seg decoded (budget %.0f%%), "
+        "max ci ±%.2f%%",
+        static_cast<unsigned long long>(
+            Stats.SampleStrata.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(Dec),
+        static_cast<unsigned long long>(Dec + Skip),
+        Config.Sample.BudgetFrac * 100.0, maxHalfWidth() * 100.0);
+  }
+  return Out;
 }

@@ -26,6 +26,17 @@
 ///                    set to "off" to disable caching)
 ///   TPDBT_JOBS       worker threads for per-benchmark sweeps (default:
 ///                    hardware concurrency; 1 restores the serial path)
+///   TPDBT_SAMPLE_MODE    "stratified" switches INIP estimation to the
+///                        sampled replay (src/sample): only a stratified
+///                        sample of each trace's segments is decoded and
+///                        every figure metric gains a 95% confidence
+///                        interval. Default "off" = the exact path,
+///                        byte-identical to a build without the feature.
+///   TPDBT_SAMPLE_BUDGET  sampled fraction of segments in (0, 1]
+///                        (default 0.25)
+///   TPDBT_SAMPLE_SEED    sampling seed (default 0x5eed); results are a
+///                        deterministic function of (trace, budget, seed)
+///                        at any job count
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +47,7 @@
 #include "core/Runner.h"
 #include "core/TraceCache.h"
 #include "profile/Profile.h"
+#include "sample/SampledReplay.h"
 #include "workloads/Generator.h"
 
 #include <atomic>
@@ -67,6 +79,12 @@ struct ExperimentConfig {
   /// 1 = serial. Never part of the cache fingerprint — results are
   /// identical at any job count.
   unsigned Jobs = 0;
+  /// Approximate-replay configuration (TPDBT_SAMPLE_*). Deliberately
+  /// excluded from every fingerprint: sampled runs never read or write
+  /// .prof snapshots (estimates must not masquerade as exact results),
+  /// and the .trace/.trace.idx entries they share with exact runs are
+  /// sample-agnostic.
+  sample::SampleConfig Sample;
 
   ExperimentConfig();
 
@@ -115,6 +133,22 @@ struct ExperimentStats {
   /// recording share is tracked by the trace cache (see
   /// ExperimentContext::traceStats).
   std::atomic<uint64_t> ReplayMicros{0};
+  /// Sampled-mode totals: strata summed over estimated benchmarks, and
+  /// the widest 95% half-width (relative to its point value) any figure
+  /// cell reported through noteHalfWidth() — double bits in an atomic so
+  /// the max updates locklessly.
+  std::atomic<uint64_t> SampleStrata{0};
+  std::atomic<uint64_t> MaxHalfWidthBits{0};
+};
+
+/// What a sampled benchmark carries beyond its point-estimate snapshots:
+/// the jackknife replicates ([group][threshold index], in
+/// ExperimentConfig::Thresholds order) core/Figures turns into confidence
+/// intervals, and the segment-split stats (whose sampledFraction() feeds
+/// the finite-population correction).
+struct SampledProfiles {
+  std::vector<std::vector<profile::ProfileSnapshot>> Replicates;
+  sample::SampledSweepStats Stats;
 };
 
 /// Lazily-computed, disk-cached profiles for the whole suite.
@@ -149,6 +183,24 @@ public:
   /// INIP(train): profiling-only run with the training input.
   const profile::ProfileSnapshot &train(const std::string &Name);
 
+  /// Whether INIP snapshots are sampled estimates rather than exact
+  /// replays. True when TPDBT_SAMPLE_MODE is on and the policy is not
+  /// adaptive (adaptive re-optimization reshapes the event stream itself,
+  /// so it always takes the exact path).
+  bool sampling() const;
+
+  /// The benchmark's replicates and sample stats; null when sampling()
+  /// is false. AVEP and INIP(train) are exact even in sampled mode (they
+  /// only need stream totals), so only the INIP(T) cells carry intervals.
+  const SampledProfiles *sampled(const std::string &Name);
+
+  /// Records one figure cell's relative 95% half-width for the stats
+  /// banner (lock-free running max).
+  void noteHalfWidth(double RelativeHalf);
+
+  /// The widest relative half-width recorded so far (0 when none).
+  double maxHalfWidth() const;
+
   /// Computes (or loads) the profiles for every named benchmark using up
   /// to \p Threads worker threads. Results are identical to the lazy
   /// single-threaded path — each benchmark's sweep is independent and
@@ -176,6 +228,8 @@ private:
     std::map<uint64_t, profile::ProfileSnapshot> Inips;
     profile::ProfileSnapshot Avep;
     profile::ProfileSnapshot Train;
+    /// Jackknife replicates + sample stats; set only in sampled mode.
+    std::unique_ptr<SampledProfiles> Sampled;
     /// Per-benchmark guard: generation and the sweep run under this lock,
     /// so two workers never interpret the same benchmark twice.
     std::mutex Lock;
@@ -190,6 +244,13 @@ private:
   /// worker per benchmark (results are identical either way).
   void ensureProfiles(const std::string &Name, BenchData &D,
                       unsigned ReplayJobs);
+  /// The sampled-mode body of ensureProfiles (caller holds D.Lock):
+  /// estimates the INIP sweep from a stratified segment sample — warm
+  /// cache entries through TraceCache::openSegmented, so unsampled
+  /// segments are never decompressed — and computes AVEP / INIP(train)
+  /// exactly from stream totals. Never touches the .prof cache.
+  void ensureEstimates(const std::string &Name, BenchData &D,
+                       unsigned ReplayJobs);
   std::string cachePath(const std::string &Name, uint64_t SpecFp,
                         const std::string &Input, uint64_t Threshold) const;
   bool loadCached(const std::string &Name, BenchData &D);

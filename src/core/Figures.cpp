@@ -9,6 +9,8 @@
 #include "workloads/BenchSpec.h"
 
 #include <cassert>
+#include <cmath>
+#include <cstdint>
 
 using namespace tpdbt;
 using namespace tpdbt::core;
@@ -41,6 +43,115 @@ double tpdbt::core::metricInip(ExperimentContext &Ctx,
   return computeMetric(Ctx, Bench, Ctx.inip(Bench, Threshold), Kind);
 }
 
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Sampled-mode confidence intervals
+//
+// Every interval is the finite-population-corrected jackknife width over
+// the benchmark's delete-a-group replicates plus a calibrated guard for
+// the model bias the jackknife cannot see (placement interpolation,
+// frozen structure held fixed across replicates). Guards are calibrated
+// at the 25% budget — (1 - f) / 0.75 rescales them to other budgets and
+// sends them to zero at full budget. See docs/ARCHITECTURE.md,
+// "Approximate replay".
+//===----------------------------------------------------------------------===//
+
+/// Guard at 25% budget for the probability metrics: relative share of the
+/// point value plus an absolute floor on the [0,1] metric scale.
+constexpr double MetricGuardRel = 0.10;
+constexpr double MetricGuardAbs = 0.03;
+/// Profiling-op totals track the estimated prefixes closely (~5% worst
+/// case at quarter budget); cycles carry unmodeled exit penalties and
+/// region-flip OptimizePerInst swings, hence the wide guard.
+constexpr double OpsGuardRel = 0.05;
+constexpr double CyclesGuardRel = 0.30;
+
+double guardScale(double SampledFrac) { return (1.0 - SampledFrac) / 0.75; }
+
+size_t thresholdIndex(ExperimentContext &Ctx, uint64_t Th) {
+  const std::vector<uint64_t> &Ts = Ctx.config().Thresholds;
+  for (size_t I = 0; I < Ts.size(); ++I)
+    if (Ts[I] == Th)
+      return I;
+  assert(false && "threshold not part of the configured sweep");
+  return 0;
+}
+
+/// 95% half-width of one benchmark's metric cell; 0 when not sampling.
+double metricHalf(ExperimentContext &Ctx, const std::string &Bench,
+                  uint64_t Th, MetricKind Kind, double Point) {
+  const SampledProfiles *SP = Ctx.sampled(Bench);
+  if (!SP || SP->Replicates.empty())
+    return 0.0;
+  const size_t Idx = thresholdIndex(Ctx, Th);
+  std::vector<double> Vals;
+  for (const auto &Rep : SP->Replicates)
+    Vals.push_back(computeMetric(Ctx, Bench, Rep[Idx], Kind));
+  double Half = sample::jackknife95(Vals, SP->Stats.sampledFraction());
+  const double Scale = guardScale(SP->Stats.sampledFraction());
+  Half += (MetricGuardRel * std::fabs(Point) + MetricGuardAbs) * Scale;
+  // Placement guard: estimated crossing positions can slide a discrete
+  // classification flip (the mismatch metrics' cliffs) across one
+  // threshold step, which the structure-fixed replicates cannot see. The
+  // interval absorbs the larger adjacent-threshold jump of the estimated
+  // series — large only where the series actually cliffs.
+  const std::vector<uint64_t> &Ts = Ctx.config().Thresholds;
+  double Jump = 0.0;
+  if (Idx > 0)
+    Jump = std::max(
+        Jump, std::fabs(Point - metricInip(Ctx, Bench, Ts[Idx - 1], Kind)));
+  if (Idx + 1 < Ts.size())
+    Jump = std::max(
+        Jump, std::fabs(Point - metricInip(Ctx, Bench, Ts[Idx + 1], Kind)));
+  Half += Jump * Scale;
+  return Half;
+}
+
+/// Root-sum-square combine for a mean over independent per-benchmark
+/// estimates: half(mean) = sqrt(sum h_b^2) / n.
+double combineMeanHalves(const std::vector<double> &Halves) {
+  double Sq = 0.0;
+  for (double H : Halves)
+    Sq += H * H;
+  return Halves.empty() ? 0.0
+                        : std::sqrt(Sq) / static_cast<double>(Halves.size());
+}
+
+/// Records a cell's relative width for the stats banner. The denominator
+/// is floored so near-zero metric cells (whose absolute interval is tiny
+/// but whose ratio diverges) don't dominate the reported maximum.
+void noteCell(ExperimentContext &Ctx, double Value, double Half) {
+  Ctx.noteHalfWidth(Half / std::max(std::fabs(Value), 0.05));
+}
+
+/// The smallest replicate count over \p Benches (group-level aggregate
+/// metrics need every benchmark's replicate g), and the mean sampled
+/// fraction for the correction. Zero groups when any bench lacks them.
+struct GroupView {
+  size_t Groups = 0;
+  double Frac = 1.0;
+};
+GroupView groupView(ExperimentContext &Ctx,
+                    const std::vector<std::string> &Benches) {
+  GroupView V;
+  if (Benches.empty() || !Ctx.sampling())
+    return V;
+  V.Groups = SIZE_MAX;
+  double FracSum = 0.0;
+  for (const std::string &B : Benches) {
+    const SampledProfiles *SP = Ctx.sampled(B);
+    if (!SP || SP->Replicates.size() < 2)
+      return GroupView();
+    V.Groups = std::min(V.Groups, SP->Replicates.size());
+    FracSum += SP->Stats.sampledFraction();
+  }
+  V.Frac = FracSum / static_cast<double>(Benches.size());
+  return V;
+}
+
+} // namespace
+
 double tpdbt::core::metricTrain(ExperimentContext &Ctx,
                                 const std::string &Bench, MetricKind Kind) {
   if (Kind == MetricKind::SdBp || Kind == MetricKind::BpMismatch)
@@ -66,16 +177,30 @@ Table tpdbt::core::figureAverages(ExperimentContext &Ctx, MetricKind Kind,
   std::vector<std::string> Int = workloads::intBenchmarkNames();
   std::vector<std::string> Fp = workloads::fpBenchmarkNames();
 
+  const bool Sampled = Ctx.sampling();
   Table T(Title);
-  T.setHeader({"threshold", "int", "fp"});
+  // Sampled mode pairs every series with a ±95% CI companion column.
+  T.setHeader(Sampled ? std::vector<std::string>{"threshold", "int",
+                                                 "int_ci95", "fp", "fp_ci95"}
+                      : std::vector<std::string>{"threshold", "int", "fp"});
   for (uint64_t Th : paperThresholds()) {
     T.addRow();
     T.addCell(thresholdLabel(Th));
     for (const auto *Group : {&Int, &Fp}) {
       std::vector<double> Vals;
-      for (const std::string &B : *Group)
+      std::vector<double> Halves;
+      for (const std::string &B : *Group) {
         Vals.push_back(metricInip(Ctx, B, Th, Kind));
-      T.addCell(mean(Vals));
+        if (Sampled)
+          Halves.push_back(metricHalf(Ctx, B, Th, Kind, Vals.back()));
+      }
+      const double Value = mean(Vals);
+      T.addCell(Value);
+      if (Sampled) {
+        const double Half = combineMeanHalves(Halves);
+        T.addCell(Half);
+        noteCell(Ctx, Value, Half);
+      }
     }
   }
   if (metricHasTrainRow(Kind)) {
@@ -86,6 +211,8 @@ Table tpdbt::core::figureAverages(ExperimentContext &Ctx, MetricKind Kind,
       for (const std::string &B : *Group)
         Vals.push_back(metricTrain(Ctx, B, Kind));
       T.addCell(mean(Vals));
+      if (Sampled)
+        T.addCell(0.0); // train references are exact even when sampling
     }
   }
   return T;
@@ -94,23 +221,37 @@ Table tpdbt::core::figureAverages(ExperimentContext &Ctx, MetricKind Kind,
 Table tpdbt::core::figurePerBench(ExperimentContext &Ctx, MetricKind Kind,
                                   const std::vector<std::string> &Benches,
                                   const std::string &Title) {
+  const bool Sampled = Ctx.sampling();
   Table T(Title);
   std::vector<std::string> Header = {"threshold"};
-  for (const std::string &B : Benches)
+  for (const std::string &B : Benches) {
     Header.push_back(B);
+    if (Sampled)
+      Header.push_back(B + "_ci95");
+  }
   T.setHeader(Header);
 
   for (uint64_t Th : paperThresholds()) {
     T.addRow();
     T.addCell(thresholdLabel(Th));
-    for (const std::string &B : Benches)
-      T.addCell(metricInip(Ctx, B, Th, Kind));
+    for (const std::string &B : Benches) {
+      const double Value = metricInip(Ctx, B, Th, Kind);
+      T.addCell(Value);
+      if (Sampled) {
+        const double Half = metricHalf(Ctx, B, Th, Kind, Value);
+        T.addCell(Half);
+        noteCell(Ctx, Value, Half);
+      }
+    }
   }
   if (metricHasTrainRow(Kind)) {
     T.addRow();
     T.addCell("train");
-    for (const std::string &B : Benches)
+    for (const std::string &B : Benches) {
       T.addCell(metricTrain(Ctx, B, Kind));
+      if (Sampled)
+        T.addCell(0.0);
+    }
   }
   return T;
 }
@@ -123,8 +264,15 @@ Table tpdbt::core::figurePerformance(ExperimentContext &Ctx) {
     if (B != "perlbmk")
       IntNoPerl.push_back(B);
 
+  const bool Sampled = Ctx.sampling();
   Table T("Figure 17: relative performance vs. threshold (base: T=1)");
-  T.setHeader({"threshold", "int", "int_no_perl", "fp"});
+  T.setHeader(Sampled
+                  ? std::vector<std::string>{"threshold", "int", "int_ci95",
+                                             "int_no_perl",
+                                             "int_no_perl_ci95", "fp",
+                                             "fp_ci95"}
+                  : std::vector<std::string>{"threshold", "int",
+                                             "int_no_perl", "fp"});
   for (uint64_t Th : performanceThresholds()) {
     T.addRow();
     T.addCell(thresholdLabel(Th));
@@ -137,7 +285,33 @@ Table tpdbt::core::figurePerformance(ExperimentContext &Ctx) {
         assert(Cycles > 0.0 && "cost model produced zero cycles");
         Speedups.push_back(BaseCycles / Cycles);
       }
-      T.addCell(geomean(Speedups));
+      const double Value = geomean(Speedups);
+      T.addCell(Value);
+      if (Sampled) {
+        // Group-level jackknife: replicate g's geomean uses every
+        // benchmark's replicate g, so correlated base/threshold cycles
+        // cancel inside the ratio as they do in the point estimate.
+        const GroupView V = groupView(Ctx, *Group);
+        const size_t BaseIdx = thresholdIndex(Ctx, 1);
+        const size_t ThIdx = thresholdIndex(Ctx, Th);
+        std::vector<double> RepVals;
+        for (size_t Gr = 0; Gr < V.Groups; ++Gr) {
+          std::vector<double> RepSpeedups;
+          for (const std::string &B : *Group) {
+            const SampledProfiles *SP = Ctx.sampled(B);
+            double RepBase =
+                static_cast<double>(SP->Replicates[Gr][BaseIdx].Cycles);
+            double RepCycles = std::max<double>(
+                static_cast<double>(SP->Replicates[Gr][ThIdx].Cycles), 1.0);
+            RepSpeedups.push_back(RepBase / RepCycles);
+          }
+          RepVals.push_back(geomean(RepSpeedups));
+        }
+        double Half = sample::jackknife95(RepVals, V.Frac);
+        Half += CyclesGuardRel * std::fabs(Value) * guardScale(V.Frac);
+        T.addCell(Half);
+        noteCell(Ctx, Value, Half);
+      }
     }
   }
   return T;
@@ -226,21 +400,55 @@ const FigureSpec *tpdbt::core::findFigure(const std::string &Name) {
 
 Table tpdbt::core::sweepTable(ExperimentContext &Ctx,
                               const std::string &Bench) {
+  const bool Sampled = Ctx.sampling();
   Table T(formatString("Sweep: %s (scale %.3f)", Bench.c_str(),
                        Ctx.config().Scale));
-  T.setHeader({"threshold", "sd_bp", "bp_mismatch", "sd_cp", "sd_lp",
-               "lp_mismatch", "regions", "cycles"});
+  const MetricKind Kinds[] = {MetricKind::SdBp, MetricKind::BpMismatch,
+                              MetricKind::SdCp, MetricKind::SdLp,
+                              MetricKind::LpMismatch};
+  const char *KindNames[] = {"sd_bp", "bp_mismatch", "sd_cp", "sd_lp",
+                             "lp_mismatch"};
+  std::vector<std::string> Header = {"threshold"};
+  for (const char *N : KindNames) {
+    Header.push_back(N);
+    if (Sampled)
+      Header.push_back(std::string(N) + "_ci95");
+  }
+  Header.push_back("regions");
+  Header.push_back("cycles");
+  if (Sampled)
+    Header.push_back("cycles_ci95");
+  T.setHeader(Header);
   for (uint64_t Th : Ctx.config().Thresholds) {
     const profile::ProfileSnapshot &Inip = Ctx.inip(Bench, Th);
     T.addRow();
     T.addCell(thresholdLabel(Th));
-    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::SdBp));
-    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::BpMismatch));
-    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::SdCp));
-    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::SdLp));
-    T.addCell(metricInip(Ctx, Bench, Th, MetricKind::LpMismatch));
+    for (MetricKind Kind : Kinds) {
+      const double Value = metricInip(Ctx, Bench, Th, Kind);
+      T.addCell(Value);
+      if (Sampled) {
+        const double Half = metricHalf(Ctx, Bench, Th, Kind, Value);
+        T.addCell(Half);
+        noteCell(Ctx, Value, Half);
+      }
+    }
     T.addCell(static_cast<uint64_t>(Inip.Regions.size()));
     T.addCell(Inip.Cycles);
+    if (Sampled) {
+      const SampledProfiles *SP = Ctx.sampled(Bench);
+      double Half = 0.0;
+      if (SP && SP->Replicates.size() >= 2) {
+        const size_t Idx = thresholdIndex(Ctx, Th);
+        std::vector<double> Vals;
+        for (const auto &Rep : SP->Replicates)
+          Vals.push_back(static_cast<double>(Rep[Idx].Cycles));
+        Half = sample::jackknife95(Vals, SP->Stats.sampledFraction());
+        Half += CyclesGuardRel * static_cast<double>(Inip.Cycles) *
+                guardScale(SP->Stats.sampledFraction());
+        noteCell(Ctx, static_cast<double>(Inip.Cycles), Half);
+      }
+      T.addCell(Half, 0);
+    }
   }
   return T;
 }
@@ -251,8 +459,13 @@ Table tpdbt::core::figureProfilingOps(ExperimentContext &Ctx) {
   std::vector<std::string> All = Int;
   All.insert(All.end(), Fp.begin(), Fp.end());
 
+  const bool Sampled = Ctx.sampling();
   Table T("Figure 18: profiling operations, normalized to the training run");
-  T.setHeader({"threshold", "int", "fp", "all"});
+  T.setHeader(Sampled ? std::vector<std::string>{"threshold", "int",
+                                                 "int_ci95", "fp", "fp_ci95",
+                                                 "all", "all_ci95"}
+                      : std::vector<std::string>{"threshold", "int", "fp",
+                                                 "all"});
   for (uint64_t Th : paperThresholds()) {
     T.addRow();
     T.addCell(thresholdLabel(Th));
@@ -263,13 +476,34 @@ Table tpdbt::core::figureProfilingOps(ExperimentContext &Ctx) {
         InipOps += static_cast<double>(Ctx.inip(B, Th).ProfilingOps);
         TrainOps += static_cast<double>(Ctx.train(B).ProfilingOps);
       }
-      T.addCell(TrainOps > 0.0 ? InipOps / TrainOps : 0.0, 4);
+      const double Value = TrainOps > 0.0 ? InipOps / TrainOps : 0.0;
+      T.addCell(Value, 4);
+      if (Sampled) {
+        // Replicate g's ratio re-sums every benchmark's replicate ops
+        // over the exact training total.
+        const GroupView V = groupView(Ctx, *Group);
+        const size_t ThIdx = thresholdIndex(Ctx, Th);
+        std::vector<double> RepVals;
+        for (size_t Gr = 0; Gr < V.Groups; ++Gr) {
+          double RepOps = 0.0;
+          for (const std::string &B : *Group)
+            RepOps += static_cast<double>(
+                Ctx.sampled(B)->Replicates[Gr][ThIdx].ProfilingOps);
+          RepVals.push_back(TrainOps > 0.0 ? RepOps / TrainOps : 0.0);
+        }
+        double Half = sample::jackknife95(RepVals, V.Frac);
+        Half += OpsGuardRel * std::fabs(Value) * guardScale(V.Frac);
+        T.addCell(Half, 4);
+        noteCell(Ctx, Value, Half);
+      }
     }
   }
   T.addRow();
   T.addCell("train");
-  T.addCell(1.0, 4);
-  T.addCell(1.0, 4);
-  T.addCell(1.0, 4);
+  for (int I = 0; I < 3; ++I) {
+    T.addCell(1.0, 4);
+    if (Sampled)
+      T.addCell(0.0, 4);
+  }
   return T;
 }

@@ -84,6 +84,23 @@ void TraceCache::enforceBudget() {
   }
 }
 
+bool TraceCache::openSegmented(const std::string &Name,
+                               const std::string &Input, uint64_t ExecFp,
+                               SegmentedTraceReader &Reader,
+                               std::string *Error) {
+  if (Dir.empty()) {
+    if (Error)
+      *Error = "trace cache disk layer is disabled";
+    return false;
+  }
+  const std::string Path = entryPath(Name, Input, ExecFp);
+  if (!SegmentedTraceReader::open(Path, Reader, Error))
+    return false;
+  Stats.SampleDiskOpens.fetch_add(1, std::memory_order_relaxed);
+  touchEntry(Path);
+  return true;
+}
+
 std::string TraceCache::entryPath(const std::string &Name,
                                   const std::string &Input,
                                   uint64_t ExecFp) const {

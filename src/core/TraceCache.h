@@ -52,6 +52,8 @@
 namespace tpdbt {
 namespace core {
 
+class SegmentedTraceReader;
+
 /// The TPDBT_CACHE_MAX_BYTES knob, read fresh on every call (tests and
 /// long-running daemons flip it mid-process): unset, unparsable, or 0
 /// means unbounded; otherwise the trace store's disk budget in bytes.
@@ -136,6 +138,15 @@ public:
     /// bytes they freed.
     std::atomic<uint64_t> Evictions{0};
     std::atomic<uint64_t> EvictedBytes{0};
+    /// Sampled-replay coverage (src/sample): warm entries opened as
+    /// streaming TPDT v3 containers through openSegmented() (no whole-file
+    /// parse, no index), segments actually decompressed for a sampled
+    /// sweep, and segments the plan skipped — whose payload bytes were
+    /// never inflated. The skipped counter is the out-of-core win the
+    /// never-decompress regression test pins.
+    std::atomic<uint64_t> SampleDiskOpens{0};
+    std::atomic<uint64_t> SampleSegmentsDecoded{0};
+    std::atomic<uint64_t> SampleSegmentsSkipped{0};
 
     uint64_t hits() const {
       return MemoryHits.load(std::memory_order_relaxed) +
@@ -151,6 +162,22 @@ public:
   void noteIndexBuild(uint64_t Micros) {
     Stats.IndexBuilds.fetch_add(1, std::memory_order_relaxed);
     Stats.IndexMicros.fetch_add(Micros, std::memory_order_relaxed);
+  }
+
+  /// Opens the disk entry for a key as a streaming TPDT v3 container
+  /// (core/TraceSegments.h) without parsing events or touching the
+  /// in-memory layer — the sampled-replay fast path, which decodes only
+  /// the segments its plan draws. False when the disk layer is off, the
+  /// entry is missing, or it is a monolithic v1/v2 file (callers fall
+  /// back to get()). Success refreshes the entry's LRU recency.
+  bool openSegmented(const std::string &Name, const std::string &Input,
+                     uint64_t ExecFp, SegmentedTraceReader &Reader,
+                     std::string *Error);
+
+  /// Accounts one sampled sweep's segment split (see the Sample counters).
+  void noteSampleReplay(uint64_t Decoded, uint64_t Skipped) {
+    Stats.SampleSegmentsDecoded.fetch_add(Decoded, std::memory_order_relaxed);
+    Stats.SampleSegmentsSkipped.fetch_add(Skipped, std::memory_order_relaxed);
   }
 
   /// The on-disk entry path for a key (exposed for tests).

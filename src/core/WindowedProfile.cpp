@@ -10,6 +10,19 @@
 using namespace tpdbt;
 using namespace tpdbt::core;
 
+namespace {
+
+WindowedProfile sizedWindows(size_t NumWindows, size_t NumBlocks,
+                             uint64_t Total) {
+  WindowedProfile Out;
+  Out.TotalBlockEvents = Total;
+  Out.Windows.assign(NumWindows,
+                     std::vector<profile::BlockCounters>(NumBlocks));
+  return Out;
+}
+
+} // namespace
+
 WindowedProfile tpdbt::core::collectWindowedProfile(const guest::Program &P,
                                                     size_t NumWindows,
                                                     uint64_t MaxBlocks) {
@@ -21,10 +34,7 @@ WindowedProfile tpdbt::core::collectWindowedProfile(const guest::Program &P,
   M.reset(P);
   uint64_t Total = Interp.run(M, MaxBlocks).BlocksExecuted;
 
-  WindowedProfile Out;
-  Out.TotalBlockEvents = Total;
-  Out.Windows.assign(NumWindows,
-                     std::vector<profile::BlockCounters>(P.numBlocks()));
+  WindowedProfile Out = sizedWindows(NumWindows, P.numBlocks(), Total);
   uint64_t WindowLen = Total / NumWindows + 1;
 
   M.reset(P);
@@ -38,5 +48,25 @@ WindowedProfile tpdbt::core::collectWindowedProfile(const guest::Program &P,
                  ++Out.Windows[W][B].Taken;
                ++Event;
              });
+  return Out;
+}
+
+WindowedProfile tpdbt::core::collectWindowedProfile(const guest::Program &P,
+                                                    size_t NumWindows,
+                                                    const BlockTrace &Trace) {
+  assert(NumWindows > 0 && "need at least one window");
+  const uint64_t Total = Trace.numEvents();
+  WindowedProfile Out = sizedWindows(NumWindows, P.numBlocks(), Total);
+  // Same sizing rule as the execute-twice path, so both produce identical
+  // windows for the same execution.
+  const uint64_t WindowLen = Total / NumWindows + 1;
+  for (uint64_t Event = 0; Event < Total; ++Event) {
+    const TraceEvent &E = Trace.event(Event);
+    size_t W = std::min<size_t>(Event / WindowLen, NumWindows - 1);
+    assert(E.Block < Out.Windows[W].size() && "trace/program mismatch");
+    ++Out.Windows[W][E.Block].Use;
+    if (E.Branch == 2)
+      ++Out.Windows[W][E.Block].Taken;
+  }
   return Out;
 }

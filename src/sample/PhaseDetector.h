@@ -1,0 +1,77 @@
+//===- sample/PhaseDetector.h - Segment phase clustering --------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clusters a trace's segments (or WindowedProfile windows) into program
+/// phases by deterministic leader clustering, the same greedy scheme
+/// analysis/Phases.h applies to basic-block vectors. Phases become the
+/// strata of the sampled replay: segments inside one phase behave alike,
+/// so a small sample per phase estimates the phase mean tightly.
+///
+/// Two feature sources, one algorithm:
+///
+///  - detectSegmentPhases() uses only the TPDT v3 directory aggregates
+///    (event count, instructions/event, taken/event). These are exact for
+///    every segment without decompressing any payload — the disk path's
+///    whole point — and are computed identically from an in-memory trace,
+///    so cold (memory) and warm (disk) runs stratify identically.
+///  - detectWindowPhases() clusters L1-normalized block-frequency vectors
+///    of WindowedProfile-style windows, for callers that already hold
+///    per-window counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SAMPLE_PHASEDETECTOR_H
+#define TPDBT_SAMPLE_PHASEDETECTOR_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+namespace sample {
+
+/// Exact per-segment aggregates, read from the TPDT v3 segment directory
+/// (disk) or a single pass over the event slice (memory). Never requires
+/// decoding a segment payload.
+struct SegmentStats {
+  uint64_t Events = 0;
+  uint64_t Insts = 0;
+  uint64_t Taken = 0;
+};
+
+/// Phase labels for a sequence of segments/windows.
+struct PhaseAssignment {
+  /// Phase (stratum) of each segment, 0-based, dense.
+  std::vector<uint32_t> StratumOf;
+  uint32_t NumStrata = 0;
+};
+
+/// Deterministic leader clustering over arbitrary feature vectors with L1
+/// distance: each item joins the first leader within \p Threshold, opens a
+/// new phase otherwise (up to \p MaxPhases, then joins the nearest).
+PhaseAssignment leaderCluster(const std::vector<std::vector<double>> &Features,
+                              unsigned MaxPhases, double Threshold);
+
+/// Phases from directory aggregates (see file comment). Feature vector per
+/// segment: relative length, instructions per event (scaled to [0, 1] by
+/// the suite maximum), and taken-branch rate.
+PhaseAssignment detectSegmentPhases(const std::vector<SegmentStats> &Segments,
+                                    unsigned MaxPhases,
+                                    double Threshold = 0.25);
+
+/// Phases from WindowedProfile-style per-window counters: leader
+/// clustering over each window's L1-normalized block-frequency vector
+/// (the BBV scheme of analysis/Phases.h).
+PhaseAssignment detectWindowPhases(
+    const std::vector<std::vector<profile::BlockCounters>> &Windows,
+    unsigned MaxPhases, double Threshold = 0.3);
+
+} // namespace sample
+} // namespace tpdbt
+
+#endif // TPDBT_SAMPLE_PHASEDETECTOR_H

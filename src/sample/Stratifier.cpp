@@ -1,0 +1,171 @@
+//===- sample/Stratifier.cpp - Sample-budget allocation --------------------===//
+
+#include "sample/Stratifier.h"
+
+#include "support/Rng.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace tpdbt;
+using namespace tpdbt::sample;
+
+SamplePlan tpdbt::sample::planSample(const std::vector<SegmentStats> &Segments,
+                                     const PhaseAssignment &Phases,
+                                     double BudgetFrac, uint64_t Seed,
+                                     unsigned Groups) {
+  SamplePlan Plan;
+  const size_t S = Segments.size();
+  Plan.StratumOf = Phases.StratumOf;
+  Plan.StratumOf.resize(S, 0);
+  Plan.NumStrata = std::max<uint32_t>(Phases.NumStrata, 1);
+  Plan.IsChosen.assign(S, 0);
+  Plan.GroupOf.assign(S, -1);
+  if (S == 0)
+    return Plan;
+
+  const size_t H = Plan.NumStrata;
+  std::vector<std::vector<uint32_t>> Members(H);
+  for (size_t I = 0; I < S; ++I)
+    Members[Plan.StratumOf[I]].push_back(static_cast<uint32_t>(I));
+
+  // Pilot statistic: the taken-branch rate, exact per segment from the
+  // directory. Its within-stratum spread is a decode-free stand-in for
+  // how much the segments of a phase still differ.
+  std::vector<double> Sigma(H, 0.0);
+  for (size_t Ph = 0; Ph < H; ++Ph) {
+    RunningStats Stats;
+    for (uint32_t I : Members[Ph]) {
+      const SegmentStats &Seg = Segments[I];
+      Stats.add(Seg.Events ? static_cast<double>(Seg.Taken) /
+                                 static_cast<double>(Seg.Events)
+                           : 0.0);
+    }
+    Sigma[Ph] = Stats.stddev();
+  }
+
+  // Neyman allocation: n_h proportional to N_h * sigma_h. When every
+  // stratum looks internally uniform (all sigma zero), fall back to
+  // proportional allocation by stratum size.
+  std::vector<double> Weight(H, 0.0);
+  double WeightSum = 0.0;
+  for (size_t Ph = 0; Ph < H; ++Ph) {
+    Weight[Ph] = static_cast<double>(Members[Ph].size()) * Sigma[Ph];
+    WeightSum += Weight[Ph];
+  }
+  if (WeightSum <= 0.0) {
+    WeightSum = 0.0;
+    for (size_t Ph = 0; Ph < H; ++Ph) {
+      Weight[Ph] = static_cast<double>(Members[Ph].size());
+      WeightSum += Weight[Ph];
+    }
+  }
+
+  BudgetFrac = std::min(std::max(BudgetFrac, 0.0), 1.0);
+  size_t Budget = static_cast<size_t>(
+      std::ceil(BudgetFrac * static_cast<double>(S) - 1e-9));
+  Budget = std::min(std::max<size_t>(Budget, 1), S);
+
+  // Every non-empty stratum contributes at least one segment (the budget
+  // floor grows past the requested fraction when there are more strata
+  // than slots); the rest of the budget goes out by largest remainder on
+  // the Neyman weights, capped at each stratum's size.
+  std::vector<size_t> Alloc(H, 0);
+  size_t Assigned = 0;
+  for (size_t Ph = 0; Ph < H; ++Ph)
+    if (!Members[Ph].empty()) {
+      Alloc[Ph] = 1;
+      ++Assigned;
+    }
+  if (Budget > Assigned) {
+    size_t Extra = Budget - Assigned;
+    std::vector<double> Share(H, 0.0);
+    std::vector<size_t> Floor(H, 0);
+    double Scale = WeightSum > 0.0 ? static_cast<double>(Extra) / WeightSum
+                                   : 0.0;
+    size_t Floored = 0;
+    for (size_t Ph = 0; Ph < H; ++Ph) {
+      Share[Ph] = Weight[Ph] * Scale;
+      Floor[Ph] = std::min(static_cast<size_t>(Share[Ph]),
+                           Members[Ph].size() - Alloc[Ph]);
+      Alloc[Ph] += Floor[Ph];
+      Floored += Floor[Ph];
+    }
+    // Hand out the remainder by descending fractional part (stratum index
+    // breaks ties), skipping saturated strata.
+    std::vector<size_t> Order(H);
+    for (size_t Ph = 0; Ph < H; ++Ph)
+      Order[Ph] = Ph;
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      double FA = Share[A] - std::floor(Share[A]);
+      double FB = Share[B] - std::floor(Share[B]);
+      return FA > FB;
+    });
+    size_t Left = Extra - Floored;
+    while (Left > 0) {
+      bool Progress = false;
+      for (size_t Ph : Order) {
+        if (Left == 0)
+          break;
+        if (Alloc[Ph] < Members[Ph].size()) {
+          ++Alloc[Ph];
+          --Left;
+          Progress = true;
+        }
+      }
+      if (!Progress)
+        break; // every stratum saturated: budget exceeds the trace
+    }
+  }
+
+  // Warm-up forcing: every low-threshold crossing lands in the trace's
+  // opening events, so freeze-time counters there would be pure
+  // imputation unless the first segment is decoded. Segment 0 is always
+  // drawn — counted against its stratum's allocation, so the total stays
+  // at the budget — anchoring the cumulative curves' early prefix with
+  // exact counters.
+  Plan.IsChosen[0] = 1;
+
+  // Seeded draw per stratum: a partial Fisher-Yates over the stratum's
+  // member list (minus any forced picks), one independent generator per
+  // stratum so allocations in one phase never shift another phase's draw.
+  for (size_t Ph = 0; Ph < H; ++Ph) {
+    std::vector<uint32_t> Pool;
+    Pool.reserve(Members[Ph].size());
+    size_t Forced = 0;
+    for (uint32_t I : Members[Ph]) {
+      if (Plan.IsChosen[I])
+        ++Forced;
+      else
+        Pool.push_back(I);
+    }
+    Rng Gen(combineSeeds(Seed, static_cast<uint64_t>(Ph)));
+    const size_t Take =
+        std::min(Alloc[Ph] > Forced ? Alloc[Ph] - Forced : 0, Pool.size());
+    for (size_t I = 0; I < Take; ++I) {
+      size_t J = I + static_cast<size_t>(Gen.nextBelow(
+                        static_cast<uint64_t>(Pool.size() - I)));
+      std::swap(Pool[I], Pool[J]);
+      Plan.IsChosen[Pool[I]] = 1;
+    }
+  }
+  for (size_t I = 0; I < S; ++I)
+    if (Plan.IsChosen[I])
+      Plan.Chosen.push_back(static_cast<uint32_t>(I));
+
+  // Jackknife groups: round-robin over the chosen segments in (stratum,
+  // segment) order, so each delete-a-group replicate removes a cross-
+  // section of every phase instead of one phase wholesale.
+  Plan.NumGroups = static_cast<uint32_t>(
+      std::min<size_t>(std::max<unsigned>(Groups, 1), Plan.Chosen.size()));
+  uint32_t Next = 0;
+  for (size_t Ph = 0; Ph < H; ++Ph)
+    for (uint32_t I : Members[Ph])
+      if (Plan.IsChosen[I]) {
+        Plan.GroupOf[I] = static_cast<int32_t>(Next % Plan.NumGroups);
+        ++Next;
+      }
+  return Plan;
+}

@@ -1,0 +1,65 @@
+//===- sample/Stratifier.h - Sample-budget allocation -----------*- C++ -*-===//
+//
+// Part of the tpdbt project (CGO 2004 initial-prediction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a phase assignment plus a segment budget into a concrete sample
+/// plan: how many segments each stratum contributes (Neyman allocation by
+/// the within-stratum variance of a decode-free pilot statistic, with
+/// proportional allocation as the degenerate-variance fallback), which
+/// segments are drawn (seeded partial Fisher-Yates per stratum), and how
+/// the drawn segments split into jackknife groups for the confidence
+/// intervals.
+///
+/// Everything here is a pure function of (segment stats, phases, budget,
+/// seed): the plan is computed once per benchmark before any threading, so
+/// sampled results are identical at any TPDBT_JOBS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TPDBT_SAMPLE_STRATIFIER_H
+#define TPDBT_SAMPLE_STRATIFIER_H
+
+#include "sample/PhaseDetector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tpdbt {
+namespace sample {
+
+/// A concrete segment sample: which segments are decoded and replayed,
+/// their strata, and their jackknife grouping.
+struct SamplePlan {
+  /// Stratum of every segment (copied from the phase assignment).
+  std::vector<uint32_t> StratumOf;
+  uint32_t NumStrata = 0;
+  /// Chosen (sampled) segment ids, ascending.
+  std::vector<uint32_t> Chosen;
+  /// Per-segment membership flag, parallel to StratumOf.
+  std::vector<uint8_t> IsChosen;
+  /// Jackknife group of every segment; -1 for unsampled segments. Groups
+  /// are dealt round-robin over the chosen segments in (stratum, segment)
+  /// order so every group spans the strata.
+  std::vector<int32_t> GroupOf;
+  uint32_t NumGroups = 0;
+};
+
+/// Allocates ceil(BudgetFrac * segments) slots across the strata (at
+/// least one per stratum, never more than the stratum holds), draws the
+/// segments, and deals the jackknife groups. Segment 0 is always drawn
+/// (counted against its stratum's allocation): low-threshold freeze
+/// crossings concentrate in the trace's opening events, and decoding
+/// them anchors the estimator's curves where imputation would hurt most.
+/// \p Groups caps the group count; it is clamped to the number of chosen
+/// segments.
+SamplePlan planSample(const std::vector<SegmentStats> &Segments,
+                      const PhaseAssignment &Phases, double BudgetFrac,
+                      uint64_t Seed, unsigned Groups);
+
+} // namespace sample
+} // namespace tpdbt
+
+#endif // TPDBT_SAMPLE_STRATIFIER_H

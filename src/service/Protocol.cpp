@@ -34,13 +34,14 @@ bool atEnd(const std::string &In, size_t Pos) { return Pos == In.size(); }
 } // namespace
 
 std::string tpdbt::service::encodeFrame(MsgType Type,
-                                        const std::string &Body) {
+                                        const std::string &Body,
+                                        uint8_t Version) {
   const uint32_t PayloadLen = static_cast<uint32_t>(2 + Body.size());
   std::string Out;
   Out.reserve(4 + PayloadLen);
   for (int I = 0; I < 4; ++I)
     Out.push_back(static_cast<char>((PayloadLen >> (8 * I)) & 0xff));
-  Out.push_back(static_cast<char>(ProtocolVersion));
+  Out.push_back(static_cast<char>(Version));
   Out.push_back(static_cast<char>(Type));
   Out += Body;
   return Out;
@@ -58,6 +59,13 @@ std::string tpdbt::service::encodeRequest(const SweepRequest &R) {
   putVarint(B, R.Thresholds.size());
   for (uint64_t T : R.Thresholds)
     putVarint(B, T);
+  // v2 optional tail, present only when sampling is requested; the body
+  // stays byte-identical to v1 otherwise.
+  if (R.sampled()) {
+    B.push_back(static_cast<char>(R.SampleMode));
+    putVarint(B, R.SampleBudgetPpm);
+    putVarint(B, R.SampleSeed);
+  }
   return B;
 }
 
@@ -89,6 +97,16 @@ bool tpdbt::service::decodeRequest(const std::string &Body,
   for (uint64_t I = 0; I < N; ++I)
     if (!getVarint(Body, Pos, R.Thresholds[I]))
       return false;
+  // Optional v2 tail: its presence is self-describing (a v1 body ends
+  // here), so the decoder serves both versions.
+  if (!atEnd(Body, Pos)) {
+    R.SampleMode = static_cast<uint8_t>(Body[Pos++]);
+    if (R.SampleMode != 1)
+      return false; // only stratified exists; 0 would be a phantom tail
+    if (!getVarint(Body, Pos, R.SampleBudgetPpm) ||
+        !getVarint(Body, Pos, R.SampleSeed))
+      return false;
+  }
   if (!atEnd(Body, Pos))
     return false;
   Out = std::move(R);
@@ -208,7 +226,8 @@ bool tpdbt::service::readFrame(UnixSocket &Sock, MsgType &Type,
   std::string Payload(PayloadLen, '\0');
   if (!Sock.recvAll(Payload.data(), PayloadLen))
     return Fail("truncated frame");
-  if (static_cast<uint8_t>(Payload[0]) != ProtocolVersion)
+  const uint8_t Version = static_cast<uint8_t>(Payload[0]);
+  if (Version < MinProtocolVersion || Version > ProtocolVersion)
     return Fail("unsupported protocol version");
   const uint8_t T = static_cast<uint8_t>(Payload[1]);
   if (T < static_cast<uint8_t>(MsgType::Request) ||
@@ -220,6 +239,6 @@ bool tpdbt::service::readFrame(UnixSocket &Sock, MsgType &Type,
 }
 
 bool tpdbt::service::writeFrame(UnixSocket &Sock, MsgType Type,
-                                const std::string &Body) {
-  return Sock.sendAll(encodeFrame(Type, Body));
+                                const std::string &Body, uint8_t Version) {
+  return Sock.sendAll(encodeFrame(Type, Body, Version));
 }

@@ -20,7 +20,12 @@
 /// Versioning rule: the version byte covers the whole payload. A server
 /// receiving a frame with an unknown version replies ERROR and closes;
 /// adding message types or appending fields to existing bodies bumps the
-/// version only when an old peer could misparse them.
+/// version only when an old peer could misparse them. Frames are stamped
+/// with the *lowest* version that can carry them: a v2-capable client
+/// still emits plain requests as v1 (so old daemons serve them), and
+/// only a request carrying the v2-only sampled-replay fields is stamped
+/// v2 (so old daemons reject it with "unsupported protocol version"
+/// instead of misreading trailing bytes).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,8 +42,13 @@
 namespace tpdbt {
 namespace service {
 
-/// Current protocol version (the first payload byte of every frame).
-constexpr uint8_t ProtocolVersion = 1;
+/// Highest protocol version this build speaks (the first payload byte of
+/// every frame). v2 added the optional approximate-replay request
+/// fields; every other body is unchanged since v1.
+constexpr uint8_t ProtocolVersion = 2;
+
+/// Oldest version still accepted by readFrame.
+constexpr uint8_t MinProtocolVersion = 1;
 
 /// Hard bound on a frame payload; a length prefix beyond this is treated
 /// as a corrupt stream, not an allocation request.
@@ -64,7 +74,25 @@ struct SweepRequest {
   std::string Name; ///< figure name (core::figureRegistry) or benchmark
   double Scale = 1.0;
   std::vector<uint64_t> Thresholds; ///< empty = paper defaults (sweep only)
+  /// Approximate-replay fields (protocol v2, docs/PROTOCOL.md "Optional
+  /// fields"): SampleMode 1 asks for the stratified sampled estimation at
+  /// SampleBudgetPpm parts-per-million of each trace's segments, seeded by
+  /// SampleSeed. Encoded on the wire only when SampleMode != 0 — plain
+  /// requests stay byte-identical to v1. Sampling is request-scoped: the
+  /// daemon's own TPDBT_SAMPLE_* environment never switches clients to
+  /// estimates.
+  uint8_t SampleMode = 0;
+  uint64_t SampleBudgetPpm = 0;
+  uint64_t SampleSeed = 0;
+
+  bool sampled() const { return SampleMode != 0; }
 };
+
+/// The lowest frame version able to carry \p R (see the versioning rule
+/// above): 2 when the sampled-replay fields are present, else 1.
+inline uint8_t requestFrameVersion(const SweepRequest &R) {
+  return R.sampled() ? 2 : 1;
+}
 
 /// RESULT status codes.
 enum class Status : uint8_t {
@@ -103,7 +131,10 @@ struct ErrorMsg {
 };
 
 /// Encodes a complete frame (length prefix + version + type + body).
-std::string encodeFrame(MsgType Type, const std::string &Body);
+/// \p Version defaults to v1; pass requestFrameVersion() for REQUEST
+/// frames so plain requests keep working against old daemons.
+std::string encodeFrame(MsgType Type, const std::string &Body,
+                        uint8_t Version = MinProtocolVersion);
 
 /// Body encoders.
 std::string encodeRequest(const SweepRequest &R);
@@ -120,13 +151,15 @@ bool decodeProgress(const std::string &Body, ProgressMsg &Out);
 bool decodeStats(const std::string &Body, StatsMsg &Out);
 bool decodeError(const std::string &Body, ErrorMsg &Out);
 
-/// Reads one frame from \p Sock. False on EOF, a malformed length, an
-/// unknown version, or an oversized payload; \p Error explains which.
+/// Reads one frame from \p Sock. False on EOF, a malformed length, a
+/// version outside [MinProtocolVersion, ProtocolVersion], or an
+/// oversized payload; \p Error explains which.
 bool readFrame(UnixSocket &Sock, MsgType &Type, std::string &Body,
                std::string *Error);
 
 /// Sends one frame; false when the peer is gone.
-bool writeFrame(UnixSocket &Sock, MsgType Type, const std::string &Body);
+bool writeFrame(UnixSocket &Sock, MsgType Type, const std::string &Body,
+                uint8_t Version = MinProtocolVersion);
 
 } // namespace service
 } // namespace tpdbt

@@ -54,6 +54,19 @@ Status SweepService::resolveConfig(const core::ExperimentConfig &BaseCfg,
     return Bad("scale must be in (0, 100]");
   Out = BaseCfg;
   Out.Scale = R.Scale;
+  // Sampling is request-scoped: only the wire fields enable it, never the
+  // daemon's own TPDBT_SAMPLE_* environment — a client asking for an
+  // exact table must get one whatever the server was started with.
+  Out.Sample = sample::SampleConfig();
+  if (R.sampled()) {
+    if (R.SampleMode != 1)
+      return Bad("unknown sample mode");
+    if (R.SampleBudgetPpm == 0 || R.SampleBudgetPpm > 1000000)
+      return Bad("sample budget must be in (0, 1000000] ppm");
+    Out.Sample.Kind = sample::SampleConfig::Mode::Stratified;
+    Out.Sample.BudgetFrac = static_cast<double>(R.SampleBudgetPpm) / 1e6;
+    Out.Sample.Seed = R.SampleSeed;
+  }
   if (R.RequestKind == SweepRequest::Figure) {
     if (!core::findFigure(R.Name))
       return Bad("unknown figure: " + R.Name +
@@ -91,7 +104,12 @@ Table SweepService::buildTable(core::ExperimentContext &Ctx,
 
 core::ExperimentContext &
 SweepService::contextFor(const core::ExperimentConfig &C) {
-  const uint64_t Fp = C.fingerprint();
+  // The config fingerprint deliberately omits the sample knobs (they are
+  // .prof-cache keys), but a sampled and an exact request must not share
+  // a context: its snapshots are estimates in one and exact in the other.
+  uint64_t Fp = C.fingerprint();
+  if (C.Sample.enabled())
+    Fp = combineSeeds(Fp, C.Sample.fingerprint());
   std::lock_guard<std::mutex> Guard(CtxLock);
   auto It = Contexts.find(Fp);
   if (It == Contexts.end())
@@ -112,7 +130,13 @@ uint64_t SweepService::requestKey(const SweepRequest &R,
   for (char Ch : R.Name)
     H = combineSeeds(H, static_cast<uint8_t>(Ch));
   H = combineSeeds(H, C.executionFingerprint());
-  return combineSeeds(H, C.policyFingerprint());
+  H = combineSeeds(H, C.policyFingerprint());
+  // Sampled and exact requests for the same figure must never coalesce
+  // (their result bytes differ); mixed only when sampling is on so every
+  // pre-v2 exact key is preserved.
+  if (C.Sample.enabled())
+    H = combineSeeds(H, C.Sample.fingerprint());
+  return H;
 }
 
 SweepService::Outcome SweepService::run(const SweepRequest &R,

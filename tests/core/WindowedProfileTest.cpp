@@ -98,3 +98,88 @@ TEST(WindowedProfileTest, RespectsMaxBlocks) {
   WindowedProfile WP = collectWindowedProfile(P, 2, /*MaxBlocks=*/100);
   EXPECT_EQ(WP.TotalBlockEvents, 100u);
 }
+
+// The trace-derived overload must reproduce the execute-twice windows
+// exactly — same sizing rule, same fill — for any window count,
+// including ones that do not divide the event count.
+TEST(WindowedProfileTest, TraceDerivedWindowsMatchExecuteTwice) {
+  Program P = makeHalfFlip();
+  BlockTrace Trace = BlockTrace::record(P);
+  for (size_t NumWindows : {1u, 3u, 7u, 16u}) {
+    WindowedProfile Exec = collectWindowedProfile(P, NumWindows);
+    WindowedProfile FromTrace = collectWindowedProfile(P, NumWindows, Trace);
+    ASSERT_EQ(FromTrace.numWindows(), Exec.numWindows()) << NumWindows;
+    EXPECT_EQ(FromTrace.TotalBlockEvents, Exec.TotalBlockEvents);
+    for (size_t W = 0; W < Exec.numWindows(); ++W)
+      for (BlockId B = 0; B < P.numBlocks(); ++B) {
+        EXPECT_EQ(FromTrace.Windows[W][B].Use, Exec.Windows[W][B].Use)
+            << "window " << W << " block " << B << " n=" << NumWindows;
+        EXPECT_EQ(FromTrace.Windows[W][B].Taken, Exec.Windows[W][B].Taken)
+            << "window " << W << " block " << B << " n=" << NumWindows;
+      }
+  }
+}
+
+// A program that halts immediately: zero block events after the entry
+// block executes. Every window exists, nearly all empty, no division by
+// the (zero-ish) total blows up.
+TEST(WindowedProfileTest, TinyTraceFewerEventsThanWindows) {
+  ProgramBuilder PB("tiny");
+  BlockId Entry = PB.createBlock();
+  PB.setEntry(Entry);
+  PB.switchTo(Entry);
+  PB.halt();
+  Program P = PB.build();
+
+  WindowedProfile Exec = collectWindowedProfile(P, 8);
+  EXPECT_EQ(Exec.numWindows(), 8u);
+  EXPECT_EQ(Exec.TotalBlockEvents, 1u);
+
+  BlockTrace Trace = BlockTrace::record(P);
+  WindowedProfile FromTrace = collectWindowedProfile(P, 8, Trace);
+  EXPECT_EQ(FromTrace.TotalBlockEvents, 1u);
+  uint64_t Use = 0;
+  for (const auto &W : FromTrace.Windows)
+    Use += W[Entry].Use;
+  EXPECT_EQ(Use, 1u);
+  // The single event lands in the first window under the shared sizing
+  // rule.
+  EXPECT_EQ(FromTrace.Windows[0][Entry].Use, Exec.Windows[0][Entry].Use);
+}
+
+// An empty trace (no events recorded) produces sized-but-empty windows.
+TEST(WindowedProfileTest, EmptyTraceYieldsEmptyWindows) {
+  Program P = makeHalfFlip();
+  BlockTrace Empty;
+  WindowedProfile WP = collectWindowedProfile(P, 4, Empty);
+  EXPECT_EQ(WP.numWindows(), 4u);
+  EXPECT_EQ(WP.TotalBlockEvents, 0u);
+  for (const auto &W : WP.Windows)
+    for (const auto &C : W) {
+      EXPECT_EQ(C.Use, 0u);
+      EXPECT_EQ(C.Taken, 0u);
+    }
+}
+
+// Window boundaries vs. the trace-segment budget: windowing a trace that
+// was serialized segmented and re-parsed must not depend on where the
+// segment cuts fell.
+TEST(WindowedProfileTest, WindowsUnaffectedBySegmentBoundaries) {
+  Program P = makeHalfFlip();
+  BlockTrace Trace = BlockTrace::record(P);
+  WindowedProfile Direct = collectWindowedProfile(P, 5, Trace);
+
+  for (uint64_t Budget : {64ull, 1000ull, 1ull << 16}) {
+    BlockTrace Reparsed;
+    std::string Err;
+    ASSERT_TRUE(
+        BlockTrace::parse(Trace.serializeSegmented(Budget), Reparsed, &Err))
+        << Err;
+    WindowedProfile WP = collectWindowedProfile(P, 5, Reparsed);
+    ASSERT_EQ(WP.TotalBlockEvents, Direct.TotalBlockEvents) << Budget;
+    for (size_t W = 0; W < WP.numWindows(); ++W)
+      for (BlockId B = 0; B < P.numBlocks(); ++B)
+        EXPECT_EQ(WP.Windows[W][B].Use, Direct.Windows[W][B].Use)
+            << "budget " << Budget;
+  }
+}

@@ -1,0 +1,120 @@
+//===- tests/sample/StratifierTest.cpp - Sample planning tests --*- C++ -*-===//
+
+#include "sample/Stratifier.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace tpdbt;
+using namespace tpdbt::sample;
+
+namespace {
+
+std::vector<SegmentStats> uniformSegments(size_t N, uint64_t Events,
+                                          uint64_t Taken) {
+  std::vector<SegmentStats> S(N);
+  for (auto &Seg : S) {
+    Seg.Events = Events;
+    Seg.Insts = Events * 7;
+    Seg.Taken = Taken;
+  }
+  return S;
+}
+
+PhaseAssignment onePhase(size_t N) {
+  PhaseAssignment P;
+  P.StratumOf.assign(N, 0);
+  P.NumStrata = 1;
+  return P;
+}
+
+} // namespace
+
+TEST(StratifierTest, BudgetFractionRoundsUpAndClamps) {
+  auto Segs = uniformSegments(10, 100, 40);
+  auto Phases = onePhase(10);
+  EXPECT_EQ(planSample(Segs, Phases, 0.25, 1, 4).Chosen.size(), 3u);
+  EXPECT_EQ(planSample(Segs, Phases, 0.5, 1, 4).Chosen.size(), 5u);
+  EXPECT_EQ(planSample(Segs, Phases, 1.0, 1, 4).Chosen.size(), 10u);
+  EXPECT_EQ(planSample(Segs, Phases, 0.001, 1, 4).Chosen.size(), 1u);
+}
+
+TEST(StratifierTest, EveryNonEmptyStratumIsSampled) {
+  // Three strata of very different sizes; a 10% budget would not give the
+  // small strata a slot proportionally, but the floor guarantees one.
+  std::vector<SegmentStats> Segs = uniformSegments(20, 100, 30);
+  PhaseAssignment Phases;
+  Phases.StratumOf.assign(20, 0);
+  Phases.StratumOf[18] = 1;
+  Phases.StratumOf[19] = 2;
+  Phases.NumStrata = 3;
+  SamplePlan Plan = planSample(Segs, Phases, 0.1, 7, 4);
+  std::vector<int> PerStratum(3, 0);
+  for (uint32_t I : Plan.Chosen)
+    ++PerStratum[Plan.StratumOf[I]];
+  EXPECT_GE(PerStratum[0], 1);
+  EXPECT_GE(PerStratum[1], 1);
+  EXPECT_GE(PerStratum[2], 1);
+}
+
+TEST(StratifierTest, NeymanFavorsHighVarianceStratum) {
+  // Stratum 0: identical taken rates (zero variance). Stratum 1: wildly
+  // varying rates. Equal sizes; the extra budget should flow to 1.
+  std::vector<SegmentStats> Segs(40);
+  for (size_t I = 0; I < 40; ++I) {
+    Segs[I].Events = 100;
+    Segs[I].Insts = 700;
+    Segs[I].Taken = I < 20 ? 50 : (I % 2 ? 5 : 95);
+  }
+  PhaseAssignment Phases;
+  Phases.StratumOf.assign(40, 0);
+  for (size_t I = 20; I < 40; ++I)
+    Phases.StratumOf[I] = 1;
+  Phases.NumStrata = 2;
+  SamplePlan Plan = planSample(Segs, Phases, 0.25, 3, 4);
+  std::vector<int> PerStratum(2, 0);
+  for (uint32_t I : Plan.Chosen)
+    ++PerStratum[Plan.StratumOf[I]];
+  EXPECT_GT(PerStratum[1], PerStratum[0]);
+}
+
+TEST(StratifierTest, DeterministicForFixedSeed) {
+  auto Segs = uniformSegments(32, 128, 60);
+  auto Phases = onePhase(32);
+  SamplePlan A = planSample(Segs, Phases, 0.3, 0xabc, 6);
+  SamplePlan B = planSample(Segs, Phases, 0.3, 0xabc, 6);
+  EXPECT_EQ(A.Chosen, B.Chosen);
+  EXPECT_EQ(A.GroupOf, B.GroupOf);
+  SamplePlan C = planSample(Segs, Phases, 0.3, 0xabd, 6);
+  EXPECT_NE(A.Chosen, C.Chosen); // a different seed draws differently
+}
+
+TEST(StratifierTest, JackknifeGroupsPartitionTheSample) {
+  auto Segs = uniformSegments(40, 100, 25);
+  auto Phases = onePhase(40);
+  SamplePlan Plan = planSample(Segs, Phases, 0.5, 9, 12);
+  ASSERT_EQ(Plan.Chosen.size(), 20u);
+  EXPECT_EQ(Plan.NumGroups, 12u);
+  std::vector<int> Sizes(Plan.NumGroups, 0);
+  for (size_t I = 0; I < 40; ++I) {
+    if (Plan.IsChosen[I]) {
+      ASSERT_GE(Plan.GroupOf[I], 0);
+      ASSERT_LT(Plan.GroupOf[I], static_cast<int32_t>(Plan.NumGroups));
+      ++Sizes[Plan.GroupOf[I]];
+    } else {
+      EXPECT_EQ(Plan.GroupOf[I], -1);
+    }
+  }
+  // Round-robin dealing: group sizes differ by at most one.
+  const int Total = std::accumulate(Sizes.begin(), Sizes.end(), 0);
+  EXPECT_EQ(Total, 20);
+  for (int Sz : Sizes)
+    EXPECT_TRUE(Sz == 20 / 12 || Sz == 20 / 12 + 1);
+}
+
+TEST(StratifierTest, EmptyTrace) {
+  SamplePlan Plan = planSample({}, onePhase(0), 0.25, 1, 4);
+  EXPECT_TRUE(Plan.Chosen.empty());
+  EXPECT_EQ(Plan.NumGroups, 0u);
+}

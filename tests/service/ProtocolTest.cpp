@@ -121,13 +121,71 @@ TEST(ProtocolTest, DecoderRejectsUnknownKindAndStatus) {
 TEST(ProtocolTest, FrameLayoutIsLengthVersionType) {
   const std::string Frame = encodeFrame(MsgType::Stats, "abc");
   ASSERT_EQ(Frame.size(), 4u + 2u + 3u);
-  // Little-endian payload length covers version + type + body.
+  // Little-endian payload length covers version + type + body. Frames
+  // carry the lowest version able to express them — v1 by default.
   EXPECT_EQ(static_cast<uint8_t>(Frame[0]), 5u);
   EXPECT_EQ(static_cast<uint8_t>(Frame[1]), 0u);
-  EXPECT_EQ(static_cast<uint8_t>(Frame[4]), ProtocolVersion);
+  EXPECT_EQ(static_cast<uint8_t>(Frame[4]), MinProtocolVersion);
   EXPECT_EQ(static_cast<uint8_t>(Frame[5]),
             static_cast<uint8_t>(MsgType::Stats));
   EXPECT_EQ(Frame.substr(6), "abc");
+}
+
+TEST(ProtocolTest, SampledRequestRoundTrips) {
+  SweepRequest In = sampleRequest();
+  In.SampleMode = 1;
+  In.SampleBudgetPpm = 250000;
+  In.SampleSeed = 0x5eed;
+  SweepRequest Out;
+  ASSERT_TRUE(decodeRequest(encodeRequest(In), Out));
+  EXPECT_EQ(Out.SampleMode, 1u);
+  EXPECT_EQ(Out.SampleBudgetPpm, 250000u);
+  EXPECT_EQ(Out.SampleSeed, 0x5eedu);
+  EXPECT_EQ(Out.Thresholds, In.Thresholds);
+  EXPECT_EQ(requestFrameVersion(In), 2u);
+  EXPECT_EQ(requestFrameVersion(sampleRequest()), 1u);
+
+  // Truncating any part of the optional tail must fail cleanly, and a
+  // tail opening with mode 0 is a phantom (mode 0 is "field absent").
+  const std::string Body = encodeRequest(In);
+  const std::string Plain = encodeRequest(sampleRequest());
+  for (size_t Len = Plain.size() + 1; Len < Body.size(); ++Len)
+    EXPECT_FALSE(decodeRequest(Body.substr(0, Len), Out)) << Len;
+  std::string Phantom = Plain;
+  Phantom.push_back(0);
+  EXPECT_FALSE(decodeRequest(Phantom, Out));
+}
+
+// Version-skew: a plain request encodes byte-identically to what a v1
+// client sends (old daemons keep serving new clients), while a sampled
+// request rides a v2 frame that a v1-only peer rejects with the
+// documented error instead of misreading the tail.
+TEST(ProtocolTest, SampledRequestsAreVersionGated) {
+  SweepRequest Plain = sampleRequest();
+  EXPECT_EQ(encodeFrame(MsgType::Request, encodeRequest(Plain),
+                        requestFrameVersion(Plain))[4],
+            1);
+
+  SweepRequest Sampled = sampleRequest();
+  Sampled.SampleMode = 1;
+  Sampled.SampleBudgetPpm = 250000;
+  const std::string Frame = encodeFrame(
+      MsgType::Request, encodeRequest(Sampled), requestFrameVersion(Sampled));
+  EXPECT_EQ(static_cast<uint8_t>(Frame[4]), 2u);
+  // What a pre-v2 readFrame does with it: version != 1 -> reject. (The
+  // old binary's check was `version != 1`; ours widened to a range, so
+  // emulate the old predicate against the new frame.)
+  EXPECT_NE(static_cast<uint8_t>(Frame[4]), 1u);
+
+  // The current reader accepts both versions on the wire.
+  for (uint8_t V : {MinProtocolVersion, ProtocolVersion}) {
+    SocketPair P;
+    ASSERT_TRUE(
+        P.A.sendAll(encodeFrame(MsgType::Request, encodeRequest(Plain), V)));
+    MsgType Type;
+    std::string Body, Error;
+    EXPECT_TRUE(readFrame(P.B, Type, Body, &Error)) << Error;
+  }
 }
 
 TEST(ProtocolTest, FramesCrossASocket) {

@@ -88,6 +88,50 @@ TEST(SweepServiceTest, ComputesASweepTable) {
   EXPECT_EQ(S.stats().Computed.load(), 1u);
 }
 
+TEST(SweepServiceTest, SampledRequestsEstimateWithIntervals) {
+  SweepService S(tinyBase(), testLimits());
+  SweepRequest Approx = tinySweep();
+  Approx.SampleMode = 1;
+  Approx.SampleBudgetPpm = 250000;
+  Approx.SampleSeed = 0x5eed;
+  auto A = S.run(Approx);
+  ASSERT_EQ(A.ResultStatus, Status::Ok);
+  EXPECT_NE(A.Payload.find("ci95"), std::string::npos) << A.Payload;
+
+  // The exact table for the same sweep carries no interval columns, and
+  // the two requests never share a context or a flight.
+  auto E = S.run(tinySweep());
+  ASSERT_EQ(E.ResultStatus, Status::Ok);
+  EXPECT_EQ(E.Payload.find("ci95"), std::string::npos) << E.Payload;
+
+  // Budget bounds are validated before any work happens.
+  Approx.SampleBudgetPpm = 0;
+  EXPECT_EQ(S.run(Approx).ResultStatus, Status::BadRequest);
+  Approx.SampleBudgetPpm = 1000001;
+  EXPECT_EQ(S.run(Approx).ResultStatus, Status::BadRequest);
+}
+
+TEST(SweepServiceTest, ResolveConfigScopesSamplingToTheRequest) {
+  // A daemon started under TPDBT_SAMPLE_MODE=stratified must still serve
+  // exact tables to plain requests: only the wire fields enable sampling.
+  ExperimentConfig Base = tinyBase();
+  Base.Sample.Kind = sample::SampleConfig::Mode::Stratified;
+  ExperimentConfig C;
+  ASSERT_EQ(SweepService::resolveConfig(Base, tinySweep(), C, nullptr),
+            Status::Ok);
+  EXPECT_FALSE(C.Sample.enabled());
+
+  SweepRequest Approx = tinySweep();
+  Approx.SampleMode = 1;
+  Approx.SampleBudgetPpm = 500000;
+  Approx.SampleSeed = 0xabc;
+  ASSERT_EQ(SweepService::resolveConfig(tinyBase(), Approx, C, nullptr),
+            Status::Ok);
+  EXPECT_TRUE(C.Sample.enabled());
+  EXPECT_DOUBLE_EQ(C.Sample.BudgetFrac, 0.5);
+  EXPECT_EQ(C.Sample.Seed, 0xabcu);
+}
+
 TEST(SweepServiceTest, IdenticalInFlightRequestsCoalesce) {
   SweepService S(tinyBase(), testLimits());
   constexpr unsigned N = 6;

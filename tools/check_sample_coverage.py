@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Check sampled-mode confidence-interval coverage against exact results.
+
+Usage: check_sample_coverage.py EXACT_DIR SAMPLED_DIR [fig ...]
+
+Both directories hold figure CSVs as the bench binaries drop them under
+tpdbt_results/. The exact run has plain value columns; the sampled run
+pairs every value column with a `<name>_ci95` companion. For every figure
+and every (row, column) cell this asserts
+
+    |sampled_value - exact_value| <= ci95
+
+and exits non-zero listing every violation. Rows whose ci95 is 0 (train
+references, which are exact in sampled mode too) are compared for
+near-equality instead.
+"""
+
+import csv
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    return rows[0], rows[1:]
+
+
+def check_figure(name, exact_dir, sampled_dir):
+    exact_hdr, exact_rows = load(f"{exact_dir}/{name}.csv")
+    samp_hdr, samp_rows = load(f"{sampled_dir}/{name}.csv")
+    failures = []
+
+    # Map each sampled value column to its ci companion (if any).
+    ci_of = {}
+    for i, col in enumerate(samp_hdr):
+        if col.endswith("_ci95"):
+            continue
+        j = i + 1
+        if j < len(samp_hdr) and samp_hdr[j] == col + "_ci95":
+            ci_of[col] = (i, j)
+
+    if len(exact_rows) != len(samp_rows):
+        raise SystemExit(
+            f"{name}: row count mismatch ({len(exact_rows)} exact vs "
+            f"{len(samp_rows)} sampled)"
+        )
+
+    for exact_row, samp_row in zip(exact_rows, samp_rows):
+        label = exact_row[0]
+        for col_idx, col in enumerate(exact_hdr):
+            if col_idx == 0:
+                continue
+            if col not in ci_of:
+                continue  # structural columns (regions) carry no interval
+            vi, ci = ci_of[col]
+            exact_val = float(exact_row[col_idx])
+            samp_val = float(samp_row[vi])
+            half = float(samp_row[ci])
+            err = abs(samp_val - exact_val)
+            # Cells are printed with 3-4 decimal digits, so allow the
+            # formatting rounding on both sides of the comparison.
+            round_tol = max(2e-3, 1e-6 * abs(exact_val))
+            if half == 0.0:
+                # Exact-by-construction cells (train rows): tolerate only
+                # formatting rounding.
+                if err > round_tol:
+                    failures.append(
+                        f"{name} {label} {col}: exact cell differs "
+                        f"({samp_val} vs {exact_val})"
+                    )
+            elif err > half + round_tol:
+                failures.append(
+                    f"{name} {label} {col}: |{samp_val} - {exact_val}| = "
+                    f"{err:.6g} > ci95 {half:.6g}"
+                )
+    return failures
+
+
+def main():
+    if len(sys.argv) < 3:
+        raise SystemExit(__doc__)
+    exact_dir, sampled_dir = sys.argv[1], sys.argv[2]
+    figures = sys.argv[3:] or [
+        "fig08_sd_bp",
+        "fig09_sd_bp_int",
+        "fig10_bp_mismatch",
+        "fig11_bp_mismatch_int",
+        "fig12_bp_mismatch_fp",
+        "fig13_sd_cp",
+        "fig14_sd_lp",
+        "fig15_lp_mismatch",
+        "fig16_lp_mismatch_int",
+        "fig17_performance",
+        "fig18_profiling_ops",
+    ]
+    failures = []
+    cells = 0
+    for fig in figures:
+        fails = check_figure(fig, exact_dir, sampled_dir)
+        failures.extend(fails)
+        cells += 1
+    if failures:
+        print(f"{len(failures)} CI coverage violations:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"all intervals cover the exact values across {len(figures)} figures")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@
 #include "support/TextFile.h"
 #include "workloads/BenchSpec.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +41,10 @@ int usage(const char *Prog, int Code) {
       "  --scale X          workload scale (default $TPDBT_SCALE or 1.0)\n"
       "  --thresholds A,B   sweep thresholds (sweep only; default: paper "
       "sweep)\n"
+      "  --approx BUDGET    estimate from a stratified segment sample at\n"
+      "                     BUDGET fraction in (0,1]; result columns gain\n"
+      "                     95%% confidence intervals (seed:\n"
+      "                     $TPDBT_SAMPLE_SEED; needs a v2 daemon)\n"
       "  --count N          send N concurrent identical requests and report\n"
       "                     how many coalesced (default 1)\n"
       "  --out FILE         write the result CSV to FILE (default stdout)\n"
@@ -95,7 +100,8 @@ OneResult runOne(const Options &Opts, uint64_t Id) {
     return R;
   SweepRequest Req = Opts.Request;
   Req.Id = Id;
-  if (!writeFrame(Sock, MsgType::Request, encodeRequest(Req))) {
+  if (!writeFrame(Sock, MsgType::Request, encodeRequest(Req),
+                  requestFrameVersion(Req))) {
     R.Error = "send failed";
     return R;
   }
@@ -328,6 +334,26 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "%s: bad --thresholds list\n", argv[0]);
         return 2;
       }
+    } else if (!std::strcmp(Arg, "--socket")) {
+      const char *V = Value();
+      if (!V)
+        return usage(argv[0], 2);
+      Opts.Socket = V;
+    } else if (!std::strcmp(Arg, "--approx")) {
+      const char *V = Value();
+      double B = V ? std::atof(V) : 0.0;
+      if (!(B > 0.0) || B > 1.0) {
+        std::fprintf(stderr, "%s: --approx wants a fraction in (0, 1]\n",
+                     argv[0]);
+        return 2;
+      }
+      Opts.Request.SampleMode = 1;
+      Opts.Request.SampleBudgetPpm =
+          static_cast<uint64_t>(std::llround(B * 1e6));
+      if (const char *S = std::getenv("TPDBT_SAMPLE_SEED"))
+        Opts.Request.SampleSeed = std::strtoull(S, nullptr, 0);
+      else
+        Opts.Request.SampleSeed = 0x5eed;
     } else if (!std::strcmp(Arg, "--count")) {
       const char *V = Value();
       long N = V ? std::strtol(V, nullptr, 10) : 0;
